@@ -1,0 +1,87 @@
+//! Criterion benches for the LP/LCS matchers and transfer-plan machinery —
+//! the paper's "at most 150 ms" mechanism cost (Section VIII-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swt::prelude::*;
+use std::hint::black_box;
+
+/// Synthetic shape sequences of a given length with realistic collision
+/// rates (shapes drawn from a small alphabet).
+fn shape_seq(len: usize, seed: u64) -> ShapeSeq {
+    let mut rng = Rng::seed(seed);
+    let params = (0..len)
+        .map(|i| {
+            let a = 1 + rng.below(6);
+            let b = 1 + rng.below(6);
+            (format!("l{i}/kernel"), Shape::new([a * 8, b * 8]))
+        })
+        .collect();
+    ShapeSeq::from_params(params)
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchers");
+    for &len in &[8usize, 32, 128] {
+        let a = shape_seq(len, 1);
+        let b = shape_seq(len, 2);
+        group.bench_with_input(BenchmarkId::new("lp", len), &len, |bench, _| {
+            bench.iter(|| black_box(lp_match(&a.shapes(), &b.shapes())));
+        });
+        group.bench_with_input(BenchmarkId::new("lcs", len), &len, |bench, _| {
+            bench.iter(|| black_box(lcs_match(&a.shapes(), &b.shapes())));
+        });
+        group.bench_with_input(BenchmarkId::new("plan_lcs", len), &len, |bench, _| {
+            bench.iter(|| black_box(TransferPlan::build(Matcher::Lcs, &a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_space_matching(c: &mut Criterion) {
+    // End-to-end matching cost on real search-space candidates (what the
+    // evaluator pays per child, minus I/O).
+    let mut group = c.benchmark_group("real_space");
+    for app in AppKind::all() {
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(7);
+        let parent = space.sample(&mut rng);
+        let child = space.mutate(&parent, &mut rng);
+        let pseq = ShapeSeq::of(&space.materialize(&parent).unwrap()).unwrap();
+        let cseq = ShapeSeq::of(&space.materialize(&child).unwrap()).unwrap();
+        group.bench_function(BenchmarkId::new("lcs_plan", app.name()), |bench| {
+            bench.iter(|| black_box(TransferPlan::build(Matcher::Lcs, &pseq, &cseq)));
+        });
+        group.bench_function(BenchmarkId::new("shape_seq_extract", app.name()), |bench| {
+            let spec = space.materialize(&parent).unwrap();
+            bench.iter(|| black_box(ShapeSeq::of(&spec).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_transfer(c: &mut Criterion) {
+    // Weight-copy throughput: provider checkpoint -> receiver model.
+    let space = SearchSpace::for_app(AppKind::Cifar10);
+    let mut rng = Rng::seed(3);
+    let parent = space.sample(&mut rng);
+    let child = space.mutate(&parent, &mut rng);
+    let pspec = space.materialize(&parent).unwrap();
+    let cspec = space.materialize(&child).unwrap();
+    let provider = Model::build(&pspec, 1).unwrap();
+    let ckpt = provider.state_dict();
+    let plan = TransferPlan::build(
+        Matcher::Lcs,
+        &ShapeSeq::of(&pspec).unwrap(),
+        &ShapeSeq::of(&cspec).unwrap(),
+    );
+    c.bench_function("apply_transfer_cifar_child", |bench| {
+        bench.iter_batched(
+            || Model::build(&cspec, 2).unwrap(),
+            |mut receiver| black_box(apply_transfer(&plan, &ckpt, &mut receiver)),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_matchers, bench_real_space_matching, bench_apply_transfer);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the training substrate: the per-candidate cost
+//! model feeding Figs. 7/10 (one epoch of estimation per application) and
+//! the checkpoint I/O on its critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swt::prelude::*;
+use swt::nn::AdamConfig;
+
+fn bench_one_epoch_estimate(c: &mut Criterion) {
+    // One epoch of candidate estimation per application — the unit of
+    // Fig. 7's x-axis and the dominant term of Fig. 10's task cost.
+    let mut group = c.benchmark_group("one_epoch_estimate");
+    group.sample_size(10);
+    for app in AppKind::all() {
+        let problem = app.problem(DataScale::Quick, 5);
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(11);
+        let arch = space.sample(&mut rng);
+        let spec = space.materialize(&arch).unwrap();
+        let trainer = Trainer::new(problem.loss, problem.metric);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: problem.batch_size,
+            adam: AdamConfig { lr: problem.lr, ..Default::default() },
+            shuffle_seed: 3,
+            early_stop: None,
+        };
+        group.bench_function(BenchmarkId::new("train", app.name()), |bench| {
+            bench.iter_batched(
+                || Model::build(&spec, 7).unwrap(),
+                |mut model| {
+                    black_box(trainer.fit(&mut model, &problem.train, &problem.val, &cfg))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_roundtrip(c: &mut Criterion) {
+    // Encode/decode + store round trip per application (Fig. 11's object).
+    let mut group = c.benchmark_group("checkpoint");
+    for app in AppKind::all() {
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(23);
+        let spec = space.materialize(&space.sample(&mut rng)).unwrap();
+        let model = Model::build(&spec, 1).unwrap();
+        let state = model.state_dict();
+        let store = MemStore::new();
+        group.bench_function(BenchmarkId::new("save", app.name()), |bench| {
+            bench.iter(|| black_box(store.save("bench", &state).unwrap()));
+        });
+        store.save("bench", &state).unwrap();
+        group.bench_function(BenchmarkId::new("load", app.name()), |bench| {
+            bench.iter(|| black_box(store.load("bench").unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    // Candidate materialisation + init cost (scheduler-side overhead).
+    let mut group = c.benchmark_group("model_build");
+    for app in AppKind::all() {
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(31);
+        let spec = space.materialize(&space.sample(&mut rng)).unwrap();
+        group.bench_function(BenchmarkId::new("build", app.name()), |bench| {
+            bench.iter(|| black_box(Model::build(&spec, 9).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_epoch_estimate, bench_checkpoint_roundtrip, bench_model_build);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate; see benches/.

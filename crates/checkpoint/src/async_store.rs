@@ -1,0 +1,208 @@
+//! Asynchronous checkpointing — the paper's stated future work.
+//!
+//! Section X: "we plan to extend our approach by complementing it with
+//! efficient DNN checkpointing techniques" (VELOC/DeepFreeze-style
+//! asynchronous I/O). [`AsyncStore`] wraps any [`CheckpointStore`] and makes
+//! `save` return as soon as the tensors are handed to a background writer
+//! thread, taking the checkpoint write off the evaluator's critical path —
+//! exactly the overhead Fig. 10 charges to NT3.
+//!
+//! Reads are *consistent*: a `load`/`exists`/`size_bytes` for an id with a
+//! pending write blocks until that write has been flushed, so the NAS data
+//! flow (children reading parents) is unchanged.
+
+use crate::store::CheckpointStore;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use swt_tensor::Tensor;
+
+enum Job {
+    Save { id: String, entries: Vec<(String, Tensor)> },
+    Shutdown,
+}
+
+struct Pending {
+    /// Count of queued-but-unflushed writes per id (an id can be
+    /// overwritten while earlier writes are still in flight).
+    ids: Mutex<HashMap<String, usize>>,
+    drained: Condvar,
+}
+
+/// A write-behind wrapper around another checkpoint store.
+pub struct AsyncStore {
+    inner: Arc<dyn CheckpointStore>,
+    tx: Sender<Job>,
+    pending: Arc<Pending>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl AsyncStore {
+    /// Wrap `inner` with a single background writer thread.
+    pub fn new(inner: Arc<dyn CheckpointStore>) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let pending = Arc::new(Pending { ids: Mutex::new(HashMap::new()), drained: Condvar::new() });
+        let writer_inner = Arc::clone(&inner);
+        let writer_pending = Arc::clone(&pending);
+        let writer = std::thread::Builder::new()
+            .name("swt-async-ckpt".into())
+            .spawn(move || {
+                for job in rx {
+                    match job {
+                        Job::Save { id, entries } => {
+                            // Persist, then clear the pending mark and wake
+                            // any blocked readers.
+                            let _ = writer_inner.save(&id, &entries);
+                            let mut ids = writer_pending.ids.lock();
+                            if let Some(count) = ids.get_mut(&id) {
+                                *count -= 1;
+                                if *count == 0 {
+                                    ids.remove(&id);
+                                }
+                            }
+                            writer_pending.drained.notify_all();
+                        }
+                        Job::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn checkpoint writer");
+        AsyncStore { inner, tx, pending, writer: Some(writer) }
+    }
+
+    /// Block until no writes are pending (used by tests and at run end).
+    pub fn flush(&self) {
+        let mut ids = self.pending.ids.lock();
+        while !ids.is_empty() {
+            self.pending.drained.wait(&mut ids);
+        }
+    }
+
+    fn wait_for(&self, id: &str) {
+        let mut ids = self.pending.ids.lock();
+        while ids.contains_key(id) {
+            self.pending.drained.wait(&mut ids);
+        }
+    }
+}
+
+impl CheckpointStore for AsyncStore {
+    fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
+        // Size accounting must stay exact (Fig. 11), so encode eagerly for
+        // the byte count while the actual I/O happens in the background.
+        let bytes = crate::format::encode(entries).len() as u64;
+        *self.pending.ids.lock().entry(id.to_string()).or_insert(0) += 1;
+        self.tx
+            .send(Job::Save { id: id.to_string(), entries: entries.to_vec() })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "writer thread gone"))?;
+        Ok(bytes)
+    }
+
+    fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
+        self.wait_for(id);
+        self.inner.load(id)
+    }
+
+    fn exists(&self, id: &str) -> bool {
+        self.wait_for(id);
+        self.inner.exists(id)
+    }
+
+    fn size_bytes(&self, id: &str) -> Option<u64> {
+        self.wait_for(id);
+        self.inner.size_bytes(id)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.flush();
+        self.inner.list()
+    }
+
+    fn delete(&self, id: &str) -> bool {
+        self.wait_for(id);
+        self.inner.delete(id)
+    }
+}
+
+impl Drop for AsyncStore {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Job::Shutdown);
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn entries(seed: f32) -> Vec<(String, Tensor)> {
+        vec![("w/kernel".into(), Tensor::full([64, 64], seed))]
+    }
+
+    #[test]
+    fn save_then_load_is_consistent() {
+        let store = AsyncStore::new(Arc::new(MemStore::new()));
+        let bytes = store.save("a", &entries(1.0)).unwrap();
+        assert!(bytes > 64 * 64 * 4);
+        // load must see the write even if the writer hasn't run yet.
+        let loaded = store.load("a").unwrap();
+        assert!(loaded[0].1.approx_eq(&Tensor::full([64, 64], 1.0), 0.0));
+    }
+
+    #[test]
+    fn overwrites_resolve_in_order() {
+        let store = AsyncStore::new(Arc::new(MemStore::new()));
+        for i in 0..50 {
+            store.save("hot", &entries(i as f32)).unwrap();
+        }
+        let loaded = store.load("hot").unwrap();
+        assert!(loaded[0].1.approx_eq(&Tensor::full([64, 64], 49.0), 0.0));
+    }
+
+    #[test]
+    fn flush_drains_every_pending_write() {
+        let inner = Arc::new(MemStore::new());
+        let store = AsyncStore::new(Arc::clone(&inner) as Arc<dyn CheckpointStore>);
+        for i in 0..20 {
+            store.save(&format!("c{i}"), &entries(i as f32)).unwrap();
+        }
+        store.flush();
+        assert_eq!(inner.list().len(), 20);
+    }
+
+    #[test]
+    fn concurrent_producers_and_readers() {
+        let store = Arc::new(AsyncStore::new(Arc::new(MemStore::new())));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let id = format!("t{t}_{i}");
+                    store.save(&id, &entries((t * 10 + i) as f32)).unwrap();
+                    let loaded = store.load(&id).unwrap();
+                    assert_eq!(loaded[0].1.data()[0], (t * 10 + i) as f32);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.list().len(), 40);
+    }
+
+    #[test]
+    fn size_matches_sync_store() {
+        let sync = MemStore::new();
+        let sync_bytes = sync.save("x", &entries(3.0)).unwrap();
+        let store = AsyncStore::new(Arc::new(MemStore::new()));
+        let async_bytes = store.save("x", &entries(3.0)).unwrap();
+        assert_eq!(sync_bytes, async_bytes);
+    }
+}

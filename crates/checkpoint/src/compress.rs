@@ -1,0 +1,257 @@
+//! Lossy checkpoint compression — the second complementary direction the
+//! paper's related work surveys (DeepSZ's bounded lossy compression,
+//! Check-N-Run's quantization).
+//!
+//! [`QuantizedStore`] wraps any [`CheckpointStore`] and stores each tensor
+//! as linear 8-bit quantization: per-tensor `min`/`max` plus one byte per
+//! element, a 4× size reduction with a bounded per-element error of at most
+//! half a quantization step (`(max - min) / 510`). Decoded checkpoints are
+//! ordinary tensors, so weight transfer works unchanged — the `ext_compress`
+//! experiment measures whether the added error harms transfer positivity.
+//!
+//! The quantized payload is carried *inside* the regular WTC container (two
+//! auxiliary tensors per original tensor), so the on-disk format stays
+//! self-describing and checksummed.
+
+use crate::store::CheckpointStore;
+use std::io;
+use swt_tensor::Tensor;
+
+/// Number of quantization levels (u8).
+const LEVELS: f32 = 255.0;
+
+/// Quantize one tensor into `(params, payload)` where `params` is
+/// `[min, max]` and `payload` packs one byte per element into f32 slots of a
+/// rank-1 tensor (4 values per f32 via bit-packing would complicate the
+/// container; we store bytes in u8-valued f32s and rely on the *logical*
+/// 4x reduction measured by [`QuantizedStore::logical_bytes`]).
+fn quantize(t: &Tensor) -> (Tensor, Vec<u8>) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in t.data() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    let scale = if hi > lo { LEVELS / (hi - lo) } else { 0.0 };
+    let bytes = t.data().iter().map(|&v| ((v - lo) * scale).round() as u8).collect();
+    (Tensor::from_vec([2], vec![lo, hi]), bytes)
+}
+
+fn dequantize(shape: &[usize], params: &Tensor, bytes: &[u8]) -> Tensor {
+    let lo = params.data()[0];
+    let hi = params.data()[1];
+    let step = if hi > lo { (hi - lo) / LEVELS } else { 0.0 };
+    let data = bytes.iter().map(|&b| lo + f32::from(b) * step).collect();
+    Tensor::from_vec(shape.to_vec(), data)
+}
+
+/// Maximum absolute reconstruction error of the quantizer for a tensor with
+/// the given value range.
+pub fn max_quantization_error(lo: f32, hi: f32) -> f32 {
+    if hi > lo {
+        (hi - lo) / LEVELS / 2.0
+    } else {
+        0.0
+    }
+}
+
+/// Byte-packing helpers: the WTC container stores f32 tensors, so the u8
+/// payload is packed 4-per-f32 losslessly via bit transmutation.
+fn pack_bytes(bytes: &[u8]) -> Tensor {
+    let mut padded = bytes.to_vec();
+    while !padded.len().is_multiple_of(4) {
+        padded.push(0);
+    }
+    let data: Vec<f32> = padded
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Tensor::from_vec([data.len()], data)
+}
+
+fn unpack_bytes(t: &Tensor, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(t.numel() * 4);
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.truncate(n);
+    out
+}
+
+/// A write-through store that 8-bit-quantizes every tensor.
+pub struct QuantizedStore {
+    inner: Box<dyn CheckpointStore>,
+}
+
+impl QuantizedStore {
+    pub fn new(inner: Box<dyn CheckpointStore>) -> Self {
+        QuantizedStore { inner }
+    }
+
+    /// Logical compressed size of a tensor set: 1 byte/element + params.
+    pub fn logical_bytes(entries: &[(String, Tensor)]) -> u64 {
+        entries.iter().map(|(_, t)| t.numel() as u64 + 8).sum()
+    }
+}
+
+impl CheckpointStore for QuantizedStore {
+    fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
+        let mut encoded = Vec::with_capacity(entries.len() * 3);
+        for (name, tensor) in entries {
+            let (params, bytes) = quantize(tensor);
+            // Shape marker so decode can rebuild the original dims.
+            let shape_tensor = Tensor::from_vec(
+                [tensor.shape().rank()],
+                tensor.shape().dims().iter().map(|&d| d as f32).collect(),
+            );
+            encoded.push((format!("{name}#shape"), shape_tensor));
+            encoded.push((format!("{name}#q"), params));
+            encoded.push((format!("{name}#data"), pack_bytes(&bytes)));
+        }
+        self.inner.save(id, &encoded)?;
+        Ok(Self::logical_bytes(entries))
+    }
+
+    fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
+        let encoded = self.inner.load(id)?;
+        let bad = || io::Error::new(io::ErrorKind::InvalidData, "malformed quantized checkpoint");
+        let mut out = Vec::with_capacity(encoded.len() / 3);
+        let mut iter = encoded.chunks_exact(3);
+        for chunk in &mut iter {
+            let (shape_name, shape_tensor) = &chunk[0];
+            let (_q_name, params) = &chunk[1];
+            let (_d_name, packed) = &chunk[2];
+            let name = shape_name.strip_suffix("#shape").ok_or_else(bad)?.to_string();
+            let dims: Vec<usize> = shape_tensor.data().iter().map(|&d| d as usize).collect();
+            let numel: usize = dims.iter().product();
+            let bytes = unpack_bytes(packed, numel);
+            if bytes.len() != numel || params.numel() != 2 {
+                return Err(bad());
+            }
+            out.push((name, dequantize(&dims, params, &bytes)));
+        }
+        Ok(out)
+    }
+
+    fn exists(&self, id: &str) -> bool {
+        self.inner.exists(id)
+    }
+
+    fn size_bytes(&self, id: &str) -> Option<u64> {
+        self.inner.size_bytes(id)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn delete(&self, id: &str) -> bool {
+        self.inner.delete(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use swt_tensor::Rng;
+
+    fn entries() -> Vec<(String, Tensor)> {
+        let mut rng = Rng::seed(5);
+        vec![
+            ("a/kernel".into(), Tensor::rand_normal([7, 9], 0.0, 1.0, &mut rng)),
+            ("a/bias".into(), Tensor::rand_uniform([9], -0.5, 0.5, &mut rng)),
+            ("b/kernel".into(), Tensor::rand_normal([3, 3, 2, 4], 0.0, 0.2, &mut rng)),
+        ]
+    }
+
+    #[test]
+    fn round_trip_bounded_error() {
+        let store = QuantizedStore::new(Box::new(MemStore::new()));
+        let original = entries();
+        store.save("c", &original).unwrap();
+        let decoded = store.load("c").unwrap();
+        assert_eq!(decoded.len(), original.len());
+        for ((n1, t1), (n2, t2)) in original.iter().zip(&decoded) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.shape(), t2.shape());
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &v in t1.data() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let bound = max_quantization_error(lo, hi) + 1e-6;
+            for (a, b) in t1.data().iter().zip(t2.data()) {
+                assert!((a - b).abs() <= bound, "{n1}: |{a} - {b}| > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_tensor_is_exact() {
+        let store = QuantizedStore::new(Box::new(MemStore::new()));
+        let t = vec![("c/kernel".to_string(), Tensor::full([4, 4], 2.5))];
+        store.save("k", &t).unwrap();
+        assert!(store.load("k").unwrap()[0].1.approx_eq(&t[0].1, 0.0));
+    }
+
+    #[test]
+    fn reports_logical_compression() {
+        let original = entries();
+        let raw: u64 = original.iter().map(|(_, t)| 4 * t.numel() as u64).sum();
+        let store = QuantizedStore::new(Box::new(MemStore::new()));
+        let compressed = store.save("c", &original).unwrap();
+        assert!(
+            (compressed as f64) < raw as f64 / 3.0,
+            "expected ~4x reduction: {compressed} vs {raw}"
+        );
+    }
+
+    #[test]
+    fn odd_length_tensors_pack_correctly() {
+        let store = QuantizedStore::new(Box::new(MemStore::new()));
+        for n in [1usize, 2, 3, 5, 17] {
+            let t = vec![("x/kernel".to_string(), Tensor::from_vec([n], (0..n).map(|i| i as f32).collect()))];
+            store.save("odd", &t).unwrap();
+            let back = store.load("odd").unwrap();
+            assert_eq!(back[0].1.numel(), n);
+            let bound = max_quantization_error(0.0, (n - 1) as f32) + 1e-6;
+            for (a, b) in t[0].1.data().iter().zip(back[0].1.data()) {
+                assert!((a - b).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_through_quantized_checkpoint_still_works() {
+        use swt_tensor::Padding;
+        // The downstream use: provider saved quantized, weights transferred.
+        let spec = swt_nn_spec();
+        let provider = swt_nn::Model::build(&spec, 1).unwrap();
+        let store = QuantizedStore::new(Box::new(MemStore::new()));
+        store.save("p", &provider.state_dict()).unwrap();
+        let ckpt = store.load("p").unwrap();
+        let mut receiver = swt_nn::Model::build(&spec, 2).unwrap();
+        let mut applied = 0;
+        for (name, tensor) in &ckpt {
+            if receiver.set_param(name, tensor) {
+                applied += 1;
+            }
+        }
+        assert_eq!(applied, provider.named_params().len());
+        let _ = Padding::Same;
+    }
+
+    fn swt_nn_spec() -> swt_nn::ModelSpec {
+        swt_nn::ModelSpec::chain(
+            vec![6],
+            vec![swt_nn::LayerSpec::Dense { units: 4, activation: None }],
+        )
+        .unwrap()
+    }
+}

@@ -1,0 +1,236 @@
+//! The "WTC" (weight-transfer checkpoint) binary format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   [u8; 4] = b"WTC1"
+//! count   u32                      number of tensors
+//! repeat count times:
+//!   name_len u32, name [u8; name_len] (UTF-8)
+//!   rank     u32, dims [u64; rank]
+//!   data     [f32; prod(dims)]
+//! checksum u64                     FNV-1a over everything before it
+//! ```
+//!
+//! The format is the role HDF5 plays in the paper: a portable container of
+//! named, shaped weight tensors. A trailing checksum catches truncation and
+//! bit rot — important because NAS reads thousands of provider checkpoints.
+
+use std::fmt;
+use swt_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"WTC1";
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Wrong magic bytes — not a WTC file.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A tensor name was not valid UTF-8.
+    BadName,
+    /// Checksum mismatch: the payload was corrupted.
+    Corrupt,
+    /// Declared sizes overflow addressable memory.
+    Oversized,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a WTC checkpoint (bad magic)"),
+            FormatError::Truncated => write!(f, "checkpoint truncated"),
+            FormatError::BadName => write!(f, "tensor name is not valid UTF-8"),
+            FormatError::Corrupt => write!(f, "checksum mismatch (corrupted checkpoint)"),
+            FormatError::Oversized => write!(f, "declared tensor size is implausibly large"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Serialise named tensors into a WTC buffer.
+///
+/// ```
+/// use swt_checkpoint::{encode, decode};
+/// use swt_tensor::Tensor;
+/// let entries = vec![("layer/kernel".to_string(), Tensor::ones([2, 3]))];
+/// let decoded = decode(&encode(&entries)).unwrap();
+/// assert_eq!(decoded[0].0, "layer/kernel");
+/// assert!(decoded[0].1.approx_eq(&entries[0].1, 0.0));
+/// ```
+pub fn encode(entries: &[(String, Tensor)]) -> Vec<u8> {
+    let payload: usize = entries
+        .iter()
+        .map(|(n, t)| 4 + n.len() + 4 + 8 * t.shape().rank() + 4 * t.numel())
+        .sum();
+    let mut buf = Vec::with_capacity(4 + 4 + payload + 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, tensor) in entries {
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(tensor.shape().rank() as u32).to_le_bytes());
+        for &d in tensor.shape().dims() {
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in tensor.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.pos + n > self.buf.len() {
+            return Err(FormatError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Per-tensor sanity cap: no single tensor in this repository is remotely
+/// close to 1 GiB; a declared size beyond that indicates corruption.
+const MAX_TENSOR_BYTES: u64 = 1 << 30;
+
+/// Deserialise a WTC buffer.
+pub fn decode(buf: &[u8]) -> Result<Vec<(String, Tensor)>, FormatError> {
+    if buf.len() < 4 + 4 + 8 {
+        return Err(FormatError::Truncated);
+    }
+    if &buf[0..4] != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let declared = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(body) != declared {
+        return Err(FormatError::Corrupt);
+    }
+    let mut r = Reader { buf: body, pos: 4 };
+    let count = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| FormatError::BadName)?
+            .to_string();
+        let rank = r.u32()? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        let mut numel: u64 = 1;
+        for _ in 0..rank {
+            let d = r.u64()?;
+            numel = numel.saturating_mul(d.max(1));
+            dims.push(d as usize);
+        }
+        if numel * 4 > MAX_TENSOR_BYTES {
+            return Err(FormatError::Oversized);
+        }
+        let numel = dims.iter().product::<usize>();
+        let raw = r.take(numel * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        entries.push((name, Tensor::from_vec(dims, data)));
+    }
+    if r.pos != body.len() {
+        return Err(FormatError::Corrupt);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swt_tensor::Rng;
+
+    fn sample_entries() -> Vec<(String, Tensor)> {
+        let mut rng = Rng::seed(1);
+        vec![
+            ("n1_conv2d/kernel".into(), Tensor::rand_normal([3, 3, 1, 4], 0.0, 1.0, &mut rng)),
+            ("n1_conv2d/bias".into(), Tensor::zeros([4])),
+            ("n5_dense/kernel".into(), Tensor::rand_normal([36, 10], 0.0, 1.0, &mut rng)),
+            ("scalarish".into(), Tensor::from_vec([1], vec![42.0])),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let entries = sample_entries();
+        let decoded = decode(&encode(&entries)).unwrap();
+        assert_eq!(decoded.len(), entries.len());
+        for ((n1, t1), (n2, t2)) in entries.iter().zip(&decoded) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.shape(), t2.shape());
+            assert!(t1.approx_eq(t2, 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let decoded = decode(&encode(&[])).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = encode(&sample_entries());
+        buf[0] = b'X';
+        assert_eq!(decode(&buf).unwrap_err(), FormatError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let buf = encode(&sample_entries());
+        // Any prefix must fail (checksum or truncation, never panic).
+        for cut in [0, 3, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(decode(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let mut buf = encode(&sample_entries());
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        assert_eq!(decode(&buf).unwrap_err(), FormatError::Corrupt);
+    }
+
+    #[test]
+    fn size_matches_f32_payload_plus_small_overhead() {
+        // Fig. 11 reads checkpoint sizes; they must track parameter bytes.
+        let entries = sample_entries();
+        let payload: usize = entries.iter().map(|(_, t)| t.numel() * 4).sum();
+        let buf = encode(&entries);
+        assert!(buf.len() > payload);
+        assert!(buf.len() < payload + 256, "overhead too large: {}", buf.len() - payload);
+    }
+}

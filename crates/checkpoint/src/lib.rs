@@ -1,0 +1,20 @@
+//! Model checkpoints: a self-describing binary container of named tensors,
+//! plus storage backends.
+//!
+//! The paper checkpoints every scored candidate in HDF5 on a parallel file
+//! system (Section VI); providers for weight transfer are read back from
+//! those checkpoints. This crate supplies the equivalent: [`encode`] /
+//! [`decode`] for a named-tensor container (the "WTC" format), a
+//! directory-backed [`DirStore`] standing in for the PFS, and an in-memory
+//! [`MemStore`] for tests and simulation. Checkpoint sizes reported by the
+//! stores feed Fig. 11.
+
+pub mod async_store;
+pub mod compress;
+pub mod format;
+pub mod store;
+
+pub use async_store::AsyncStore;
+pub use compress::QuantizedStore;
+pub use format::{decode, encode, FormatError};
+pub use store::{prune_except, CheckpointStore, DirStore, MemStore};

@@ -1,0 +1,289 @@
+//! Checkpoint storage backends.
+
+use crate::format::{decode, encode, FormatError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use swt_tensor::Tensor;
+
+/// A place to persist candidate checkpoints, keyed by candidate id.
+///
+/// The paper's evaluators write each scored candidate to a parallel file
+/// system and later read parents back for weight transfer (Fig. 6 steps
+/// ③/⑤); this trait is that interface.
+pub trait CheckpointStore: Send + Sync {
+    /// Persist a checkpoint; returns the serialized size in bytes (Fig. 11's
+    /// measured quantity).
+    fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64>;
+
+    /// Load a checkpoint by id.
+    fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>>;
+
+    /// True iff a checkpoint with this id exists.
+    fn exists(&self, id: &str) -> bool;
+
+    /// Size in bytes of a stored checkpoint, if present.
+    fn size_bytes(&self, id: &str) -> Option<u64>;
+
+    /// Ids of all stored checkpoints (unordered).
+    fn list(&self) -> Vec<String>;
+
+    /// Delete a checkpoint if present; returns whether it existed. NAS runs
+    /// checkpoint every candidate (Section VI), so long searches need
+    /// retention management.
+    fn delete(&self, id: &str) -> bool;
+}
+
+/// Retention helper: delete every checkpoint not in `keep`. Returns the
+/// number deleted. Typical use: after the top-K are selected, prune the
+/// thousands of non-elite candidate checkpoints.
+pub fn prune_except(store: &dyn CheckpointStore, keep: &[String]) -> usize {
+    let keep: std::collections::HashSet<&str> = keep.iter().map(String::as_str).collect();
+    store
+        .list()
+        .into_iter()
+        .filter(|id| !keep.contains(id.as_str()))
+        .filter(|id| store.delete(id))
+        .count()
+}
+
+fn format_err(e: FormatError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Directory-backed store: one `<id>.wtc` file per candidate. Stands in for
+/// the paper's HDF5-on-PFS checkpoints.
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirStore { root })
+    }
+
+    fn path(&self, id: &str) -> PathBuf {
+        assert!(
+            !id.is_empty() && id.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c)),
+            "checkpoint id {id:?} must be a simple token"
+        );
+        self.root.join(format!("{id}.wtc"))
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
+        let dst = self.path(id); // validates the id up front
+        let buf = encode(entries);
+        // Write-then-rename so concurrent readers never observe a torn file.
+        let tmp = self.root.join(format!(".{id}.tmp"));
+        std::fs::write(&tmp, &buf)?;
+        std::fs::rename(&tmp, dst)?;
+        Ok(buf.len() as u64)
+    }
+
+    fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
+        let buf = std::fs::read(self.path(id))?;
+        decode(&buf).map_err(format_err)
+    }
+
+    fn exists(&self, id: &str) -> bool {
+        self.path(id).exists()
+    }
+
+    fn size_bytes(&self, id: &str) -> Option<u64> {
+        std::fs::metadata(self.path(id)).ok().map(|m| m.len())
+    }
+
+    fn list(&self) -> Vec<String> {
+        let Ok(dir) = std::fs::read_dir(&self.root) else { return Vec::new() };
+        dir.filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".wtc").map(str::to_string)
+        })
+        .collect()
+    }
+
+    fn delete(&self, id: &str) -> bool {
+        std::fs::remove_file(self.path(id)).is_ok()
+    }
+}
+
+/// In-memory store for tests, pair experiments and the cluster simulator.
+#[derive(Default)]
+pub struct MemStore {
+    map: RwLock<HashMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes across all checkpoints.
+    pub fn total_bytes(&self) -> u64 {
+        self.map.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
+        let buf = encode(entries);
+        let len = buf.len() as u64;
+        self.map.write().insert(id.to_string(), buf);
+        Ok(len)
+    }
+
+    fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
+        let guard = self.map.read();
+        let buf = guard
+            .get(id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no checkpoint {id}")))?;
+        decode(buf).map_err(format_err)
+    }
+
+    fn exists(&self, id: &str) -> bool {
+        self.map.read().contains_key(id)
+    }
+
+    fn size_bytes(&self, id: &str) -> Option<u64> {
+        self.map.read().get(id).map(|v| v.len() as u64)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.map.read().keys().cloned().collect()
+    }
+
+    fn delete(&self, id: &str) -> bool {
+        self.map.write().remove(id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swt_tensor::Rng;
+
+    fn entries(seed: u64) -> Vec<(String, Tensor)> {
+        let mut rng = Rng::seed(seed);
+        vec![
+            ("a/kernel".into(), Tensor::rand_normal([4, 4], 0.0, 1.0, &mut rng)),
+            ("a/bias".into(), Tensor::zeros([4])),
+        ]
+    }
+
+    fn exercise(store: &dyn CheckpointStore) {
+        assert!(!store.exists("c0"));
+        assert!(store.load("c0").is_err());
+        let size = store.save("c0", &entries(1)).unwrap();
+        assert!(size > 0);
+        assert!(store.exists("c0"));
+        assert_eq!(store.size_bytes("c0"), Some(size));
+        let loaded = store.load("c0").unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "a/kernel");
+        // Overwrite wins.
+        store.save("c0", &entries(2)).unwrap();
+        let again = store.load("c0").unwrap();
+        assert!(!again[0].1.approx_eq(&loaded[0].1, 0.0));
+        store.save("c1", &entries(3)).unwrap();
+        let mut ids = store.list();
+        ids.sort();
+        assert_eq!(ids, vec!["c0", "c1"]);
+    }
+
+    #[test]
+    fn mem_store_behaviour() {
+        let store = MemStore::new();
+        exercise(&store);
+        assert!(store.total_bytes() > 0);
+    }
+
+    #[test]
+    fn dir_store_behaviour() {
+        let dir = std::env::temp_dir().join(format!("swt_ckpt_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DirStore::new(&dir).unwrap();
+        exercise(&store);
+        // Files actually land on disk with the expected suffix.
+        assert!(dir.join("c0.wtc").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("swt_ckpt_reopen_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = DirStore::new(&dir).unwrap();
+            store.save("persist", &entries(7)).unwrap();
+        }
+        let store = DirStore::new(&dir).unwrap();
+        assert!(store.exists("persist"));
+        assert_eq!(store.load("persist").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "simple token")]
+    fn dir_store_rejects_path_traversal() {
+        let dir = std::env::temp_dir().join(format!("swt_ckpt_evil_{}", std::process::id()));
+        let store = DirStore::new(&dir).unwrap();
+        let _ = store.save("../evil", &entries(1));
+    }
+
+    #[test]
+    fn delete_and_prune() {
+        let store = MemStore::new();
+        for i in 0..6 {
+            store.save(&format!("c{i}"), &entries(i)).unwrap();
+        }
+        assert!(store.delete("c0"));
+        assert!(!store.delete("c0"), "double delete reports absence");
+        assert!(!store.exists("c0"));
+        let kept = vec!["c2".to_string(), "c4".to_string()];
+        let pruned = prune_except(&store, &kept);
+        assert_eq!(pruned, 3); // c1, c3, c5
+        let mut left = store.list();
+        left.sort();
+        assert_eq!(left, kept);
+    }
+
+    #[test]
+    fn dir_store_delete() {
+        let dir = std::env::temp_dir().join(format!("swt_ckpt_del_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DirStore::new(&dir).unwrap();
+        store.save("x", &entries(1)).unwrap();
+        assert!(store.delete("x"));
+        assert!(!dir.join("x.wtc").exists());
+        assert!(!store.delete("x"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_store_is_threadsafe() {
+        use std::sync::Arc;
+        let store = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let id = format!("t{t}_{i}");
+                    store.save(&id, &entries(t * 100 + i)).unwrap();
+                    assert!(store.exists(&id));
+                    store.load(&id).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.list().len(), 160);
+    }
+}

@@ -1,0 +1,32 @@
+//! Selective weight transfer for NAS — the paper's primary contribution.
+//!
+//! New candidate models are initialised from the weights of a previously
+//! evaluated *provider* model instead of from random weights. Which tensors
+//! move is decided by matching the two models' **shape sequences** — the
+//! ordered list of trainable-parameter tensor shapes (Fig. 3) — with one of
+//! two string-matching heuristics (Section IV):
+//!
+//! * [`Matcher::Lp`] — **longest prefix**: transfer the maximal run of
+//!   leading tensors with identical shapes. `O(min(n, m))`. Conservative:
+//!   early layers learn coarse, shareable features.
+//! * [`Matcher::Lcs`] — **longest common subsequence** via Wagner–Fischer
+//!   dynamic programming, `O(nm)`. Handles layer insertions/deletions, so it
+//!   always transfers at least as many tensors as LP.
+//!
+//! Provider selection (Section V) uses the architecture-sequence distance
+//! `d`: transfer from a provider with small `d` is likely beneficial;
+//! integrated with regularized evolution the mutation parent (`d = 1`) is
+//! always the provider. [`select_nearest`] implements the general
+//! nearest-provider scan for other strategies.
+
+pub mod matcher;
+pub mod plan;
+pub mod select;
+pub mod shape_seq;
+pub mod transfer;
+
+pub use matcher::{lcs_match, lp_match, Matcher, TransferScheme};
+pub use plan::TransferPlan;
+pub use select::{select_nearest, PoolEntry};
+pub use shape_seq::{ShapeEntry, ShapeSeq};
+pub use transfer::{apply_transfer, TransferStats};

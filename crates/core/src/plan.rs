@@ -1,0 +1,169 @@
+//! Transfer plans: the resolved mapping of provider tensors onto receiver
+//! tensors.
+
+use crate::matcher::Matcher;
+use crate::shape_seq::ShapeSeq;
+
+/// A resolved weight-transfer plan between one provider and one receiver.
+///
+/// Matching happens at layer granularity on the primary weight shapes
+/// (Fig. 3); each matched layer contributes every same-named,
+/// same-shaped tensor pair (kernel + bias, or gamma + beta).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferPlan {
+    /// Matched layers as `(provider_layer, receiver_layer)`.
+    layers: Vec<(String, String)>,
+    /// `(provider_tensor, receiver_tensor)` for every transferred tensor.
+    pairs: Vec<(String, String)>,
+    /// Total bytes the plan moves.
+    bytes: usize,
+    /// Receiver sequence length (for coverage statistics).
+    receiver_len: usize,
+}
+
+impl TransferPlan {
+    /// Match `provider` against `receiver` with the given heuristic.
+    pub fn build(matcher: Matcher, provider: &ShapeSeq, receiver: &ShapeSeq) -> TransferPlan {
+        let idx_pairs = matcher.match_shapes(&provider.shapes(), &receiver.shapes());
+        let mut layers = Vec::with_capacity(idx_pairs.len());
+        let mut pairs = Vec::new();
+        let mut bytes = 0;
+        for (pi, ri) in idx_pairs {
+            let p = provider.entry(pi);
+            let r = receiver.entry(ri);
+            debug_assert_eq!(p.primary, r.primary);
+            layers.push((p.layer.clone(), r.layer.clone()));
+            for (local, full, shape) in &p.tensors {
+                // Pair with the receiver tensor of the same local name; its
+                // shape is determined by the (equal) primary shape, but we
+                // re-check to stay safe against layer-kind collisions.
+                if let Some((_, r_full, r_shape)) =
+                    r.tensors.iter().find(|(l, _, _)| l == local)
+                {
+                    if shape == r_shape {
+                        bytes += shape.size_bytes();
+                        pairs.push((full.clone(), r_full.clone()));
+                    }
+                }
+            }
+        }
+        TransferPlan { layers, pairs, bytes, receiver_len: receiver.len() }
+    }
+
+    /// The matched `(provider_layer, receiver_layer)` pairs.
+    pub fn layers(&self) -> &[(String, String)] {
+        &self.layers
+    }
+
+    /// The matched `(provider_name, receiver_name)` tensor pairs.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// Number of tensors transferred.
+    pub fn tensors(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of layers matched.
+    pub fn matched_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Bytes moved by the plan.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// True iff nothing matches — the pair is *not transferable*
+    /// (Section IV-B's predicate).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Fraction of receiver layers that receive transferred weights.
+    pub fn coverage(&self) -> f64 {
+        if self.receiver_len == 0 {
+            0.0
+        } else {
+            self.layers.len() as f64 / self.receiver_len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swt_tensor::Shape;
+
+    /// A sequence of dense-ish layers: `(layer, kernel_dims)` with a bias of
+    /// the kernel's last dim.
+    fn seq(layers: &[(&str, &[usize])]) -> ShapeSeq {
+        let mut params = Vec::new();
+        for (name, dims) in layers {
+            params.push((format!("{name}/kernel"), Shape::new(dims.to_vec())));
+            params.push((format!("{name}/bias"), Shape::new([dims[dims.len() - 1]])));
+        }
+        ShapeSeq::from_params(params)
+    }
+
+    #[test]
+    fn plan_records_layers_tensors_and_bytes() {
+        let provider = seq(&[("a", &[4, 8]), ("b", &[8, 2])]);
+        let receiver = seq(&[("x", &[4, 8]), ("y", &[9, 2])]);
+        let plan = TransferPlan::build(Matcher::Lp, &provider, &receiver);
+        assert_eq!(plan.matched_layers(), 1);
+        assert_eq!(plan.tensors(), 2); // kernel + bias
+        assert_eq!(plan.pairs()[0], ("a/kernel".to_string(), "x/kernel".to_string()));
+        assert_eq!(plan.pairs()[1], ("a/bias".to_string(), "x/bias".to_string()));
+        assert_eq!(plan.bytes(), (4 * 8 + 8) * 4);
+        assert!((plan.coverage() - 0.5).abs() < 1e-12);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn lcs_plan_reaches_past_mismatch() {
+        let provider = seq(&[("p0", &[3, 3]), ("p1", &[5, 5])]);
+        let receiver = seq(&[("r0", &[3, 3]), ("rX", &[4, 4]), ("r1", &[5, 5])]);
+        let lp = TransferPlan::build(Matcher::Lp, &provider, &receiver);
+        let lcs = TransferPlan::build(Matcher::Lcs, &provider, &receiver);
+        assert_eq!(lp.matched_layers(), 1);
+        assert_eq!(lcs.matched_layers(), 2);
+        assert!(lcs.pairs().contains(&("p1/kernel".to_string(), "r1/kernel".to_string())));
+    }
+
+    #[test]
+    fn bias_only_collisions_do_not_transfer() {
+        // Same widths (hence same bias shapes) but different kernels: no
+        // layer match, no transfer.
+        let provider = seq(&[("p", &[2, 8])]);
+        let receiver = seq(&[("r", &[3, 8])]);
+        let plan = TransferPlan::build(Matcher::Lcs, &provider, &receiver);
+        assert!(plan.is_empty());
+        assert_eq!(plan.bytes(), 0);
+        assert_eq!(plan.coverage(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_local_names_are_skipped() {
+        // Same primary shape but one side lacks a bias: only the kernel
+        // moves.
+        let provider = ShapeSeq::from_params(vec![(
+            "p/kernel".to_string(),
+            Shape::new([4, 4]),
+        )]);
+        let receiver = seq(&[("r", &[4, 4])]);
+        let plan = TransferPlan::build(Matcher::Lcs, &provider, &receiver);
+        assert_eq!(plan.matched_layers(), 1);
+        assert_eq!(plan.tensors(), 1);
+    }
+
+    #[test]
+    fn empty_receiver_coverage_zero() {
+        let provider = seq(&[("p", &[2, 2])]);
+        let receiver = ShapeSeq::from_params(vec![]);
+        let plan = TransferPlan::build(Matcher::Lcs, &provider, &receiver);
+        assert_eq!(plan.coverage(), 0.0);
+        assert!(plan.is_empty());
+    }
+}

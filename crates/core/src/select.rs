@@ -1,0 +1,81 @@
+//! Provider selection (Section V).
+//!
+//! With regularized evolution the provider is simply the mutation parent
+//! (`d = 1` by construction, Algorithm 1) — no search needed. For other
+//! strategies, [`select_nearest`] scans a candidate pool for the provider
+//! with the smallest architecture distance `d`, breaking ties towards the
+//! higher-scored provider.
+
+use swt_space::{distance, ArchSeq};
+
+/// One entry of the provider pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry<Id> {
+    pub id: Id,
+    pub arch: ArchSeq,
+    pub score: f64,
+}
+
+/// Pick the pool entry with minimal distance to `receiver` (ties: best
+/// score, then first). Returns `None` for an empty pool. `O(|pool| · k)`
+/// where `k` is the sequence length — the scan the paper avoids by
+/// integrating with evolution, provided for completeness and used by the
+/// ablation benches.
+pub fn select_nearest<'a, Id>(
+    receiver: &ArchSeq,
+    pool: &'a [PoolEntry<Id>],
+) -> Option<&'a PoolEntry<Id>> {
+    pool.iter().min_by(|a, b| {
+        let da = distance(receiver, &a.arch);
+        let db = distance(receiver, &b.arch);
+        da.cmp(&db).then(
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, arch: Vec<u16>, score: f64) -> PoolEntry<u32> {
+        PoolEntry { id, arch: ArchSeq::new(arch), score }
+    }
+
+    #[test]
+    fn picks_minimum_distance() {
+        let receiver = ArchSeq::new(vec![1, 1, 1, 1]);
+        let pool = vec![
+            entry(0, vec![0, 0, 0, 0], 0.9), // d = 4
+            entry(1, vec![1, 1, 0, 0], 0.2), // d = 2
+            entry(2, vec![1, 1, 1, 0], 0.1), // d = 1  <- winner
+        ];
+        assert_eq!(select_nearest(&receiver, &pool).unwrap().id, 2);
+    }
+
+    #[test]
+    fn ties_break_by_score() {
+        let receiver = ArchSeq::new(vec![1, 1]);
+        let pool = vec![
+            entry(0, vec![1, 0], 0.3), // d = 1
+            entry(1, vec![0, 1], 0.8), // d = 1, better score
+        ];
+        assert_eq!(select_nearest(&receiver, &pool).unwrap().id, 1);
+    }
+
+    #[test]
+    fn exact_match_wins_outright() {
+        let receiver = ArchSeq::new(vec![2, 3]);
+        let pool = vec![
+            entry(0, vec![2, 2], 1.0),
+            entry(1, vec![2, 3], 0.0), // d = 0
+        ];
+        assert_eq!(select_nearest(&receiver, &pool).unwrap().id, 1);
+    }
+
+    #[test]
+    fn empty_pool_is_none() {
+        let receiver = ArchSeq::new(vec![0]);
+        assert!(select_nearest::<u32>(&receiver, &[]).is_none());
+    }
+}

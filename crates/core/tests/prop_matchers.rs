@@ -1,0 +1,92 @@
+//! Property-based tests for the LP/LCS matchers — the invariants the paper
+//! states in Section IV hold for *all* shape sequences, not just the ones we
+//! hand-pick.
+
+use proptest::prelude::*;
+use swt_core::{lcs_match, lp_match};
+use swt_tensor::Shape;
+
+/// Shape sequences over a small alphabet so collisions are common (like real
+/// search spaces, where many layers share shapes).
+fn shape_vec() -> impl Strategy<Value = Vec<Shape>> {
+    prop::collection::vec(0usize..4, 0..12)
+        .prop_map(|v| v.into_iter().map(|d| Shape::new([d + 1])).collect())
+}
+
+fn refs(v: &[Shape]) -> Vec<&Shape> {
+    v.iter().collect()
+}
+
+/// Exponential reference LCS length (inputs are capped at 12 elements).
+fn brute_lcs_len(a: &[&Shape], b: &[&Shape]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        0
+    } else if a[0] == b[0] {
+        1 + brute_lcs_len(&a[1..], &b[1..])
+    } else {
+        brute_lcs_len(&a[1..], b).max(brute_lcs_len(a, &b[1..]))
+    }
+}
+
+proptest! {
+    #[test]
+    fn lcs_length_is_optimal(a in shape_vec(), b in shape_vec()) {
+        let fast = lcs_match(&refs(&a), &refs(&b));
+        prop_assert_eq!(fast.len(), brute_lcs_len(&refs(&a), &refs(&b)));
+    }
+
+    #[test]
+    fn lcs_is_a_valid_common_subsequence(a in shape_vec(), b in shape_vec()) {
+        let pairs = lcs_match(&refs(&a), &refs(&b));
+        // Strictly increasing in both coordinates, all matches equal.
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        for &(i, j) in &pairs {
+            prop_assert!(i < a.len() && j < b.len());
+            prop_assert_eq!(&a[i], &b[j]);
+        }
+    }
+
+    #[test]
+    fn lp_is_prefix_of_both(a in shape_vec(), b in shape_vec()) {
+        let pairs = lp_match(&refs(&a), &refs(&b));
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            prop_assert_eq!(i, k);
+            prop_assert_eq!(j, k);
+            prop_assert_eq!(&a[k], &b[k]);
+        }
+        // Maximality: the element right after the prefix differs (or one
+        // sequence ended).
+        let k = pairs.len();
+        if k < a.len() && k < b.len() {
+            prop_assert_ne!(&a[k], &b[k]);
+        }
+    }
+
+    #[test]
+    fn lcs_never_transfers_less_than_lp(a in shape_vec(), b in shape_vec()) {
+        // Section IV-A: "LCS will always transfer at least as many tensors
+        // as LP."
+        prop_assert!(lcs_match(&refs(&a), &refs(&b)).len() >= lp_match(&refs(&a), &refs(&b)).len());
+    }
+
+    #[test]
+    fn lcs_is_symmetric_in_length(a in shape_vec(), b in shape_vec()) {
+        let ab = lcs_match(&refs(&a), &refs(&b)).len();
+        let ba = lcs_match(&refs(&b), &refs(&a)).len();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn self_match_is_total(a in shape_vec()) {
+        prop_assert_eq!(lp_match(&refs(&a), &refs(&a)).len(), a.len());
+        prop_assert_eq!(lcs_match(&refs(&a), &refs(&a)).len(), a.len());
+    }
+
+    #[test]
+    fn lcs_bounded_by_shorter_sequence(a in shape_vec(), b in shape_vec()) {
+        prop_assert!(lcs_match(&refs(&a), &refs(&b)).len() <= a.len().min(b.len()));
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic dataset generators standing in for the paper's applications.
+//!
+//! The paper evaluates on CIFAR-10, MNIST, NT3 (RNA-seq tumor classification,
+//! ECP CANDLE) and Uno (multi-source drug-response regression, ECP CANDLE).
+//! None of those datasets is available here, and CPU training budgets rule
+//! out their full dimensions, so each is replaced by a *seeded synthetic
+//! generator with the same problem shape* (see DESIGN.md §1):
+//!
+//! | App | Paper | Here |
+//! |---|---|---|
+//! | CIFAR-10 | 50k+10k 32×32×3, 10 classes, CE/accuracy | 12×12×3 images, 10 classes |
+//! | MNIST | 60k+10k 28×28×1, 10 classes, CE/accuracy | 10×10×1 images, 10 classes |
+//! | NT3 | 1,120+280 × 60,483, 2 classes, CE/accuracy | few samples × 512-wide 1-D sequences (keeps n ≪ d) |
+//! | Uno | 9,588+2,397 across 4 sources, MAE/R² | 4 sources of widths 1/96/160/64, shared latent factors |
+//!
+//! Class structure comes from smooth random prototypes plus Gaussian noise,
+//! so convolutional/dense candidates genuinely differ in attainable
+//! validation scores — the property all of the paper's experiments measure.
+
+pub mod apps;
+pub mod synthetic;
+
+pub use apps::{AppKind, AppProblem, DataScale};
+pub use synthetic::{image_classification, multi_source_regression, sequence_classification};

@@ -1,0 +1,80 @@
+//! Ablation: how much of the benefit comes from *which provider* is chosen?
+//!
+//! The paper's design (Section V) integrates transfer with evolution so the
+//! mutation parent (d = 1) is always the provider. This ablation holds the
+//! search strategy fixed (regularized evolution, LCS matching) and varies
+//! only the provider policy:
+//!
+//! * `parent`  — the paper's Algorithm 1;
+//! * `nearest` — explicit minimum-distance scan over the population;
+//! * `random`  — a random population member (Figs. 4/5's strawman);
+//! * `none`    — evolution without any transfer (the baseline's init with
+//!   the same candidate stream).
+//!
+//! Reported: mean estimate over the final third of each run (as in Fig. 7)
+//! and the transfer volume. Expectation: parent ≈ nearest > random > none.
+
+use std::sync::Arc;
+use swt_checkpoint::{CheckpointStore, MemStore};
+use swt_core::TransferScheme;
+use swt_experiments::{print_table, write_csv, ExpCtx};
+use swt_nas::{run_nas, NasConfig, ProviderPolicy, StrategyKind};
+use swt_space::SearchSpace;
+use swt_stats::Summary;
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let policies = [
+        ("parent", ProviderPolicy::Parent),
+        ("nearest", ProviderPolicy::Nearest),
+        ("random", ProviderPolicy::Random),
+        ("none", ProviderPolicy::None),
+    ];
+    let mut rows = Vec::new();
+    for &app in &ctx.apps {
+        let problem = ctx.problem(app);
+        let space = Arc::new(SearchSpace::for_app(app));
+        for (name, policy) in policies {
+            let mut tails = Vec::new();
+            let mut transferred = 0usize;
+            let mut total = 0usize;
+            for &seed in &ctx.seeds {
+                let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+                let cfg = NasConfig {
+                    provider: policy,
+                    strategy: StrategyKind::Evolution,
+                    population_size: ctx.population,
+                    sample_size: ctx.sample,
+                    ..NasConfig::quick(TransferScheme::Lcs, ctx.candidates, ctx.workers, seed)
+                };
+                let trace =
+                    run_nas(Arc::clone(&problem), Arc::clone(&space), store, &cfg);
+                let events = trace.by_completion();
+                let tail = &events[events.len() * 2 / 3..];
+                tails.extend(tail.iter().map(|e| e.score));
+                transferred += trace.events.iter().filter(|e| e.transfer_tensors > 0).count();
+                total += trace.events.len();
+            }
+            let s = Summary::of(&tails);
+            rows.push(vec![
+                app.name().to_string(),
+                name.to_string(),
+                format!("{:.4}", s.mean),
+                format!("{:.4}", s.ci95),
+                format!("{:.1}%", 100.0 * transferred as f64 / total as f64),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation — provider-selection policy (evolution + LCS held fixed)",
+        &["App", "Provider", "Tail mean score", "CI95", "Candidates transferred"],
+        &rows,
+    );
+    write_csv(
+        &ctx.out.join("ablation_provider.csv"),
+        &["app", "provider", "tail_mean", "ci95", "transferred_pct"],
+        &rows,
+    );
+    println!("\nDesign-choice check: parent/nearest should dominate random, random >= none on");
+    println!("transfer-friendly apps; parent achieves this with zero selection cost (Section V-B).");
+}

@@ -1,0 +1,92 @@
+//! Extension experiment: asynchronous checkpointing (the paper's stated
+//! future work, Section X).
+//!
+//! Two views of what write-behind checkpointing buys:
+//!
+//! 1. A *real* NAS run with the synchronous `DirStore` vs the same run with
+//!    `AsyncStore` wrapping it (checkpoint writes leave the evaluator's
+//!    critical path).
+//! 2. The Fig. 10 simulation of the NT3 profile with write costs removed —
+//!    the upper bound async checkpointing could recover at cluster scale.
+
+use std::sync::Arc;
+use swt_checkpoint::{AsyncStore, CheckpointStore, DirStore};
+use swt_cluster::{simulate, ClusterConfig, TaskCost};
+use swt_core::TransferScheme;
+use swt_data::AppKind;
+use swt_experiments::{print_table, write_csv, ExpCtx};
+use swt_nas::{run_nas, NasConfig, StrategyKind};
+use swt_space::SearchSpace;
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let app = AppKind::Nt3; // the paper's overhead-critical application
+    let problem = ctx.problem(app);
+    let space = Arc::new(SearchSpace::for_app(app));
+
+    // Real runs: sync vs async store, same seed and budget.
+    let mut rows = Vec::new();
+    for (label, wrap_async) in [("sync DirStore", false), ("AsyncStore", true)] {
+        let dir = ctx.out.join("ckpts").join(format!(
+            "ext_async_{}",
+            if wrap_async { "async" } else { "sync" }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base: Arc<dyn CheckpointStore> = Arc::new(DirStore::new(&dir).expect("store dir"));
+        let store: Arc<dyn CheckpointStore> =
+            if wrap_async { Arc::new(AsyncStore::new(base)) } else { base };
+        let cfg = NasConfig {
+            strategy: StrategyKind::Evolution,
+            population_size: ctx.population,
+            sample_size: ctx.sample,
+            ..NasConfig::quick(TransferScheme::Lcs, ctx.candidates, ctx.workers, 1)
+        };
+        let trace = run_nas(Arc::clone(&problem), Arc::clone(&space), store, &cfg);
+        let save_secs: f64 = trace.events.iter().map(|e| e.save_secs).sum();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}s", trace.wall_secs),
+            format!("{:.3}s", save_secs),
+            format!("{:.4}s", save_secs / trace.events.len() as f64),
+        ]);
+    }
+    print_table(
+        &format!("Async checkpointing — real {} run ({} candidates)", app.name(), ctx.candidates),
+        &["Store", "Wall time", "Total save time on critical path", "Per candidate"],
+        &rows,
+    );
+
+    // Simulated upper bound at cluster scale (NT3 profile from Fig. 10).
+    let mk_tasks = |writes: bool| -> Vec<TaskCost> {
+        (0..400)
+            .map(|i| TaskCost {
+                train_secs: 6.0,
+                read_bytes: if i > 50 { 46_000_000 } else { 0 },
+                transfer_secs: if i > 50 { 4.0 } else { 0.0 }, // object-store rehydration
+                write_bytes: if writes { 46_000_000 } else { 0 },
+            })
+            .collect()
+    };
+    let mut sim_rows = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        let cfg = ClusterConfig::node_type_a(nodes);
+        let with_writes = simulate(&cfg, &mk_tasks(true)).makespan;
+        let without = simulate(&cfg, &mk_tasks(false)).makespan;
+        sim_rows.push(vec![
+            (nodes * 8).to_string(),
+            format!("{:.0}s", with_writes),
+            format!("{:.0}s", without),
+            format!("{:.1}%", 100.0 * (1.0 - without / with_writes)),
+        ]);
+    }
+    print_table(
+        "Simulated NT3 profile at scale: sync writes vs write-behind (upper bound)",
+        &["GPUs", "Sync writes", "Async (writes off critical path)", "Saved"],
+        &sim_rows,
+    );
+    write_csv(
+        &ctx.out.join("ext_async.csv"),
+        &["gpus", "sync_makespan", "async_makespan", "saved_pct"],
+        &sim_rows,
+    );
+}

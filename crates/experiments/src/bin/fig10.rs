@@ -1,0 +1,108 @@
+//! Fig. 10: scalability of the candidate-estimation phase on 8/16/32 GPUs.
+//!
+//! Per-task cost *distributions* are taken from this repository's measured
+//! traces (train seconds, checkpoint bytes, transfer seconds), rescaled to
+//! paper-magnitude means (`calibrate` module) and executed on the
+//! discrete-event cluster simulator (DESIGN.md §1). For NT3 the paper
+//! reports ~4 s average checkpoint loads caused by Ray object-store churn
+//! against ~6 s trainings; we model that rehydration cost explicitly,
+//! calibrated from the paper's own measurement.
+//!
+//! Expected shape: near-linear scaling with a small constant overhead for
+//! CIFAR-10/MNIST/Uno; NT3 sublinear from 16 to 32 GPUs with visible
+//! checkpointing overhead for the transfer schemes.
+
+use swt_cluster::{simulate, ClusterConfig, TaskCost};
+use swt_core::TransferScheme;
+use swt_data::AppKind;
+use swt_experiments::{calibrate, print_table, write_csv, ExpCtx};
+use swt_nas::StrategyKind;
+
+/// Ray object-store rehydration rate for short-lived evaluators, calibrated
+/// so a paper-sized NT3 checkpoint (~40 MB) costs ~4 s (Section VIII-E).
+const NT3_REHYDRATE_BYTES_PER_SEC: f64 = 10.0e6;
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &app in &ctx.apps {
+        for scheme in TransferScheme::all() {
+            // Measured per-candidate cost distributions from a real run.
+            let (trace, _store) =
+                ctx.run_or_load(app, scheme, StrategyKind::Evolution, ctx.seeds[0]);
+            let mean = |xs: &mut dyn Iterator<Item = f64>| -> f64 {
+                let v: Vec<f64> = xs.collect();
+                v.iter().sum::<f64>() / v.len().max(1) as f64
+            };
+            let train_scale = calibrate::scale_factor(
+                mean(&mut trace.events.iter().map(|e| e.train_secs)),
+                calibrate::paper_train_secs(app),
+            );
+            let bytes_scale = calibrate::scale_factor(
+                mean(&mut trace.events.iter().map(|e| e.checkpoint_bytes as f64)),
+                calibrate::paper_checkpoint_bytes(app),
+            );
+            // The paper estimates 400 candidates per run; bootstrap-resample
+            // the measured distribution up to that count so scaling is not
+            // distorted by wave quantisation at 32 GPUs.
+            let mut rng = swt_tensor::Rng::seed(0x00F1_6010);
+            let events: Vec<&swt_nas::TraceEvent> = (0..400)
+                .map(|_| &trace.events[rng.below(trace.events.len())])
+                .collect();
+            let tasks: Vec<TaskCost> = events
+                .iter()
+                .map(|e| {
+                    let ckpt_bytes = (e.checkpoint_bytes as f64 * bytes_scale) as u64;
+                    let read_bytes = if e.transfer_tensors > 0 { ckpt_bytes } else { 0 };
+                    // Matching/copy cost: the paper measures "at most 150 ms";
+                    // keep our measured value, floor-scaled to that order.
+                    let mut transfer_secs = e.transfer_secs.max(if read_bytes > 0 { 0.05 } else { 0.0 });
+                    if app == AppKind::Nt3 && read_bytes > 0 {
+                        transfer_secs += read_bytes as f64 / NT3_REHYDRATE_BYTES_PER_SEC;
+                    }
+                    TaskCost {
+                        train_secs: e.train_secs * train_scale,
+                        read_bytes,
+                        transfer_secs,
+                        write_bytes: ckpt_bytes,
+                    }
+                })
+                .collect();
+            let mut times = Vec::new();
+            for nodes in [1usize, 2, 4] {
+                let report = simulate(&ClusterConfig::node_type_a(nodes), &tasks);
+                times.push(report.makespan);
+                csv_rows.push(vec![
+                    app.name().to_string(),
+                    scheme.name().to_string(),
+                    (nodes * 8).to_string(),
+                    format!("{:.3}", report.makespan),
+                    format!("{:.3}", report.utilization),
+                    format!("{:.3}", report.io_secs),
+                ]);
+            }
+            rows.push(vec![
+                app.name().to_string(),
+                scheme.name().to_string(),
+                format!("{:.0}s", times[0]),
+                format!("{:.0}s", times[1]),
+                format!("{:.0}s", times[2]),
+                format!("{:.2}x", times[0] / times[1]),
+                format!("{:.2}x", times[1] / times[2]),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 10 — simulated candidate-estimation time on 8/16/32 GPUs (calibrated)",
+        &["App", "Scheme", "8 GPUs", "16 GPUs", "32 GPUs", "8->16", "16->32"],
+        &rows,
+    );
+    write_csv(
+        &ctx.out.join("fig10.csv"),
+        &["app", "scheme", "gpus", "makespan_secs", "utilization", "io_secs"],
+        &csv_rows,
+    );
+    println!("\nPaper reference: linear scaling for CIFAR-10/MNIST/Uno with constant overhead;");
+    println!("NT3 sublinear 16->32 with notable checkpointing overhead vs its ~6 s trainings.");
+}

@@ -1,0 +1,56 @@
+//! Fig. 11: average checkpoint sizes of the evaluated applications.
+//!
+//! Paper: NT3's checkpoints are large (~40 MB) relative to its ~6 s training
+//! time, which is the root cause of its scalability overhead. Our scaled
+//! models are smaller but the cross-application *ordering* is the result to
+//! reproduce.
+
+use swt_core::TransferScheme;
+use swt_experiments::{print_table, write_csv, ExpCtx};
+use swt_nas::StrategyKind;
+use swt_stats::Summary;
+
+fn human_bytes(b: f64) -> String {
+    if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let mut rows = Vec::new();
+    for &app in &ctx.apps {
+        let (trace, _store) =
+            ctx.run_or_load(app, TransferScheme::Lcs, StrategyKind::Evolution, ctx.seeds[0]);
+        let sizes: Vec<f64> =
+            trace.events.iter().map(|e| e.checkpoint_bytes as f64).collect();
+        let s = Summary::of(&sizes);
+        let train: Vec<f64> = trace.events.iter().map(|e| e.train_secs).collect();
+        let t = Summary::of(&train);
+        rows.push(vec![
+            app.name().to_string(),
+            human_bytes(s.mean),
+            human_bytes(s.max),
+            human_bytes(s.min),
+            format!("{:.2}s", t.mean),
+            format!("{:.1}", s.mean / 1e3 / t.mean.max(1e-9)),
+            human_bytes(swt_experiments::calibrate::paper_checkpoint_bytes(app)),
+        ]);
+    }
+    print_table(
+        "Fig. 11 — average checkpoint sizes (and size-to-training-time ratio)",
+        &["App", "Mean", "Max", "Min", "Mean train", "KB per train-sec", "Calibrated (paper-scale)"],
+        &rows,
+    );
+    write_csv(
+        &ctx.out.join("fig11.csv"),
+        &["app", "mean", "max", "min", "mean_train_secs", "kb_per_train_sec", "calibrated"],
+        &rows,
+    );
+    println!("\nPaper reference: NT3 ~40 MB checkpoints vs ~6 s training — the worst");
+    println!("size-to-training-time ratio, explaining its Fig. 10 overhead.");
+}

@@ -1,0 +1,55 @@
+//! Fig. 4: scope and effectiveness of LP and LCS for *random* pairs of
+//! provider and receiver models.
+//!
+//! For each sampled pair the receiver is trained one epoch from (a) random
+//! init and (b) LP/LCS-transferred init; a transferable pair is *positive*
+//! when (b) beats (a). Paper: CIFAR-10/Uno ~100% transferable under LCS,
+//! MNIST/NT3 ≥ 42%; random providers are *not* reliably beneficial (CIFAR-10
+//! has more negative than positive pairs).
+
+use std::sync::Arc;
+use swt_core::TransferScheme;
+use swt_experiments::{pct, print_table, write_csv, ExpCtx};
+use swt_nas::{run_pair_experiment, PairSummary, StrategyKind};
+use swt_space::SearchSpace;
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let mut rows = Vec::new();
+    for &app in &ctx.apps {
+        let (trace, store) =
+            ctx.run_or_load(app, TransferScheme::Baseline, StrategyKind::Random, 101);
+        let problem = ctx.problem(app);
+        let space = Arc::new(SearchSpace::for_app(app));
+        eprintln!("[pairs] {}: training {} receiver pairs x3", app.name(), ctx.pairs);
+        let outcomes =
+            run_pair_experiment(&problem, space, store, &trace, ctx.pairs, 404, true);
+        let s = PairSummary::of(&outcomes);
+        for (matcher, transferable, positive, negative) in [
+            ("LCS", s.lcs_transferable, s.lcs_positive, s.lcs_negative),
+            ("LP", s.lp_transferable, s.lp_positive, s.lp_negative),
+        ] {
+            let pos_rate = if transferable > 0.0 { positive / transferable } else { 0.0 };
+            rows.push(vec![
+                app.name().to_string(),
+                matcher.to_string(),
+                pct(transferable),
+                pct(positive),
+                pct(negative),
+                pct(pos_rate),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 4 — scope and effectiveness of LP/LCS on random pairs",
+        &["App", "Matcher", "Transferable", "Positive", "Negative", "Positive|Transferable"],
+        &rows,
+    );
+    write_csv(
+        &ctx.out.join("fig4.csv"),
+        &["app", "matcher", "transferable_pct", "positive_pct", "negative_pct", "positive_rate_pct"],
+        &rows,
+    );
+    println!("\nPaper reference: LCS transferable ~100% (CIFAR-10, Uno), >=42% (MNIST, NT3);");
+    println!("positive|transferable: MNIST ~65%, NT3/Uno 53-57%, CIFAR-10 < 50% (random provider harmful)");
+}

@@ -1,0 +1,68 @@
+//! Fig. 5: effect of the architecture distance `d` between provider and
+//! receiver on transferability and positivity.
+//!
+//! Paper finding: as `d` grows, both the transferable fraction and the
+//! positive fraction shrink; for small `d` (< 3) positive pairs clearly
+//! dominate negative ones — the basis of the provider-selection rule.
+
+use std::sync::Arc;
+use swt_core::TransferScheme;
+use swt_experiments::{pct, print_table, write_csv, ExpCtx};
+use swt_nas::{run_distance_experiment, PairSummary, StrategyKind};
+use swt_space::SearchSpace;
+
+const MAX_D: usize = 6;
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let mut rows = Vec::new();
+    for &app in &ctx.apps {
+        let (trace, store) =
+            ctx.run_or_load(app, TransferScheme::Baseline, StrategyKind::Random, 101);
+        let problem = ctx.problem(app);
+        let space = Arc::new(SearchSpace::for_app(app));
+        let per_d = (ctx.pairs / MAX_D).max(10);
+        eprintln!("[pairs] {}: training {} pairs per distance bin x3", app.name(), per_d);
+        let outcomes =
+            run_distance_experiment(&problem, space, store, &trace, per_d, MAX_D, 505, true);
+        for (d, s) in PairSummary::by_distance(&outcomes, MAX_D) {
+            if s.pairs == 0 {
+                continue;
+            }
+            let label = if d == MAX_D { format!("{d}+") } else { d.to_string() };
+            rows.push(vec![
+                app.name().to_string(),
+                label,
+                s.pairs.to_string(),
+                pct(s.lcs_transferable),
+                pct(s.lcs_positive),
+                pct(s.lcs_negative),
+                pct(s.lp_transferable),
+                pct(s.lp_positive),
+                pct(s.lp_negative),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 5 — transfer outcome vs architecture distance d",
+        &["App", "d", "Pairs", "LCS transf", "LCS +", "LCS -", "LP transf", "LP +", "LP -"],
+        &rows,
+    );
+    write_csv(
+        &ctx.out.join("fig5.csv"),
+        &[
+            "app",
+            "d",
+            "pairs",
+            "lcs_transferable",
+            "lcs_positive",
+            "lcs_negative",
+            "lp_transferable",
+            "lp_positive",
+            "lp_negative",
+        ],
+        &rows,
+    );
+    println!("\nPaper reference: positive fraction dominates negatives for d < 3 and decays with d;");
+    println!("Uno's LCS positive fraction decays only marginally (shared choice sets).");
+}

@@ -1,0 +1,73 @@
+//! Fig. 8: epochs to convergence (early stopping, patience 2, per-app
+//! thresholds) and objective metrics for the top-10 models of every NAS run.
+//!
+//! Paper headline: LCS 1.5×, LP 1.4× geometric-mean speedup in epochs to
+//! convergence versus the baseline, with better or comparable metrics.
+
+use swt_experiments::fulltrain;
+use swt_experiments::{print_table, write_csv, ExpCtx};
+use swt_stats::{geometric_mean, Summary};
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let rows = fulltrain::collect(&ctx);
+
+    let mut fig_rows = Vec::new();
+    let mut speedups_lp = Vec::new();
+    let mut speedups_lcs = Vec::new();
+    for &app in &ctx.apps {
+        let mut mean_epochs = std::collections::HashMap::new();
+        for scheme in ["Baseline", "LCS", "LP"] {
+            let subset: Vec<&fulltrain::ModelRow> = rows
+                .iter()
+                .filter(|r| r.app == app.name() && r.scheme == scheme)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let epochs: Vec<f64> =
+                subset.iter().map(|r| r.epochs_early_stop as f64).collect();
+            let es: Vec<f64> = subset.iter().map(|r| r.metric_early_stop).collect();
+            let full: Vec<f64> = subset.iter().map(|r| r.metric_full).collect();
+            let e = Summary::of(&epochs);
+            mean_epochs.insert(scheme, e.mean);
+            fig_rows.push(vec![
+                app.name().to_string(),
+                scheme.to_string(),
+                format!("{:.2}", e.mean),
+                Summary::of(&es).pm(3),
+                Summary::of(&full).pm(3),
+            ]);
+        }
+        if let (Some(&b), Some(&lp), Some(&lcs)) = (
+            mean_epochs.get("Baseline"),
+            mean_epochs.get("LP"),
+            mean_epochs.get("LCS"),
+        ) {
+            if lp > 0.0 {
+                speedups_lp.push(b / lp);
+            }
+            if lcs > 0.0 {
+                speedups_lcs.push(b / lcs);
+            }
+        }
+    }
+    print_table(
+        "Fig. 8 — epochs to convergence (early stopping) and objective metrics",
+        &["App", "Scheme", "Mean epochs", "Metric (early stop)", "Metric (20 epochs)"],
+        &fig_rows,
+    );
+    if !speedups_lp.is_empty() {
+        println!(
+            "\nGeometric-mean full-training speedup vs baseline:  LP {:.2}x   LCS {:.2}x",
+            geometric_mean(&speedups_lp),
+            geometric_mean(&speedups_lcs)
+        );
+        println!("Paper reference: LP 1.4x, LCS 1.5x");
+    }
+    write_csv(
+        &ctx.out.join("fig8_summary.csv"),
+        &["app", "scheme", "mean_epochs", "metric_early_stop", "metric_full"],
+        &fig_rows,
+    );
+}

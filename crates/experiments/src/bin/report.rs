@@ -1,0 +1,86 @@
+//! Assemble EXPERIMENTS.md from the recorded experiment logs.
+//!
+//! Each experiment binary prints its headline table to stdout (captured in
+//! `results/log_<bin>.log` by `run_recorded.sh`). This tool splices those
+//! tables into EXPERIMENTS.md wherever a
+//! `(to be filled from results/<name>.csv)` placeholder (or a previously
+//! spliced table) sits inside a fenced block, so paper-vs-measured stays in
+//! sync with the latest recorded run.
+
+use std::path::Path;
+
+/// `(placeholder csv name, log file stem)`.
+const MAPPING: &[(&str, &str)] = &[
+    ("table1", "table1"),
+    ("fig2", "fig2"),
+    ("fig4", "fig4"),
+    ("fig5", "fig5"),
+    ("fig7_summary", "fig7"),
+    ("fig8_summary", "fig8"),
+    ("table3", "table3"),
+    ("table4", "table4"),
+    ("fig9", "fig9"),
+    ("fig10", "fig10"),
+    ("fig11", "fig11"),
+];
+
+/// Extract the first `== ... ==` table (plus any trailing summary lines
+/// before the `[csv ]` marker) from a log.
+fn extract_table(log: &str) -> Option<String> {
+    let start = log.find("\n== ")?;
+    let body = &log[start + 1..];
+    let end = body
+        .find("\n[csv")
+        .or_else(|| body.find("\n\nPaper reference"))
+        .unwrap_or(body.len());
+    let mut table = body[..end].trim_end().to_string();
+    // Keep the geomean speedup line of fig8, which follows the table.
+    if let Some(extra_start) = body.find("Geometric-mean") {
+        let extra = &body[extra_start..];
+        let extra_end = extra.find('\n').unwrap_or(extra.len());
+        table.push_str("\n\n");
+        table.push_str(&extra[..extra_end]);
+    }
+    Some(table)
+}
+
+fn main() {
+    let out_dir = Path::new("results");
+    let md_path = Path::new("EXPERIMENTS.md");
+    let mut md = std::fs::read_to_string(md_path).expect("read EXPERIMENTS.md");
+    let mut updated = 0;
+    for (csv_name, log_stem) in MAPPING {
+        let log_path = out_dir.join(format!("log_{log_stem}.log"));
+        let Ok(log) = std::fs::read_to_string(&log_path) else {
+            eprintln!("[skip ] {} (no {})", csv_name, log_path.display());
+            continue;
+        };
+        let Some(table) = extract_table(&log) else {
+            eprintln!("[skip ] {csv_name} (no table in log)");
+            continue;
+        };
+        // The placeholder fenced block either still holds the marker text or
+        // a previously spliced table starting with "== ".
+        let marker = format!("(to be filled from results/{csv_name}.csv)");
+        if let Some(pos) = md.find(&marker) {
+            md.replace_range(pos..pos + marker.len(), &table);
+            updated += 1;
+            continue;
+        }
+        // Re-splice: find the fence that contains a table with this csv's
+        // title by locating the old table's first line.
+        if let Some(title_line) = table.lines().next() {
+            if let Some(pos) = md.find(title_line) {
+                // Replace up to the closing fence.
+                if let Some(end_rel) = md[pos..].find("\n```") {
+                    md.replace_range(pos..pos + end_rel, &table);
+                    updated += 1;
+                    continue;
+                }
+            }
+        }
+        eprintln!("[skip ] {csv_name} (no insertion point)");
+    }
+    std::fs::write(md_path, md).expect("write EXPERIMENTS.md");
+    println!("EXPERIMENTS.md: {updated} sections updated");
+}

@@ -1,0 +1,60 @@
+//! Table I: summary of evaluated applications and their search spaces.
+//!
+//! Paper values (for reference): CIFAR-10 2558T models / 21 VNs, MNIST 120M
+//! / 11, NT3 3M / 8, Uno 302T / 13. Our scaled spaces keep the same node
+//! kinds and orders; sizes are computed, not asserted.
+
+use swt_data::{AppKind, DataScale};
+use swt_experiments::{print_table, write_csv, ExpCtx};
+use swt_space::SearchSpace;
+
+fn human(size: f64) -> String {
+    const UNITS: [(&str, f64); 4] =
+        [("T", 1e12), ("B", 1e9), ("M", 1e6), ("K", 1e3)];
+    for (suffix, scale) in UNITS {
+        if size >= scale {
+            return format!("{:.1}{suffix}", size / scale);
+        }
+    }
+    format!("{size:.0}")
+}
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let mut rows = Vec::new();
+    for app in AppKind::all() {
+        let space = SearchSpace::for_app(app);
+        let (train_n, val_n) = app.sizes(DataScale::Full);
+        let dims: Vec<String> = app
+            .input_shapes()
+            .iter()
+            .map(|s| s.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"))
+            .collect();
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{}x({})", train_n, dims.join(" + ")),
+            format!("{}x(...)", val_n),
+            human(space.size()),
+            space.num_nodes().to_string(),
+            match app.loss() {
+                swt_nn::Loss::CategoricalCrossEntropy => "CE".to_string(),
+                swt_nn::Loss::MeanAbsoluteError => "MAE".to_string(),
+            },
+            match app.metric() {
+                swt_nn::Metric::Accuracy => "ACC".to_string(),
+                swt_nn::Metric::RSquared => "R2".to_string(),
+            },
+        ]);
+    }
+    print_table(
+        "Table I — applications and search spaces (scaled reproduction)",
+        &["App", "Training", "Validation", "Space size", "#VNs", "Loss", "Obj."],
+        &rows,
+    );
+    write_csv(
+        &ctx.out.join("table1.csv"),
+        &["app", "train", "val", "space_size", "vns", "loss", "objective"],
+        &rows,
+    );
+    println!("\nPaper reference: CIFAR-10 2558T/21VN, MNIST 120M/11VN, NT3 3M/8VN, Uno 302T/13VN");
+}

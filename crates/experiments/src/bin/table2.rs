@@ -1,0 +1,16 @@
+//! Table II: hardware configuration — here, the *simulated* cluster used by
+//! the Fig. 10 scalability study, since no physical GPUs exist in this
+//! environment (see DESIGN.md §1).
+
+use swt_cluster::ClusterConfig;
+
+fn main() {
+    println!("== Table II — simulated hardware configuration ==\n");
+    println!("Paper Node Type A: 4x AMD EPYC 7742, 1 TB RAM, 8x NVIDIA A100 40GB HBM2");
+    println!("Paper Node Type B: Intel Xeon E5-2620 v3, 384 GB RAM, 2x Tesla K80\n");
+    println!("This reproduction substitutes a discrete-event simulation of Node Type A");
+    println!("clusters (Fig. 10) and real CPU training for everything else:\n");
+    for nodes in [1usize, 2, 4] {
+        println!("{}\n", ClusterConfig::node_type_a(nodes).describe());
+    }
+}

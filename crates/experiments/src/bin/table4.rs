@@ -1,0 +1,46 @@
+//! Table IV: model complexity (parameter counts) of the top-scored models.
+//!
+//! Paper finding: the schemes produce a similar range of parameter counts;
+//! NT3-with-LCS and Uno-with-LP skew *smaller* than the baseline — transfer
+//! can reduce complexity without hurting the objective.
+
+use swt_experiments::fulltrain;
+use swt_experiments::{print_table, write_csv, ExpCtx};
+use swt_stats::Summary;
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let rows = fulltrain::collect(&ctx);
+    let mut out_rows = Vec::new();
+    for &app in &ctx.apps {
+        for scheme in ["Baseline", "LCS", "LP"] {
+            let params: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.app == app.name() && r.scheme == scheme)
+                .map(|r| r.params as f64 / 1e6)
+                .collect();
+            if params.is_empty() {
+                continue;
+            }
+            let s = Summary::of(&params);
+            out_rows.push(vec![
+                app.name().to_string(),
+                scheme.to_string(),
+                format!("{:.3} ± {:.3}", s.mean, s.std_dev),
+                format!("{:.3}", s.max),
+                format!("{:.3}", s.min),
+            ]);
+        }
+    }
+    print_table(
+        "Table IV — model complexity of top-scored models (params / 1e6)",
+        &["App", "Scheme", "Mean", "Max", "Min"],
+        &out_rows,
+    );
+    write_csv(
+        &ctx.out.join("table4.csv"),
+        &["app", "scheme", "mean_mparams", "max_mparams", "min_mparams"],
+        &out_rows,
+    );
+    println!("\nPaper reference: similar ranges across schemes; NT3+LCS and Uno+LP smaller than baseline");
+}

@@ -1,0 +1,83 @@
+//! Deep-dive statistics over recorded NAS traces: lineage structure,
+//! transfer volume and per-scheme score dynamics. Useful when interpreting
+//! the Fig. 7/8 results — the lineage-depth column quantifies how much
+//! accumulated training the transfer schemes inject.
+
+use swt_core::TransferScheme;
+use swt_experiments::{print_table, write_csv, ExpCtx};
+use swt_nas::StrategyKind;
+use swt_stats::Summary;
+
+fn main() {
+    let ctx = ExpCtx::from_args();
+    let mut rows = Vec::new();
+    for &app in &ctx.apps {
+        for scheme in TransferScheme::all() {
+            let mut depth_means = Vec::new();
+            let mut max_depths = Vec::new();
+            let mut transferred_frac = Vec::new();
+            let mut bytes_per_child = Vec::new();
+            let mut best_scores = Vec::new();
+            for &seed in &ctx.seeds {
+                let (trace, _store) =
+                    ctx.run_or_load(app, scheme, StrategyKind::Evolution, seed);
+                let depths = trace.lineage_depths();
+                depth_means.push(trace.mean_lineage_depth());
+                max_depths.push(depths.values().copied().max().unwrap_or(0) as f64);
+                let children =
+                    trace.events.iter().filter(|e| e.parent.is_some()).count();
+                let transferred =
+                    trace.events.iter().filter(|e| e.transfer_tensors > 0).count();
+                transferred_frac.push(if children > 0 {
+                    transferred as f64 / children as f64
+                } else {
+                    0.0
+                });
+                let total_bytes: usize =
+                    trace.events.iter().map(|e| e.transfer_bytes).sum();
+                bytes_per_child.push(if transferred > 0 {
+                    total_bytes as f64 / transferred as f64
+                } else {
+                    0.0
+                });
+                best_scores
+                    .push(trace.top_k(1).first().map(|e| e.score).unwrap_or(f64::NAN));
+            }
+            rows.push(vec![
+                app.name().to_string(),
+                scheme.name().to_string(),
+                format!("{:.2}", Summary::of(&depth_means).mean),
+                format!("{:.0}", Summary::of(&max_depths).max),
+                format!("{:.0}%", 100.0 * Summary::of(&transferred_frac).mean),
+                format!("{:.0} KB", Summary::of(&bytes_per_child).mean / 1e3),
+                Summary::of(&best_scores).pm(3),
+            ]);
+        }
+    }
+    print_table(
+        "Trace deep-dive — lineage and transfer volume per scheme",
+        &[
+            "App",
+            "Scheme",
+            "Mean lineage depth",
+            "Max depth",
+            "Children transferred",
+            "Bytes/child",
+            "Best score",
+        ],
+        &rows,
+    );
+    write_csv(
+        &ctx.out.join("trace_stats.csv"),
+        &[
+            "app",
+            "scheme",
+            "mean_lineage_depth",
+            "max_depth",
+            "children_transferred_pct",
+            "bytes_per_child",
+            "best_score",
+        ],
+        &rows,
+    );
+}

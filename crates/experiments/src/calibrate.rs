@@ -1,0 +1,75 @@
+//! Calibration of measured CPU costs to paper-scale GPU magnitudes.
+//!
+//! The Fig. 10/11 experiments ran on 32 A100 GPUs with full-size datasets;
+//! this repository trains scaled models on CPU, so absolute times and
+//! checkpoint sizes are ~100× smaller. The cluster simulation keeps the
+//! *per-candidate distributions* measured here but rescales their means to
+//! the paper's reported magnitudes:
+//!
+//! * mean one-epoch training time — NT3 is stated as ~6 s (Section VIII-E);
+//!   the others are set proportionally to their dataset-size × model-cost
+//!   products on an A100;
+//! * mean checkpoint size — Table IV's mean parameter counts × 4 bytes
+//!   (f32), which for NT3 reproduces the stated ~40 MB.
+//!
+//! These constants affect only `fig10`/`fig11`'s absolute axes, never who
+//! wins or where the scaling knee appears — those come from the measured
+//! distributions and the simulator.
+
+use swt_data::AppKind;
+
+/// Paper-scale mean one-epoch training seconds per candidate.
+pub fn paper_train_secs(app: AppKind) -> f64 {
+    match app {
+        AppKind::Cifar10 => 45.0,
+        AppKind::Mnist => 12.0,
+        AppKind::Nt3 => 6.0, // stated in Section VIII-E
+        AppKind::Uno => 20.0,
+    }
+}
+
+/// Paper-scale mean checkpoint bytes (Table IV mean params × 4 B).
+pub fn paper_checkpoint_bytes(app: AppKind) -> f64 {
+    match app {
+        AppKind::Cifar10 => 12.4e6 * 4.0,
+        AppKind::Mnist => 2.8e6 * 4.0,
+        AppKind::Nt3 => 11.6e6 * 4.0, // ~46 MB; the paper plots ~40 MB
+        AppKind::Uno => 6.2e6 * 4.0,
+    }
+}
+
+/// Multiplier mapping a measured mean to the paper-scale mean.
+pub fn scale_factor(measured_mean: f64, paper_mean: f64) -> f64 {
+    if measured_mean <= 0.0 {
+        1.0
+    } else {
+        paper_mean / measured_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nt3_matches_stated_numbers() {
+        assert_eq!(paper_train_secs(AppKind::Nt3), 6.0);
+        let mb = paper_checkpoint_bytes(AppKind::Nt3) / 1e6;
+        assert!((40.0..50.0).contains(&mb), "NT3 checkpoint ~40 MB, got {mb}");
+    }
+
+    #[test]
+    fn nt3_has_worst_size_to_time_ratio() {
+        // The structural fact behind Fig. 10's NT3 overhead.
+        let ratio = |app| paper_checkpoint_bytes(app) / paper_train_secs(app);
+        for app in [AppKind::Cifar10, AppKind::Mnist, AppKind::Uno] {
+            assert!(ratio(AppKind::Nt3) > ratio(app), "{app:?}");
+        }
+    }
+
+    #[test]
+    fn scale_factor_degenerate() {
+        assert_eq!(scale_factor(0.0, 5.0), 1.0);
+        assert_eq!(scale_factor(2.0, 6.0), 3.0);
+    }
+}

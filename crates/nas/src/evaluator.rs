@@ -1,0 +1,219 @@
+//! The evaluator: trains one candidate and checkpoints it.
+//!
+//! Implements the paper's Section VI-C sequence: "1) checks the parent's
+//! architecture sequence, 2) reads the checkpoint of the parent, 3)
+//! calculates LP/LCS between the parent and the current model, and 4) if
+//! they have shareable tensors, initializes the weights of the current model
+//! with the weights of the parent's model."
+
+use crate::candidate::{Candidate, CandidateId};
+use std::sync::Arc;
+use std::time::Instant;
+use swt_checkpoint::CheckpointStore;
+use swt_core::{apply_transfer, ShapeSeq, TransferPlan, TransferScheme, TransferStats};
+use swt_data::AppProblem;
+use swt_nn::{AdamConfig, Model, TrainConfig, Trainer};
+use swt_space::SearchSpace;
+
+/// Everything measured while evaluating one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    pub id: CandidateId,
+    pub score: f64,
+    /// Seconds spent in training + validation.
+    pub train_secs: f64,
+    /// Seconds spent loading the provider checkpoint + matching +
+    /// transferring (0 for baseline/warm-up) — the paper's main overhead
+    /// source (Section VIII-E).
+    pub transfer_secs: f64,
+    /// Seconds spent writing this candidate's checkpoint.
+    pub save_secs: f64,
+    /// Serialized checkpoint size (Fig. 11).
+    pub checkpoint_bytes: u64,
+    /// What the transfer moved.
+    pub transfer: TransferStats,
+    /// Epochs actually trained.
+    pub epochs: usize,
+}
+
+/// The per-candidate model seed used across the whole repository: the full
+/// training phase rebuilds candidates with exactly the weights their
+/// estimation used, so it must derive seeds identically.
+pub fn candidate_seed(run_seed: u64, id: CandidateId) -> u64 {
+    run_seed ^ (id.wrapping_mul(0x9E3779B97F4A7C15)).rotate_left(17)
+}
+
+/// A reusable candidate evaluator (one per worker thread).
+pub struct Evaluator {
+    problem: Arc<AppProblem>,
+    space: Arc<SearchSpace>,
+    store: Arc<dyn CheckpointStore>,
+    scheme: TransferScheme,
+    /// Epochs per estimate (the paper uses 1).
+    epochs: usize,
+    /// Root seed of the run; candidate seeds derive from it.
+    run_seed: u64,
+}
+
+impl Evaluator {
+    pub fn new(
+        problem: Arc<AppProblem>,
+        space: Arc<SearchSpace>,
+        store: Arc<dyn CheckpointStore>,
+        scheme: TransferScheme,
+        epochs: usize,
+        run_seed: u64,
+    ) -> Self {
+        Evaluator { problem, space, store, scheme, epochs, run_seed }
+    }
+
+    /// Deterministic per-candidate seed.
+    fn seed_for(&self, id: CandidateId) -> u64 {
+        candidate_seed(self.run_seed, id)
+    }
+
+    /// Train, score and checkpoint one candidate.
+    ///
+    /// # Panics
+    /// Panics if the candidate's architecture fails to materialise (the
+    /// strategy only emits valid candidates).
+    pub fn evaluate(&self, cand: &Candidate) -> EvalOutcome {
+        let spec = self.space.materialize(&cand.arch).expect("strategy emitted invalid candidate");
+        let seed = self.seed_for(cand.id);
+        let mut model = Model::build(&spec, seed).expect("spec validated at materialise time");
+
+        // Weight transfer from the parent checkpoint, when enabled.
+        let mut transfer = TransferStats::default();
+        let mut transfer_secs = 0.0;
+        if let (Some(matcher), Some(parent)) = (self.scheme.matcher(), cand.parent) {
+            let t0 = Instant::now();
+            let parent_ckpt_id = format!("c{parent}");
+            if let Ok(provider_ckpt) = self.store.load(&parent_ckpt_id) {
+                // Reconstruct the provider's shape sequence from the
+                // checkpoint itself (names+shapes), so no spec lookup is
+                // needed — mirroring the paper, where only the architecture
+                // sequence travels with the task.
+                let provider_seq = ShapeSeq::from_params(
+                    provider_ckpt
+                        .iter()
+                        .filter(|(n, _)| !n.ends_with("running_mean") && !n.ends_with("running_var"))
+                        .map(|(n, t)| (n.clone(), t.shape().clone()))
+                        .collect(),
+                );
+                let receiver_seq = ShapeSeq::of(&spec).unwrap();
+                let plan = TransferPlan::build(matcher, &provider_seq, &receiver_seq);
+                transfer = apply_transfer(&plan, &provider_ckpt, &mut model);
+            }
+            transfer_secs = t0.elapsed().as_secs_f64();
+        }
+
+        // Partial training (the candidate-estimation phase).
+        let trainer = Trainer::new(self.problem.loss, self.problem.metric);
+        let cfg = TrainConfig {
+            epochs: self.epochs,
+            batch_size: self.problem.batch_size,
+            adam: AdamConfig { lr: self.problem.lr, ..Default::default() },
+            shuffle_seed: seed ^ 0x5EED,
+            early_stop: None,
+        };
+        let t0 = Instant::now();
+        let report = trainer.fit(&mut model, &self.problem.train, &self.problem.val, &cfg);
+        let train_secs = t0.elapsed().as_secs_f64();
+
+        // Checkpoint the scored candidate (Fig. 6 step ③).
+        let t0 = Instant::now();
+        let checkpoint_bytes = self
+            .store
+            .save(&cand.checkpoint_id(), &model.state_dict())
+            .expect("checkpoint save failed");
+        let save_secs = t0.elapsed().as_secs_f64();
+
+        EvalOutcome {
+            id: cand.id,
+            score: report.final_metric,
+            train_secs,
+            transfer_secs,
+            save_secs,
+            checkpoint_bytes,
+            transfer,
+            epochs: report.epochs_run,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swt_checkpoint::MemStore;
+    use swt_data::{AppKind, DataScale};
+    use swt_tensor::Rng;
+
+    fn setup(scheme: TransferScheme) -> (Evaluator, Arc<SearchSpace>, Arc<dyn CheckpointStore>) {
+        let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 7));
+        let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+        let eval = Evaluator::new(
+            Arc::clone(&problem),
+            Arc::clone(&space),
+            Arc::clone(&store),
+            scheme,
+            1,
+            42,
+        );
+        (eval, space, store)
+    }
+
+    #[test]
+    fn evaluates_and_checkpoints() {
+        let (eval, space, store) = setup(TransferScheme::Baseline);
+        let mut rng = Rng::seed(1);
+        let cand = Candidate { id: 0, arch: space.sample(&mut rng), parent: None };
+        let out = eval.evaluate(&cand);
+        assert_eq!(out.id, 0);
+        assert!(out.score.is_finite());
+        assert_eq!(out.epochs, 1);
+        assert!(store.exists("c0"));
+        assert_eq!(store.size_bytes("c0"), Some(out.checkpoint_bytes));
+        assert_eq!(out.transfer.tensors, 0, "baseline never transfers");
+    }
+
+    #[test]
+    fn child_evaluation_transfers_from_parent() {
+        let (eval, space, _store) = setup(TransferScheme::Lcs);
+        let mut rng = Rng::seed(2);
+        let parent_arch = space.sample(&mut rng);
+        let parent = Candidate { id: 0, arch: parent_arch.clone(), parent: None };
+        let _ = eval.evaluate(&parent);
+        let child_arch = space.mutate(&parent_arch, &mut rng);
+        let child = Candidate { id: 1, arch: child_arch, parent: Some(0) };
+        let out = eval.evaluate(&child);
+        assert!(
+            out.transfer.tensors > 0,
+            "a d=1 Uno child must share tensors with its parent: {:?}",
+            out.transfer
+        );
+        assert_eq!(out.transfer.skipped, 0);
+        assert!(out.transfer_secs >= 0.0);
+    }
+
+    #[test]
+    fn missing_parent_checkpoint_degrades_to_random_init() {
+        let (eval, space, _store) = setup(TransferScheme::Lp);
+        let mut rng = Rng::seed(3);
+        let arch = space.sample(&mut rng);
+        let cand = Candidate { id: 9, arch, parent: Some(777) }; // no such checkpoint
+        let out = eval.evaluate(&cand);
+        assert_eq!(out.transfer.tensors, 0);
+        assert!(out.score.is_finite());
+    }
+
+    #[test]
+    fn identical_candidate_same_seed_reproduces_score() {
+        let (eval, space, _) = setup(TransferScheme::Baseline);
+        let mut rng = Rng::seed(4);
+        let arch = space.sample(&mut rng);
+        let a = eval.evaluate(&Candidate { id: 5, arch: arch.clone(), parent: None });
+        let b = eval.evaluate(&Candidate { id: 5, arch, parent: None });
+        assert_eq!(a.score, b.score, "single-threaded evaluation must be deterministic");
+    }
+}

@@ -1,0 +1,243 @@
+//! The NAS scheduler: strategy + parallel evaluator pool (Fig. 6).
+
+use crate::candidate::{Candidate, ScoredCandidate};
+use crate::evaluator::{EvalOutcome, Evaluator};
+use crate::strategy::{ProviderPolicy, RandomSearch, RegularizedEvolution, SearchStrategy};
+use crate::trace::{NasTrace, TraceEvent};
+use crossbeam::channel;
+use std::sync::Arc;
+use std::time::Instant;
+use swt_checkpoint::CheckpointStore;
+use swt_core::TransferScheme;
+use swt_data::AppProblem;
+use swt_space::SearchSpace;
+use swt_tensor::Rng;
+
+/// Which search strategy drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Uniform random search (used for the analysis traces of Figs. 2/4/5).
+    Random,
+    /// Regularized evolution (Algorithm 1), the paper's search strategy.
+    Evolution,
+}
+
+/// Configuration of one NAS candidate-estimation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasConfig {
+    pub scheme: TransferScheme,
+    pub strategy: StrategyKind,
+    /// Candidates to evaluate (the paper runs 400 per experiment).
+    pub total_candidates: usize,
+    /// Evaluator threads — one per simulated GPU.
+    pub workers: usize,
+    /// Epochs per estimate (paper: 1).
+    pub epochs: usize,
+    /// Root seed: drives the strategy and all candidate training.
+    pub seed: u64,
+    /// Evolution population size (paper: 64).
+    pub population_size: usize,
+    /// Evolution tournament size (paper: 32).
+    pub sample_size: usize,
+    /// Provider-selection policy (the paper's Algorithm 1 uses the mutation
+    /// parent; alternatives exist for ablations).
+    pub provider: ProviderPolicy,
+}
+
+impl NasConfig {
+    /// The paper's configuration, scaled only in candidate count.
+    pub fn paper(scheme: TransferScheme, total_candidates: usize, workers: usize, seed: u64) -> Self {
+        NasConfig {
+            scheme,
+            strategy: StrategyKind::Evolution,
+            total_candidates,
+            workers,
+            epochs: 1,
+            seed,
+            population_size: 64,
+            sample_size: 32,
+            provider: ProviderPolicy::Parent,
+        }
+    }
+
+    /// A small configuration for tests and quick runs.
+    pub fn quick(scheme: TransferScheme, total_candidates: usize, workers: usize, seed: u64) -> Self {
+        NasConfig {
+            population_size: 16,
+            sample_size: 8,
+            ..Self::paper(scheme, total_candidates, workers, seed)
+        }
+    }
+}
+
+/// Run one NAS candidate-estimation phase: the scheduler thread executes the
+/// strategy and keeps `workers` evaluator threads busy; results stream back
+/// asynchronously, exactly like DeepHyper's Ray evaluators.
+pub fn run_nas(
+    problem: Arc<AppProblem>,
+    space: Arc<SearchSpace>,
+    store: Arc<dyn CheckpointStore>,
+    cfg: &NasConfig,
+) -> NasTrace {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.total_candidates > 0, "need at least one candidate");
+
+    let mut strategy: Box<dyn SearchStrategy> = match cfg.strategy {
+        StrategyKind::Random => Box::new(RandomSearch::new(Arc::clone(&space))),
+        StrategyKind::Evolution => Box::new(RegularizedEvolution::with_provider(
+            Arc::clone(&space),
+            cfg.population_size.min(cfg.total_candidates),
+            cfg.sample_size.min(cfg.population_size.min(cfg.total_candidates)),
+            cfg.provider,
+        )),
+    };
+    let mut rng = Rng::seed(cfg.seed ^ 0x57A7E6);
+
+    let start = Instant::now();
+    let (task_tx, task_rx) = channel::unbounded::<Candidate>();
+    let (result_tx, result_rx) = channel::unbounded::<(Candidate, f64, f64, EvalOutcome)>();
+
+    let mut events: Vec<TraceEvent> = Vec::with_capacity(cfg.total_candidates);
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let evaluator = Evaluator::new(
+                Arc::clone(&problem),
+                Arc::clone(&space),
+                Arc::clone(&store),
+                cfg.scheme,
+                cfg.epochs,
+                cfg.seed,
+            );
+            scope.spawn(move || {
+                for cand in task_rx.iter() {
+                    let t_start = start.elapsed().as_secs_f64();
+                    let outcome = evaluator.evaluate(&cand);
+                    let t_end = start.elapsed().as_secs_f64();
+                    if result_tx.send((cand, t_start, t_end, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx); // the scheduler holds only the receivers
+
+        let mut dispatched = 0usize;
+        let mut completed = 0usize;
+        let mut inflight = 0usize;
+        while completed < cfg.total_candidates {
+            while inflight < cfg.workers && dispatched < cfg.total_candidates {
+                let cand = strategy.next(&mut rng);
+                task_tx.send(cand).expect("workers alive");
+                inflight += 1;
+                dispatched += 1;
+            }
+            let (cand, t_start, t_end, outcome) =
+                result_rx.recv().expect("at least one worker alive");
+            inflight -= 1;
+            completed += 1;
+            strategy.report(ScoredCandidate {
+                id: cand.id,
+                arch: cand.arch.clone(),
+                score: outcome.score,
+            });
+            events.push(TraceEvent {
+                id: cand.id,
+                arch: cand.arch,
+                parent: cand.parent,
+                score: outcome.score,
+                t_start,
+                t_end,
+                train_secs: outcome.train_secs,
+                transfer_secs: outcome.transfer_secs,
+                save_secs: outcome.save_secs,
+                checkpoint_bytes: outcome.checkpoint_bytes,
+                transfer_tensors: outcome.transfer.tensors,
+                transfer_bytes: outcome.transfer.bytes,
+            });
+        }
+        drop(task_tx); // lets workers exit
+    });
+
+    NasTrace {
+        app: problem.kind.name().to_string(),
+        scheme: cfg.scheme,
+        seed: cfg.seed,
+        workers: cfg.workers,
+        events,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swt_checkpoint::MemStore;
+    use swt_data::{AppKind, DataScale};
+
+    fn run(scheme: TransferScheme, strategy: StrategyKind, total: usize, workers: usize) -> NasTrace {
+        let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
+        let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+        let cfg = NasConfig { strategy, ..NasConfig::quick(scheme, total, workers, 3) };
+        run_nas(problem, space, store, &cfg)
+    }
+
+    #[test]
+    fn completes_requested_candidates() {
+        let trace = run(TransferScheme::Baseline, StrategyKind::Random, 6, 2);
+        assert_eq!(trace.events.len(), 6);
+        let mut ids: Vec<_> = trace.events.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+        assert!(trace.wall_secs > 0.0);
+        assert!(trace.events.iter().all(|e| e.score.is_finite()));
+        assert!(trace.events.iter().all(|e| e.t_end >= e.t_start));
+    }
+
+    #[test]
+    fn evolution_children_transfer_weights() {
+        // 16-member population (quick config), 24 candidates: the last 8
+        // must be children with parents and non-trivial transfers.
+        let trace = run(TransferScheme::Lcs, StrategyKind::Evolution, 24, 2);
+        let children: Vec<_> = trace.events.iter().filter(|e| e.parent.is_some()).collect();
+        assert!(!children.is_empty(), "post-warm-up children expected");
+        assert!(
+            children.iter().any(|e| e.transfer_tensors > 0),
+            "LCS children must transfer tensors from their parents"
+        );
+    }
+
+    #[test]
+    fn baseline_never_transfers() {
+        let trace = run(TransferScheme::Baseline, StrategyKind::Evolution, 20, 2);
+        assert!(trace.events.iter().all(|e| e.transfer_tensors == 0));
+        assert!(trace.events.iter().all(|e| e.transfer_secs == 0.0));
+    }
+
+    #[test]
+    fn checkpoints_written_for_all_candidates() {
+        let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
+        let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+        let store = Arc::new(MemStore::new());
+        let store_dyn: Arc<dyn CheckpointStore> = Arc::clone(&store) as _;
+        let cfg = NasConfig::quick(TransferScheme::Lp, 8, 2, 5);
+        let trace = run_nas(problem, space, store_dyn, &cfg);
+        for e in &trace.events {
+            assert!(store.exists(&format!("c{}", e.id)));
+        }
+    }
+
+    #[test]
+    fn single_worker_run_is_deterministic() {
+        let a = run(TransferScheme::Lcs, StrategyKind::Evolution, 10, 1);
+        let b = run(TransferScheme::Lcs, StrategyKind::Evolution, 10, 1);
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arch, y.arch);
+            assert_eq!(x.score, y.score, "candidate {} diverged", x.id);
+        }
+    }
+}

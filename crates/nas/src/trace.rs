@@ -1,0 +1,302 @@
+//! NAS run traces: everything needed to reproduce the paper's plots.
+
+use crate::candidate::CandidateId;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+use swt_core::TransferScheme;
+use swt_space::ArchSeq;
+
+/// One completed candidate evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub id: CandidateId,
+    pub arch: ArchSeq,
+    pub parent: Option<CandidateId>,
+    pub score: f64,
+    /// Seconds from run start when the evaluation began / returned — the
+    /// paper plots scores at their return time `t` (Fig. 7).
+    pub t_start: f64,
+    pub t_end: f64,
+    pub train_secs: f64,
+    pub transfer_secs: f64,
+    pub save_secs: f64,
+    pub checkpoint_bytes: u64,
+    pub transfer_tensors: usize,
+    pub transfer_bytes: usize,
+}
+
+/// A complete NAS run: the scheme, every event, and the wall-clock duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasTrace {
+    pub app: String,
+    pub scheme: TransferScheme,
+    pub seed: u64,
+    pub workers: usize,
+    pub events: Vec<TraceEvent>,
+    pub wall_secs: f64,
+}
+
+impl NasTrace {
+    /// Events sorted by completion time (the scheduler may record them in a
+    /// different order under concurrency).
+    pub fn by_completion(&self) -> Vec<&TraceEvent> {
+        let mut v: Vec<&TraceEvent> = self.events.iter().collect();
+        v.sort_by(|a, b| a.t_end.partial_cmp(&b.t_end).unwrap());
+        v
+    }
+
+    /// The `k` best events by score (ties broken by earlier completion).
+    pub fn top_k(&self, k: usize) -> Vec<&TraceEvent> {
+        let mut v: Vec<&TraceEvent> = self.events.iter().collect();
+        v.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.t_end.partial_cmp(&b.t_end).unwrap())
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Transfer-lineage depth of each candidate: the number of ancestors it
+    /// inherited weights from through the parent chain (0 for from-scratch
+    /// candidates). Under weight transfer, a candidate at depth `k` carries
+    /// roughly `k + 1` epochs of accumulated training — the mechanism behind
+    /// the paper's Fig. 8 full-training speedup.
+    pub fn lineage_depths(&self) -> std::collections::HashMap<CandidateId, usize> {
+        let parent_of: std::collections::HashMap<CandidateId, Option<CandidateId>> = self
+            .events
+            .iter()
+            .map(|e| (e.id, if e.transfer_tensors > 0 { e.parent } else { None }))
+            .collect();
+        let mut depths: std::collections::HashMap<CandidateId, usize> = Default::default();
+        for e in &self.events {
+            let mut depth = 0;
+            let mut cursor = e.id;
+            // Parents always have smaller ids than children, so chains are
+            // finite; the guard caps pathological traces.
+            while let Some(&Some(parent)) = parent_of.get(&cursor) {
+                depth += 1;
+                cursor = parent;
+                if depth > self.events.len() {
+                    break;
+                }
+            }
+            depths.insert(e.id, depth);
+        }
+        depths
+    }
+
+    /// Mean lineage depth across all candidates.
+    pub fn mean_lineage_depth(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        let depths = self.lineage_depths();
+        depths.values().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
+    }
+
+    /// Mean checkpoint size in bytes (Fig. 11).
+    pub fn mean_checkpoint_bytes(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().map(|e| e.checkpoint_bytes as f64).sum::<f64>()
+            / self.events.len() as f64
+    }
+
+    /// Write the trace as CSV (one header + one row per event).
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(
+            w,
+            "# app={} scheme={} seed={} workers={} wall_secs={}",
+            self.app,
+            self.scheme.name(),
+            self.seed,
+            self.workers,
+            self.wall_secs
+        )?;
+        writeln!(
+            w,
+            "id,arch,parent,score,t_start,t_end,train_secs,transfer_secs,save_secs,checkpoint_bytes,transfer_tensors,transfer_bytes"
+        )?;
+        for e in &self.events {
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                e.id,
+                e.arch.encode(),
+                e.parent.map(|p| p.to_string()).unwrap_or_default(),
+                e.score,
+                e.t_start,
+                e.t_end,
+                e.train_secs,
+                e.transfer_secs,
+                e.save_secs,
+                e.checkpoint_bytes,
+                e.transfer_tensors,
+                e.transfer_bytes
+            )?;
+        }
+        w.flush()
+    }
+
+    /// Read a trace written by [`NasTrace::write_csv`].
+    pub fn read_csv(path: &Path) -> io::Result<NasTrace> {
+        let file = std::fs::File::open(path)?;
+        let mut lines = io::BufReader::new(file).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty trace"))??;
+        let mut app = String::new();
+        let mut scheme = TransferScheme::Baseline;
+        let mut seed = 0u64;
+        let mut workers = 0usize;
+        let mut wall_secs = 0.0f64;
+        for token in header.trim_start_matches('#').split_whitespace() {
+            if let Some((k, v)) = token.split_once('=') {
+                match k {
+                    "app" => app = v.to_string(),
+                    "scheme" => {
+                        scheme = match v {
+                            "LP" => TransferScheme::Lp,
+                            "LCS" => TransferScheme::Lcs,
+                            _ => TransferScheme::Baseline,
+                        }
+                    }
+                    "seed" => seed = v.parse().unwrap_or(0),
+                    "workers" => workers = v.parse().unwrap_or(0),
+                    "wall_secs" => wall_secs = v.parse().unwrap_or(0.0),
+                    _ => {}
+                }
+            }
+        }
+        let _column_header = lines.next();
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut events = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 12 {
+                return Err(bad(&format!("expected 12 columns, got {}", cols.len())));
+            }
+            events.push(TraceEvent {
+                id: cols[0].parse().map_err(|_| bad("id"))?,
+                arch: ArchSeq::decode(cols[1]).ok_or_else(|| bad("arch"))?,
+                parent: if cols[2].is_empty() {
+                    None
+                } else {
+                    Some(cols[2].parse().map_err(|_| bad("parent"))?)
+                },
+                score: cols[3].parse().map_err(|_| bad("score"))?,
+                t_start: cols[4].parse().map_err(|_| bad("t_start"))?,
+                t_end: cols[5].parse().map_err(|_| bad("t_end"))?,
+                train_secs: cols[6].parse().map_err(|_| bad("train_secs"))?,
+                transfer_secs: cols[7].parse().map_err(|_| bad("transfer_secs"))?,
+                save_secs: cols[8].parse().map_err(|_| bad("save_secs"))?,
+                checkpoint_bytes: cols[9].parse().map_err(|_| bad("checkpoint_bytes"))?,
+                transfer_tensors: cols[10].parse().map_err(|_| bad("transfer_tensors"))?,
+                transfer_bytes: cols[11].parse().map_err(|_| bad("transfer_bytes"))?,
+            });
+        }
+        Ok(NasTrace { app, scheme, seed, workers, events, wall_secs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(id: CandidateId, score: f64, t_end: f64) -> TraceEvent {
+        TraceEvent {
+            id,
+            arch: ArchSeq::new(vec![1, 2, 3]),
+            parent: if id > 0 { Some(id - 1) } else { None },
+            score,
+            t_start: t_end - 1.0,
+            t_end,
+            train_secs: 0.9,
+            transfer_secs: 0.05,
+            save_secs: 0.02,
+            checkpoint_bytes: 1000 + id,
+            transfer_tensors: 3,
+            transfer_bytes: 400,
+        }
+    }
+
+    fn trace() -> NasTrace {
+        NasTrace {
+            app: "Uno".into(),
+            scheme: TransferScheme::Lcs,
+            seed: 9,
+            workers: 4,
+            events: vec![event(0, 0.5, 3.0), event(1, 0.9, 2.0), event(2, 0.7, 1.0)],
+            wall_secs: 3.5,
+        }
+    }
+
+    #[test]
+    fn completion_ordering() {
+        let t = trace();
+        let order: Vec<CandidateId> = t.by_completion().iter().map(|e| e.id).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn top_k_by_score() {
+        let t = trace();
+        let top: Vec<CandidateId> = t.top_k(2).iter().map(|e| e.id).collect();
+        assert_eq!(top, vec![1, 2]);
+        assert_eq!(t.top_k(100).len(), 3);
+    }
+
+    #[test]
+    fn mean_checkpoint_bytes() {
+        let t = trace();
+        assert!((t.mean_checkpoint_bytes() - 1001.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lineage_depths_follow_parent_chains() {
+        // c0 scratch; c1 transfers from c0; c2 transfers from c1; c3 has a
+        // parent but transferred nothing (failed load) -> depth 0.
+        let mut t = trace();
+        t.events = vec![event(0, 0.1, 1.0), event(1, 0.2, 2.0), event(2, 0.3, 3.0), {
+            let mut e = event(3, 0.4, 4.0);
+            e.transfer_tensors = 0;
+            e
+        }];
+        t.events[0].parent = None;
+        t.events[0].transfer_tensors = 0;
+        let depths = t.lineage_depths();
+        assert_eq!(depths[&0], 0);
+        assert_eq!(depths[&1], 1);
+        assert_eq!(depths[&2], 2);
+        assert_eq!(depths[&3], 0, "failed transfer breaks the chain");
+        assert!((t.mean_lineage_depth() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = trace();
+        let path = std::env::temp_dir().join(format!("swt_trace_{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let back = NasTrace::read_csv(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        let path = std::env::temp_dir().join(format!("swt_badtrace_{}.csv", std::process::id()));
+        std::fs::write(&path, "# app=X scheme=LP seed=1 workers=1 wall_secs=1\nheader\n1,2,3\n")
+            .unwrap();
+        assert!(NasTrace::read_csv(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! In-memory, multi-input datasets and batching.
+
+use swt_tensor::{Rng, Tensor};
+
+/// A supervised dataset: one or more input tensors (all with the same
+/// leading sample dimension, matching the model's input nodes in order) plus
+/// a target tensor.
+///
+/// Uno-like models take four input sources; the other applications take one.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    inputs: Vec<Tensor>,
+    targets: Tensor,
+}
+
+impl Dataset {
+    /// Construct, validating that every tensor agrees on the sample count.
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty or sample counts differ.
+    pub fn new(inputs: Vec<Tensor>, targets: Tensor) -> Self {
+        assert!(!inputs.is_empty(), "dataset needs at least one input tensor");
+        let n = targets.shape().dim(0);
+        for (i, t) in inputs.iter().enumerate() {
+            assert_eq!(t.shape().dim(0), n, "input {i} sample count mismatch");
+        }
+        Dataset { inputs, targets }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.shape().dim(0)
+    }
+
+    /// True iff the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The input tensors.
+    pub fn inputs(&self) -> &[Tensor] {
+        &self.inputs
+    }
+
+    /// The target tensor.
+    pub fn targets(&self) -> &Tensor {
+        &self.targets
+    }
+
+    /// Gather a sub-dataset by sample indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            inputs: self.inputs.iter().map(|t| t.gather0(indices)).collect(),
+            targets: self.targets.gather0(indices),
+        }
+    }
+
+    /// Split into mini-batch index ranges after an optional shuffle, and
+    /// return the shuffled index order. The final short batch is kept
+    /// (Keras-style) rather than dropped.
+    pub fn batch_indices(&self, batch_size: usize, shuffle: Option<&mut Rng>) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        if let Some(rng) = shuffle {
+            rng.shuffle(&mut order);
+        }
+        order.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+
+    /// Materialise one batch as `(inputs, targets)`.
+    pub fn batch(&self, indices: &[usize]) -> (Vec<Tensor>, Tensor) {
+        (
+            self.inputs.iter().map(|t| t.gather0(indices)).collect(),
+            self.targets.gather0(indices),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Tensor::from_vec([4, 2], vec![0., 0., 1., 1., 2., 2., 3., 3.]);
+        let y = Tensor::from_vec([4, 1], vec![0., 1., 2., 3.]);
+        Dataset::new(vec![x], y)
+    }
+
+    #[test]
+    fn len_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.inputs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count mismatch")]
+    fn mismatched_counts_panic() {
+        let x = Tensor::zeros([3, 2]);
+        let y = Tensor::zeros([4, 1]);
+        Dataset::new(vec![x], y);
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let d = toy();
+        let mut rng = Rng::seed(1);
+        let batches = d.batch_indices(3, Some(&mut rng));
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[1].len(), 1);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unshuffled_batches_are_ordered() {
+        let d = toy();
+        let batches = d.batch_indices(2, None);
+        assert_eq!(batches, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn batch_materialisation_aligns_inputs_and_targets() {
+        let d = toy();
+        let (xs, y) = d.batch(&[2, 0]);
+        assert_eq!(xs[0].data(), &[2., 2., 0., 0.]);
+        assert_eq!(y.data(), &[2., 0.]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy().subset(&[3, 1]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.targets().data(), &[3., 1.]);
+    }
+
+    #[test]
+    fn multi_input_batches_stay_aligned() {
+        let a = Tensor::from_vec([3, 1], vec![1., 2., 3.]);
+        let b = Tensor::from_vec([3, 2], vec![10., 10., 20., 20., 30., 30.]);
+        let y = Tensor::from_vec([3, 1], vec![1., 2., 3.]);
+        let d = Dataset::new(vec![a, b], y);
+        let (xs, t) = d.batch(&[1]);
+        assert_eq!(xs[0].data(), &[2.]);
+        assert_eq!(xs[1].data(), &[20., 20.]);
+        assert_eq!(t.data(), &[2.]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fully-connected layer with optional fused activation.
+
+use super::{glorot_limit, Layer};
+use crate::spec::Activation;
+use swt_tensor::{
+    matmul, matmul_at, matmul_bt, relu, relu_grad_from_output, sigmoid, sigmoid_grad_from_output,
+    tanh_act, tanh_grad_from_output, Rng, Tensor,
+};
+
+/// `y = act(x · W + b)` for rank-2 input `(batch, in_features)`.
+pub struct DenseLayer {
+    kernel: Tensor,
+    bias: Tensor,
+    d_kernel: Tensor,
+    d_bias: Tensor,
+    activation: Option<Activation>,
+    cached_input: Option<Tensor>,
+    cached_output: Option<Tensor>,
+}
+
+impl DenseLayer {
+    /// Glorot-uniform initialised dense layer.
+    pub fn new(in_features: usize, units: usize, activation: Option<Activation>, rng: &mut Rng) -> Self {
+        let limit = glorot_limit(in_features, units);
+        DenseLayer {
+            kernel: Tensor::rand_uniform([in_features, units], -limit, limit, rng),
+            bias: Tensor::zeros([units]),
+            d_kernel: Tensor::zeros([in_features, units]),
+            d_bias: Tensor::zeros([units]),
+            activation,
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+}
+
+pub(crate) fn apply_activation(x: &Tensor, a: Activation) -> Tensor {
+    match a {
+        Activation::Relu => relu(x),
+        Activation::Tanh => tanh_act(x),
+        Activation::Sigmoid => sigmoid(x),
+    }
+}
+
+pub(crate) fn activation_grad_from_output(y: &Tensor, a: Activation) -> Tensor {
+    match a {
+        Activation::Relu => relu_grad_from_output(y),
+        Activation::Tanh => tanh_grad_from_output(y),
+        Activation::Sigmoid => sigmoid_grad_from_output(y),
+    }
+}
+
+impl Layer for DenseLayer {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+        let x = inputs[0];
+        assert_eq!(x.shape().rank(), 2, "dense input must be (batch, features)");
+        let mut y = matmul(x, &self.kernel);
+        // Broadcast bias over rows.
+        let units = self.bias.numel();
+        for row in y.data_mut().chunks_mut(units) {
+            for (v, &b) in row.iter_mut().zip(self.bias.data()) {
+                *v += b;
+            }
+        }
+        let y = match self.activation {
+            Some(a) => apply_activation(&y, a),
+            None => y,
+        };
+        self.cached_input = Some(x.clone());
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let dpre = match self.activation {
+            Some(a) => {
+                let y = self.cached_output.as_ref().unwrap();
+                dout.zip_map(&activation_grad_from_output(y, a), |g, d| g * d)
+            }
+            None => dout.clone(),
+        };
+        self.d_kernel.axpy(1.0, &matmul_at(x, &dpre));
+        self.d_bias.axpy(1.0, &dpre.col_sums());
+        vec![matmul_bt(&dpre, &self.kernel)]
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f("kernel", &self.kernel);
+        f("bias", &self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f("kernel", &mut self.kernel);
+        f("bias", &mut self.bias);
+    }
+
+    fn visit_updates(&mut self, f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {
+        f("kernel", &mut self.kernel, &self.d_kernel);
+        f("bias", &mut self.bias, &self.d_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.d_kernel.scale(0.0);
+        self.d_bias.scale(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_is_affine_map() {
+        let mut rng = Rng::seed(1);
+        let mut layer = DenseLayer::new(3, 2, None, &mut rng);
+        // Overwrite with known weights.
+        layer.kernel = Tensor::from_vec([3, 2], vec![1., 0., 0., 1., 1., 1.]);
+        layer.bias = Tensor::from_vec([2], vec![10., 20.]);
+        let x = Tensor::from_vec([1, 3], vec![1., 2., 3.]);
+        let y = layer.forward(&[&x], true);
+        assert_eq!(y.data(), &[14., 25.]);
+    }
+
+    #[test]
+    fn gradient_check_with_activation() {
+        for act in [None, Some(Activation::Relu), Some(Activation::Tanh), Some(Activation::Sigmoid)] {
+            let mut rng = Rng::seed(7);
+            let mut layer = DenseLayer::new(4, 3, act, &mut rng);
+            let x = Tensor::rand_normal([2, 4], 0.3, 1.0, &mut rng);
+            let y = layer.forward(&[&x], true);
+            let dout = Tensor::ones(y.shape().dims().to_vec());
+            let dx = layer.backward(&dout).remove(0);
+            let eps = 1e-2f32;
+            // Input gradient.
+            for i in 0..x.numel() {
+                let mut plus = x.clone();
+                plus.data_mut()[i] += eps;
+                let mut minus = x.clone();
+                minus.data_mut()[i] -= eps;
+                let num =
+                    (layer.forward(&[&plus], true).sum() - layer.forward(&[&minus], true).sum())
+                        / (2.0 * eps);
+                assert!((num - dx.data()[i]).abs() < 2e-2, "{act:?} dx[{i}]");
+            }
+            // Kernel gradient (re-run forward to restore cache, then read grads).
+            layer.zero_grads();
+            let _ = layer.forward(&[&x], true);
+            let _ = layer.backward(&dout);
+            let mut grads: Vec<(String, Tensor)> = Vec::new();
+            layer.visit_updates(&mut |n, _p, g| grads.push((n.to_string(), g.clone())));
+            let dk = &grads.iter().find(|(n, _)| n == "kernel").unwrap().1;
+            for i in 0..layer.kernel.numel() {
+                let orig = layer.kernel.data()[i];
+                layer.kernel.data_mut()[i] = orig + eps;
+                let plus = layer.forward(&[&x], true).sum();
+                layer.kernel.data_mut()[i] = orig - eps;
+                let minus = layer.forward(&[&x], true).sum();
+                layer.kernel.data_mut()[i] = orig;
+                let num = (plus - minus) / (2.0 * eps);
+                assert!((num - dk.data()[i]).abs() < 2e-2, "{act:?} dk[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = Rng::seed(3);
+        let mut layer = DenseLayer::new(2, 2, None, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        let dout = Tensor::ones([1, 2]);
+        let _ = layer.forward(&[&x], true);
+        let _ = layer.backward(&dout);
+        let mut once = Tensor::zeros([2, 2]);
+        layer.visit_updates(&mut |n, _p, g| {
+            if n == "kernel" {
+                once = g.clone();
+            }
+        });
+        let _ = layer.forward(&[&x], true);
+        let _ = layer.backward(&dout);
+        layer.visit_updates(&mut |n, _p, g| {
+            if n == "kernel" {
+                assert!(g.approx_eq(&{
+                    let mut t = once.clone();
+                    t.scale(2.0);
+                    t
+                }, 1e-6));
+            }
+        });
+        layer.zero_grads();
+        layer.visit_updates(&mut |_n, _p, g| assert_eq!(g.sum(), 0.0));
+    }
+}

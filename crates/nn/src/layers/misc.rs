@@ -1,0 +1,258 @@
+//! Parameter-free layers: identity, activation, dropout, flatten, concat.
+
+use super::dense::{activation_grad_from_output, apply_activation};
+use super::Layer;
+use crate::spec::Activation;
+use swt_tensor::{Rng, Tensor};
+
+/// Skip connection (`Identity` choice of the variable nodes).
+pub struct IdentityLayer;
+
+impl Layer for IdentityLayer {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+        inputs[0].clone()
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        vec![dout.clone()]
+    }
+}
+
+/// Standalone activation layer.
+pub struct ActivationLayer {
+    activation: Activation,
+    cached_output: Option<Tensor>,
+}
+
+impl ActivationLayer {
+    pub fn new(activation: Activation) -> Self {
+        ActivationLayer { activation, cached_output: None }
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+        let y = apply_activation(inputs[0], self.activation);
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        vec![dout.zip_map(&activation_grad_from_output(y, self.activation), |g, d| g * d)]
+    }
+}
+
+/// Inverted dropout: at training time each element is kept with probability
+/// `1 - rate` and scaled by `1 / (1 - rate)`; inference is the identity.
+pub struct DropoutLayer {
+    rate: f32,
+    rng: Rng,
+    cached_mask: Option<Tensor>,
+}
+
+impl DropoutLayer {
+    /// `rate` is the *drop* probability, in `[0, 1)`.
+    pub fn new(rate: f32, rng: Rng) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        DropoutLayer { rate, rng, cached_mask: None }
+    }
+}
+
+impl Layer for DropoutLayer {
+    fn forward(&mut self, inputs: &[&Tensor], training: bool) -> Tensor {
+        let x = inputs[0];
+        if !training || self.rate == 0.0 {
+            self.cached_mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.numel())
+            .map(|_| if self.rng.chance(keep as f64) { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(x.shape().dims().to_vec(), mask_data);
+        let y = x.zip_map(&mask, |a, m| a * m);
+        self.cached_mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        match &self.cached_mask {
+            Some(mask) => vec![dout.zip_map(mask, |g, m| g * m)],
+            None => vec![dout.clone()],
+        }
+    }
+}
+
+/// Flatten per-sample dims to rank 1: `(b, d1, ..., dk) -> (b, d1·...·dk)`.
+pub struct FlattenLayer {
+    cached_input_shape: Vec<usize>,
+}
+
+impl FlattenLayer {
+    pub fn new() -> Self {
+        FlattenLayer { cached_input_shape: Vec::new() }
+    }
+}
+
+impl Default for FlattenLayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for FlattenLayer {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+        let x = inputs[0];
+        self.cached_input_shape = x.shape().dims().to_vec();
+        let b = x.shape().dim(0);
+        let rest = x.numel() / b;
+        x.clone().reshape([b, rest])
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        vec![dout.clone().reshape(self.cached_input_shape.clone())]
+    }
+}
+
+/// Concatenate rank-2 inputs along the feature dimension (Uno's four-source
+/// fusion point).
+pub struct ConcatLayer {
+    cached_widths: Vec<usize>,
+}
+
+impl ConcatLayer {
+    pub fn new() -> Self {
+        ConcatLayer { cached_widths: Vec::new() }
+    }
+}
+
+impl Default for ConcatLayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for ConcatLayer {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+        assert!(inputs.len() >= 2, "concat needs >= 2 inputs");
+        let b = inputs[0].shape().dim(0);
+        self.cached_widths = inputs
+            .iter()
+            .map(|t| {
+                assert_eq!(t.shape().rank(), 2, "concat expects rank-2 inputs");
+                assert_eq!(t.shape().dim(0), b, "concat batch mismatch");
+                t.shape().dim(1)
+            })
+            .collect();
+        let total: usize = self.cached_widths.iter().sum();
+        let mut data = Vec::with_capacity(b * total);
+        for row in 0..b {
+            for (t, &w) in inputs.iter().zip(&self.cached_widths) {
+                data.extend_from_slice(&t.data()[row * w..(row + 1) * w]);
+            }
+        }
+        Tensor::from_vec([b, total], data)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        let b = dout.shape().dim(0);
+        let total: usize = self.cached_widths.iter().sum();
+        let mut grads: Vec<Vec<f32>> =
+            self.cached_widths.iter().map(|&w| Vec::with_capacity(b * w)).collect();
+        for row in 0..b {
+            let mut off = row * total;
+            for (g, &w) in grads.iter_mut().zip(&self.cached_widths) {
+                g.extend_from_slice(&dout.data()[off..off + w]);
+                off += w;
+            }
+        }
+        grads
+            .into_iter()
+            .zip(&self.cached_widths)
+            .map(|(g, &w)| Tensor::from_vec([b, w], g))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let mut layer = IdentityLayer;
+        let x = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        assert!(layer.forward(&[&x], true).approx_eq(&x, 0.0));
+        assert!(layer.backward(&x)[0].approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn activation_layer_backward() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Tensor::from_vec([1, 4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = layer.forward(&[&x], true);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let dx = layer.backward(&Tensor::ones([1, 4])).remove(0);
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut layer = DropoutLayer::new(0.5, Rng::seed(1));
+        let x = Tensor::ones([4, 4]);
+        assert!(layer.forward(&[&x], false).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let mut layer = DropoutLayer::new(0.3, Rng::seed(2));
+        let x = Tensor::ones([100, 100]);
+        let y = layer.forward(&[&x], true);
+        // E[y] = 1; mean over 10k elements should be close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Backward routes gradient only through kept elements.
+        let dx = layer.backward(&Tensor::ones([100, 100])).remove(0);
+        assert!(dx.approx_eq(&y, 1e-6));
+    }
+
+    #[test]
+    fn dropout_rejects_rate_one() {
+        let result = std::panic::catch_unwind(|| DropoutLayer::new(1.0, Rng::seed(3)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut layer = FlattenLayer::new();
+        let x = Tensor::from_vec([2, 2, 3], (0..12).map(|i| i as f32).collect());
+        let y = layer.forward(&[&x], true);
+        assert_eq!(y.shape().dims(), &[2, 6]);
+        let dx = layer.backward(&y).remove(0);
+        assert_eq!(dx.shape().dims(), &[2, 2, 3]);
+        assert!(dx.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn concat_forward_backward_partition() {
+        let mut layer = ConcatLayer::new();
+        let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec([2, 1], vec![9., 8.]);
+        let y = layer.forward(&[&a, &b], true);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert_eq!(y.data(), &[1., 2., 9., 3., 4., 8.]);
+        let grads = layer.backward(&y);
+        assert!(grads[0].approx_eq(&a, 0.0));
+        assert!(grads[1].approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn concat_batch_mismatch_panics() {
+        let mut layer = ConcatLayer::new();
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([3, 2]);
+        layer.forward(&[&a, &b], true);
+    }
+}

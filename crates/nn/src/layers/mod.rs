@@ -1,0 +1,75 @@
+//! Trainable layer implementations.
+//!
+//! Every layer caches whatever its backward pass needs during `forward`, and
+//! accumulates parameter gradients internally; the [`crate::Model`] walks its
+//! DAG calling `forward`/`backward` and exposes parameters to the optimizer
+//! through [`Layer::visit_updates`].
+
+mod conv;
+mod dense;
+mod misc;
+mod norm;
+mod pool;
+
+pub use conv::{Conv1DLayer, Conv2DLayer};
+pub use dense::DenseLayer;
+pub use misc::{ActivationLayer, ConcatLayer, DropoutLayer, FlattenLayer, IdentityLayer};
+pub use norm::BatchNormLayer;
+pub use pool::{MaxPool1DLayer, MaxPool2DLayer};
+
+use swt_tensor::Tensor;
+
+/// A trainable (or stateless) layer.
+///
+/// `forward` receives one batched tensor per DAG input (leading dimension =
+/// batch). `backward` receives the upstream gradient of the layer output and
+/// returns one gradient per input, in the same order.
+pub trait Layer: Send {
+    /// Run the layer. `training` toggles batch-statistics / dropout
+    /// behaviour exactly like Keras' `training=True`.
+    fn forward(&mut self, inputs: &[&Tensor], training: bool) -> Tensor;
+
+    /// Backpropagate; must be preceded by a `forward` call whose
+    /// intermediate state is still cached. Parameter gradients accumulate
+    /// into the layer.
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor>;
+
+    /// Visit trainable parameters as `(local_name, value)`.
+    fn visit_params(&self, _f: &mut dyn FnMut(&str, &Tensor)) {}
+
+    /// Visit trainable parameters mutably (used by weight transfer /
+    /// checkpoint restore).
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&str, &mut Tensor)) {}
+
+    /// Visit `(local_name, parameter, gradient)` triples for the optimizer.
+    fn visit_updates(&mut self, _f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {}
+
+    /// Reset accumulated gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Non-trainable state persisted in checkpoints (e.g. batch-norm running
+    /// statistics), as `(local_name, value)`.
+    fn visit_state(&self, _f: &mut dyn FnMut(&str, &Tensor)) {}
+
+    /// Restore one piece of non-trainable state; returns false when the name
+    /// is not recognised.
+    fn load_state(&mut self, _name: &str, _value: &Tensor) -> bool {
+        false
+    }
+}
+
+/// Glorot-uniform initialisation limit for the given fan-in/fan-out.
+pub(crate) fn glorot_limit(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_limit_shrinks_with_fan() {
+        assert!(glorot_limit(10, 10) > glorot_limit(100, 100));
+        assert!((glorot_limit(3, 3) - 1.0).abs() < 1e-6);
+    }
+}

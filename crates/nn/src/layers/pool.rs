@@ -1,0 +1,92 @@
+//! Max-pooling layers.
+
+use super::Layer;
+use swt_tensor::{
+    maxpool1d_backward, maxpool1d_forward, maxpool2d_backward, maxpool2d_forward, Tensor,
+};
+
+/// 2-D max pooling over `(batch, h, w, c)`.
+pub struct MaxPool2DLayer {
+    size: usize,
+    stride: usize,
+    cached_argmax: Vec<u32>,
+    cached_input_shape: Vec<usize>,
+}
+
+impl MaxPool2DLayer {
+    pub fn new(size: usize, stride: usize) -> Self {
+        MaxPool2DLayer { size, stride, cached_argmax: Vec::new(), cached_input_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2DLayer {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+        let x = inputs[0];
+        let (y, arg) = maxpool2d_forward(x, self.size, self.stride);
+        self.cached_argmax = arg;
+        self.cached_input_shape = x.shape().dims().to_vec();
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        vec![maxpool2d_backward(&self.cached_input_shape, dout, &self.cached_argmax)]
+    }
+}
+
+/// 1-D max pooling over `(batch, w, c)`.
+pub struct MaxPool1DLayer {
+    size: usize,
+    stride: usize,
+    cached_argmax: Vec<u32>,
+    cached_input_shape: Vec<usize>,
+}
+
+impl MaxPool1DLayer {
+    pub fn new(size: usize, stride: usize) -> Self {
+        MaxPool1DLayer { size, stride, cached_argmax: Vec::new(), cached_input_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool1DLayer {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+        let x = inputs[0];
+        let (y, arg) = maxpool1d_forward(x, self.size, self.stride);
+        self.cached_argmax = arg;
+        self.cached_input_shape = x.shape().dims().to_vec();
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+        vec![maxpool1d_backward(&self.cached_input_shape, dout, &self.cached_argmax)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_layer_round_trip() {
+        let mut layer = MaxPool2DLayer::new(2, 2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec([1, 2, 4, 1], vec![
+            1., 2., 3., 4.,
+            8., 7., 6., 5.,
+        ]);
+        let y = layer.forward(&[&x], true);
+        assert_eq!(y.data(), &[8., 6.]);
+        let dx = layer.backward(&Tensor::from_vec([1, 1, 2, 1], vec![1.0, 2.0])).remove(0);
+        assert_eq!(dx.data(), &[0., 0., 0., 0., 1., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn pool1d_layer_has_no_params() {
+        let mut layer = MaxPool1DLayer::new(2, 2);
+        let mut count = 0;
+        layer.visit_params(&mut |_, _| count += 1);
+        layer.visit_updates(&mut |_, _, _| count += 1);
+        assert_eq!(count, 0);
+        let x = Tensor::from_vec([1, 4, 1], vec![1., 3., 2., 4.]);
+        assert_eq!(layer.forward(&[&x], false).data(), &[3., 4.]);
+    }
+}

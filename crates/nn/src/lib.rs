@@ -1,0 +1,32 @@
+//! Neural-network stack for the selective-weight-transfer reproduction.
+//!
+//! This crate is the Keras/TensorFlow substitute: declarative model
+//! specifications ([`ModelSpec`]) describing a DAG of layers, a builder that
+//! materialises them into trainable [`Model`]s, losses/metrics, the Adam
+//! optimizer the paper configures (lr 1e-3, β₁ 0.9, β₂ 0.999, ε 1e-7), and a
+//! [`Trainer`] with the paper's early-stopping rule (stop when the objective
+//! metric moves less than a threshold for two consecutive epochs).
+//!
+//! Two properties matter for the reproduction:
+//!
+//! * **Parameter naming and ordering are deterministic** — the shape
+//!   sequences that drive LP/LCS weight transfer (`swt-core`) are derived
+//!   from [`ModelSpec::param_shapes`] *without building the model*, and are
+//!   guaranteed to align 1:1 with [`Model::named_params`].
+//! * **Everything is seeded** — weight init and dropout masks derive from a
+//!   single build seed, so candidate evaluation is reproducible.
+
+pub mod dataset;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optimizer;
+pub mod spec;
+pub mod trainer;
+
+pub use dataset::Dataset;
+pub use loss::{Loss, Metric};
+pub use model::Model;
+pub use optimizer::{Adam, AdamConfig, Sgd};
+pub use spec::{Activation, LayerSpec, ModelSpec, NodeSpec, SpecError};
+pub use trainer::{EarlyStop, EpochRecord, TrainConfig, TrainReport, Trainer};

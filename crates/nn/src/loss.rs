@@ -1,0 +1,189 @@
+//! Losses and objective metrics.
+//!
+//! Table I: CIFAR-10, MNIST and NT3 train with categorical cross-entropy and
+//! report accuracy; Uno trains with mean absolute error and reports `R²`.
+
+use swt_tensor::{softmax_rows, Tensor};
+
+/// Training loss functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax + categorical cross-entropy over one-hot targets.
+    CategoricalCrossEntropy,
+    /// Mean absolute error for regression.
+    MeanAbsoluteError,
+}
+
+impl Loss {
+    /// Compute the scalar loss and the gradient w.r.t. the prediction.
+    ///
+    /// * CE: `pred` is logits `(batch, classes)`, `target` one-hot of the
+    ///   same shape.
+    /// * MAE: `pred` and `target` are `(batch, outputs)`.
+    pub fn forward_backward(&self, pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        match self {
+            Loss::CategoricalCrossEntropy => {
+                let batch = pred.shape().dim(0) as f64;
+                let probs = softmax_rows(pred);
+                let mut loss = 0.0f64;
+                for (&p, &t) in probs.data().iter().zip(target.data()) {
+                    if t > 0.0 {
+                        loss -= f64::from(t) * f64::from(p.max(1e-12)).ln();
+                    }
+                }
+                loss /= batch;
+                // dL/dlogits = (softmax - onehot) / batch
+                let grad = probs.zip_map(target, |p, t| (p - t) / batch as f32);
+                (loss, grad)
+            }
+            Loss::MeanAbsoluteError => {
+                let n = pred.numel() as f64;
+                let mut loss = 0.0f64;
+                for (&p, &t) in pred.data().iter().zip(target.data()) {
+                    loss += f64::from((p - t).abs());
+                }
+                loss /= n;
+                let grad = pred.zip_map(target, |p, t| {
+                    let d = p - t;
+                    if d > 0.0 {
+                        1.0 / n as f32
+                    } else if d < 0.0 {
+                        -1.0 / n as f32
+                    } else {
+                        0.0
+                    }
+                });
+                (loss, grad)
+            }
+        }
+    }
+}
+
+/// Objective metrics (higher is better for both, matching the paper's
+/// "score" convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Classification accuracy against one-hot targets.
+    Accuracy,
+    /// Coefficient of determination `R² = 1 - SS_res / SS_tot`.
+    RSquared,
+}
+
+impl Metric {
+    /// Evaluate the metric over a full prediction/target pair.
+    pub fn evaluate(&self, pred: &Tensor, target: &Tensor) -> f64 {
+        assert_eq!(pred.shape(), target.shape(), "metric shape mismatch");
+        match self {
+            Metric::Accuracy => {
+                let yhat = pred.row_argmax();
+                let y = target.row_argmax();
+                if yhat.is_empty() {
+                    return 0.0;
+                }
+                let hits = yhat.iter().zip(&y).filter(|(a, b)| a == b).count();
+                hits as f64 / yhat.len() as f64
+            }
+            Metric::RSquared => {
+                let n = target.numel() as f64;
+                if n == 0.0 {
+                    return 0.0;
+                }
+                let mean: f64 = target.data().iter().map(|&t| f64::from(t)).sum::<f64>() / n;
+                let mut ss_res = 0.0f64;
+                let mut ss_tot = 0.0f64;
+                for (&p, &t) in pred.data().iter().zip(target.data()) {
+                    ss_res += (f64::from(t) - f64::from(p)).powi(2);
+                    ss_tot += (f64::from(t) - mean).powi(2);
+                }
+                if ss_tot == 0.0 {
+                    return 0.0;
+                }
+                1.0 - ss_res / ss_tot
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swt_tensor::Rng;
+
+    #[test]
+    fn ce_loss_of_perfect_prediction_is_small() {
+        let pred = Tensor::from_vec([2, 3], vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0]);
+        let target = Tensor::from_vec([2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let (loss, _) = Loss::CategoricalCrossEntropy.forward_backward(&pred, &target);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn ce_loss_of_uniform_prediction_is_log_classes() {
+        let pred = Tensor::zeros([4, 8]);
+        let mut target = Tensor::zeros([4, 8]);
+        for r in 0..4 {
+            target.set(&[r, r], 1.0);
+        }
+        let (loss, _) = Loss::CategoricalCrossEntropy.forward_backward(&pred, &target);
+        assert!((loss - (8.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ce_gradient_matches_numeric() {
+        let mut rng = Rng::seed(1);
+        let pred = Tensor::rand_normal([3, 4], 0.0, 1.0, &mut rng);
+        let mut target = Tensor::zeros([3, 4]);
+        for r in 0..3 {
+            target.set(&[r, (r * 2 + 1) % 4], 1.0);
+        }
+        let (_, grad) = Loss::CategoricalCrossEntropy.forward_backward(&pred, &target);
+        let eps = 1e-3f32;
+        for i in 0..pred.numel() {
+            let mut plus = pred.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = pred.clone();
+            minus.data_mut()[i] -= eps;
+            let lp = Loss::CategoricalCrossEntropy.forward_backward(&plus, &target).0;
+            let lm = Loss::CategoricalCrossEntropy.forward_backward(&minus, &target).0;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((num - grad.data()[i]).abs() < 1e-3, "grad[{i}]");
+        }
+    }
+
+    #[test]
+    fn mae_loss_and_gradient() {
+        let pred = Tensor::from_vec([2, 1], vec![1.0, 3.0]);
+        let target = Tensor::from_vec([2, 1], vec![2.0, 1.0]);
+        let (loss, grad) = Loss::MeanAbsoluteError.forward_backward(&pred, &target);
+        assert!((loss - 1.5).abs() < 1e-9);
+        assert_eq!(grad.data(), &[-0.5, 0.5]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let pred = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let target = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
+        assert!((Metric::Accuracy.evaluate(&pred, &target) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_reference_values() {
+        let target = Tensor::from_vec([4, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        // Perfect prediction -> 1.
+        assert!((Metric::RSquared.evaluate(&target, &target) - 1.0).abs() < 1e-9);
+        // Predicting the mean -> 0.
+        let mean_pred = Tensor::full([4, 1], 2.5);
+        assert!(Metric::RSquared.evaluate(&mean_pred, &target).abs() < 1e-9);
+        // Worse than the mean -> negative.
+        let bad = Tensor::from_vec([4, 1], vec![4.0, 3.0, 2.0, 1.0]);
+        assert!(Metric::RSquared.evaluate(&bad, &target) < 0.0);
+    }
+
+    #[test]
+    fn r_squared_constant_target_is_zero() {
+        let target = Tensor::full([3, 1], 2.0);
+        let pred = Tensor::from_vec([3, 1], vec![1.0, 2.0, 3.0]);
+        assert_eq!(Metric::RSquared.evaluate(&pred, &target), 0.0);
+    }
+}

@@ -1,0 +1,447 @@
+//! Trainable model: a [`ModelSpec`] materialised into layer instances.
+
+use crate::layers::{
+    ActivationLayer, BatchNormLayer, ConcatLayer, Conv1DLayer, Conv2DLayer, DenseLayer,
+    DropoutLayer, FlattenLayer, IdentityLayer, Layer, MaxPool1DLayer, MaxPool2DLayer,
+};
+use crate::spec::{LayerSpec, ModelSpec, NodeSpec, SpecError};
+use swt_tensor::{Rng, Shape, Tensor};
+
+/// A built model: DAG of layer instances plus the spec it came from.
+///
+/// Construction is deterministic: all weight initialisation and dropout
+/// randomness derives from the `seed` passed to [`Model::build`], with one
+/// forked stream per node, so two builds from the same `(spec, seed)` are
+/// identical — the property the baseline-vs-transfer experiments rely on.
+pub struct Model {
+    spec: ModelSpec,
+    layers: Vec<Option<Box<dyn Layer>>>,
+    input_nodes: Vec<usize>,
+    /// Per-node forward outputs, kept for the backward pass.
+    outputs: Vec<Option<Tensor>>,
+}
+
+impl Model {
+    /// Build the model described by `spec`, initialising parameters from
+    /// `seed`.
+    pub fn build(spec: &ModelSpec, seed: u64) -> Result<Model, SpecError> {
+        let shapes = spec.infer_shapes()?;
+        let mut root = Rng::seed(seed);
+        let mut layers: Vec<Option<Box<dyn Layer>>> = Vec::with_capacity(spec.nodes().len());
+        for (i, node) in spec.nodes().iter().enumerate() {
+            let layer: Option<Box<dyn Layer>> = match node {
+                NodeSpec::Input { .. } => None,
+                NodeSpec::Layer { op, inputs } => {
+                    let mut rng = root.fork(i as u64);
+                    let in_shape = &shapes[inputs[0]];
+                    Some(build_layer(op, in_shape, &mut rng))
+                }
+            };
+            layers.push(layer);
+        }
+        Ok(Model {
+            spec: spec.clone(),
+            input_nodes: spec.input_nodes(),
+            outputs: vec![None; spec.nodes().len()],
+            layers,
+        })
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Forward pass. `inputs` must match [`ModelSpec::input_nodes`] in count
+    /// and order, each with a leading batch dimension.
+    pub fn forward(&mut self, inputs: &[&Tensor], training: bool) -> Tensor {
+        assert_eq!(inputs.len(), self.input_nodes.len(), "wrong number of model inputs");
+        let batch = inputs[0].shape().dim(0);
+        for t in inputs {
+            assert_eq!(t.shape().dim(0), batch, "inconsistent batch sizes");
+        }
+        let mut next_input = 0;
+        for i in 0..self.spec.nodes().len() {
+            let out = match &self.spec.nodes()[i] {
+                NodeSpec::Input { shape } => {
+                    let t = inputs[next_input];
+                    assert_eq!(
+                        &t.shape().dims()[1..],
+                        shape.as_slice(),
+                        "input {next_input} per-sample shape mismatch"
+                    );
+                    next_input += 1;
+                    t.clone()
+                }
+                NodeSpec::Layer { inputs: in_ids, .. } => {
+                    let gathered: Vec<&Tensor> =
+                        in_ids.iter().map(|&j| self.outputs[j].as_ref().expect("topo order")).collect();
+                    self.layers[i].as_mut().unwrap().forward(&gathered, training)
+                }
+            };
+            self.outputs[i] = Some(out);
+        }
+        self.outputs[self.spec.output()].clone().unwrap()
+    }
+
+    /// Backward pass from the loss gradient of the output. Parameter
+    /// gradients accumulate inside the layers; call [`Model::zero_grads`]
+    /// between steps.
+    pub fn backward(&mut self, dout: &Tensor) {
+        let n = self.spec.nodes().len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[self.spec.output()] = Some(dout.clone());
+        for i in (0..n).rev() {
+            let Some(grad) = grads[i].take() else { continue };
+            let NodeSpec::Layer { inputs: in_ids, .. } = &self.spec.nodes()[i] else {
+                continue; // input node: gradient terminates
+            };
+            let input_grads = self.layers[i].as_mut().unwrap().backward(&grad);
+            debug_assert_eq!(input_grads.len(), in_ids.len());
+            for (j, g) in in_ids.iter().zip(input_grads) {
+                match &mut grads[*j] {
+                    Some(acc) => acc.axpy(1.0, &g),
+                    slot => *slot = Some(g),
+                }
+            }
+        }
+    }
+
+    /// Zero all accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in self.layers.iter_mut().flatten() {
+            layer.zero_grads();
+        }
+    }
+
+    /// Visit `(full_name, param, grad)` for the optimizer. Names are
+    /// `n{idx}_{kind}/{local}` and enumeration order is deterministic.
+    pub fn visit_updates(&mut self, f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let Some(layer) = layer else { continue };
+            let prefix = self.spec.node_name(i);
+            layer.visit_updates(&mut |local, p, g| f(&format!("{prefix}/{local}"), p, g));
+        }
+    }
+
+    /// Trainable parameters as `(full_name, value)` in topological order —
+    /// guaranteed to align with [`ModelSpec::param_shapes`].
+    pub fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let Some(layer) = layer else { continue };
+            let prefix = self.spec.node_name(i);
+            layer.visit_params(&mut |local, t| out.push((format!("{prefix}/{local}"), t.clone())));
+        }
+        out
+    }
+
+    /// Overwrite one trainable parameter by full name. The shape must match.
+    /// Returns false if the name is unknown or the shape differs.
+    pub fn set_param(&mut self, full_name: &str, value: &Tensor) -> bool {
+        let Some((node_name, local)) = full_name.split_once('/') else { return false };
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let Some(layer) = layer else { continue };
+            if self.spec.node_name(i) != node_name {
+                continue;
+            }
+            let mut done = false;
+            layer.visit_params_mut(&mut |name, p| {
+                if name == local && p.shape() == value.shape() {
+                    *p = value.clone();
+                    done = true;
+                }
+            });
+            return done;
+        }
+        false
+    }
+
+    /// Full persistent state: trainable parameters followed by non-trainable
+    /// layer state (batch-norm running statistics). This is what checkpoints
+    /// store.
+    pub fn state_dict(&self) -> Vec<(String, Tensor)> {
+        let mut out = self.named_params();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let Some(layer) = layer else { continue };
+            let prefix = self.spec.node_name(i);
+            layer.visit_state(&mut |local, t| out.push((format!("{prefix}/{local}"), t.clone())));
+        }
+        out
+    }
+
+    /// Restore parameters and state from a checkpoint's entries. Entries with
+    /// unknown names or mismatched shapes are counted as skipped; the return
+    /// value is `(loaded, skipped)`.
+    pub fn load_state_dict(&mut self, entries: &[(String, Tensor)]) -> (usize, usize) {
+        let mut loaded = 0;
+        let mut skipped = 0;
+        for (name, value) in entries {
+            if self.set_param(name, value) {
+                loaded += 1;
+                continue;
+            }
+            // Try non-trainable state.
+            let mut ok = false;
+            if let Some((node_name, local)) = name.split_once('/') {
+                for (i, layer) in self.layers.iter_mut().enumerate() {
+                    let Some(layer) = layer else { continue };
+                    if self.spec.node_name(i) == node_name {
+                        ok = layer.load_state(local, value);
+                        break;
+                    }
+                }
+            }
+            if ok {
+                loaded += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        (loaded, skipped)
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.named_params().iter().map(|(_, t)| t.numel()).sum()
+    }
+}
+
+fn build_layer(op: &LayerSpec, input_shape: &Shape, rng: &mut Rng) -> Box<dyn Layer> {
+    match op {
+        LayerSpec::Identity => Box::new(IdentityLayer),
+        LayerSpec::Dense { units, activation } => {
+            Box::new(DenseLayer::new(input_shape.dim(0), *units, *activation, rng))
+        }
+        LayerSpec::Activation(a) => Box::new(ActivationLayer::new(*a)),
+        LayerSpec::Conv2D { filters, kernel, padding, l2 } => Box::new(Conv2DLayer::new(
+            input_shape.dim(2),
+            *filters,
+            *kernel,
+            *padding,
+            *l2,
+            rng,
+        )),
+        LayerSpec::Conv1D { filters, kernel, padding, l2 } => Box::new(Conv1DLayer::new(
+            input_shape.dim(1),
+            *filters,
+            *kernel,
+            *padding,
+            *l2,
+            rng,
+        )),
+        LayerSpec::MaxPool2D { size, stride } => Box::new(MaxPool2DLayer::new(*size, *stride)),
+        LayerSpec::MaxPool1D { size, stride } => Box::new(MaxPool1DLayer::new(*size, *stride)),
+        LayerSpec::BatchNorm => {
+            Box::new(BatchNormLayer::new(input_shape.dim(input_shape.rank() - 1)))
+        }
+        LayerSpec::Dropout { rate } => Box::new(DropoutLayer::new(*rate, rng.fork(0xD80))),
+        LayerSpec::Flatten => Box::new(FlattenLayer::new()),
+        LayerSpec::Concat => Box::new(ConcatLayer::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Activation;
+    use swt_tensor::Padding;
+
+    fn small_cnn() -> ModelSpec {
+        ModelSpec::chain(
+            vec![6, 6, 1],
+            vec![
+                LayerSpec::Conv2D { filters: 3, kernel: 3, padding: Padding::Same, l2: 0.0 },
+                LayerSpec::Activation(Activation::Relu),
+                LayerSpec::MaxPool2D { size: 2, stride: 2 },
+                LayerSpec::Flatten,
+                LayerSpec::Dense { units: 4, activation: None },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_is_seed_deterministic() {
+        let spec = small_cnn();
+        let a = Model::build(&spec, 99).unwrap();
+        let b = Model::build(&spec, 99).unwrap();
+        for ((na, ta), (nb, tb)) in a.named_params().iter().zip(b.named_params().iter()) {
+            assert_eq!(na, nb);
+            assert!(ta.approx_eq(tb, 0.0), "param {na} differs across same-seed builds");
+        }
+        let c = Model::build(&spec, 100).unwrap();
+        let any_diff = a
+            .named_params()
+            .iter()
+            .zip(c.named_params().iter())
+            .any(|((_, ta), (_, tc))| !ta.approx_eq(tc, 0.0));
+        assert!(any_diff, "different seeds must differ");
+    }
+
+    #[test]
+    fn named_params_align_with_spec_param_shapes() {
+        let spec = small_cnn();
+        let model = Model::build(&spec, 1).unwrap();
+        let built: Vec<(String, Shape)> =
+            model.named_params().into_iter().map(|(n, t)| (n, t.shape().clone())).collect();
+        let declared = spec.param_shapes().unwrap();
+        assert_eq!(built, declared);
+        assert_eq!(model.param_count(), spec.param_count().unwrap());
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let spec = small_cnn();
+        let mut model = Model::build(&spec, 5).unwrap();
+        let mut rng = Rng::seed(7);
+        let x = Tensor::rand_normal([2, 6, 6, 1], 0.0, 1.0, &mut rng);
+        let y1 = model.forward(&[&x], false);
+        assert_eq!(y1.shape().dims(), &[2, 4]);
+        let y2 = model.forward(&[&x], false);
+        assert!(y1.approx_eq(&y2, 0.0), "inference must be deterministic");
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        // A smooth variant (tanh, no max-pool) so the central-difference
+        // probe is valid everywhere.
+        let spec = ModelSpec::chain(
+            vec![6, 6, 1],
+            vec![
+                LayerSpec::Conv2D { filters: 3, kernel: 3, padding: Padding::Same, l2: 0.0 },
+                LayerSpec::Activation(Activation::Tanh),
+                LayerSpec::Flatten,
+                LayerSpec::Dense { units: 4, activation: Some(Activation::Tanh) },
+            ],
+        )
+        .unwrap();
+        let mut model = Model::build(&spec, 3).unwrap();
+        let mut rng = Rng::seed(11);
+        let x = Tensor::rand_normal([2, 6, 6, 1], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([2, 4], 0.0, 1.0, &mut rng);
+        // Loss = <w, model(x)>.
+        let y = model.forward(&[&x], true);
+        model.zero_grads();
+        model.backward(&w);
+        let mut grads: Vec<(String, Tensor)> = Vec::new();
+        model.visit_updates(&mut |n, _p, g| grads.push((n.to_string(), g.clone())));
+        let _ = y;
+        let eps = 1e-2f32;
+        for (name, grad) in &grads {
+            for probe in 0..grad.numel().min(5) {
+                let i = probe * grad.numel().div_ceil(5).max(1) % grad.numel();
+                let peek = |model: &mut Model, delta: f32| -> f32 {
+                    model.visit_updates(&mut |n, p, _g| {
+                        if n == name {
+                            p.data_mut()[i] += delta;
+                        }
+                    });
+                    let v = model.forward(&[&x], true).zip_map(&w, |a, b| a * b).sum();
+                    model.visit_updates(&mut |n, p, _g| {
+                        if n == name {
+                            p.data_mut()[i] -= delta;
+                        }
+                    });
+                    v
+                };
+                let num = (peek(&mut model, eps) - peek(&mut model, -eps)) / (2.0 * eps);
+                assert!(
+                    (num - grad.data()[i]).abs() < 3e-2,
+                    "{name}[{i}]: analytic {} numeric {num}",
+                    grad.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_param_validates_name_and_shape() {
+        let spec = small_cnn();
+        let mut model = Model::build(&spec, 1).unwrap();
+        let good = Tensor::ones([3, 3, 1, 3]);
+        assert!(model.set_param("n1_conv2d/kernel", &good));
+        assert!(model.named_params()[0].1.approx_eq(&good, 0.0));
+        assert!(!model.set_param("n1_conv2d/kernel", &Tensor::ones([2, 2, 1, 3])));
+        assert!(!model.set_param("nope/kernel", &good));
+        assert!(!model.set_param("malformed", &good));
+    }
+
+    #[test]
+    fn state_dict_round_trip() {
+        let spec = ModelSpec::chain(
+            vec![4, 4, 2],
+            vec![LayerSpec::BatchNorm, LayerSpec::Flatten, LayerSpec::Dense { units: 2, activation: None }],
+        )
+        .unwrap();
+        let mut a = Model::build(&spec, 1).unwrap();
+        // Train-mode forward to move the running stats.
+        let mut rng = Rng::seed(2);
+        let x = Tensor::rand_normal([8, 4, 4, 2], 3.0, 2.0, &mut rng);
+        let _ = a.forward(&[&x], true);
+        let state = a.state_dict();
+        assert!(state.iter().any(|(n, _)| n.ends_with("running_mean")));
+
+        let mut b = Model::build(&spec, 999).unwrap();
+        let (loaded, skipped) = b.load_state_dict(&state);
+        assert_eq!(skipped, 0);
+        assert_eq!(loaded, state.len());
+        for ((_, ta), (_, tb)) in a.state_dict().iter().zip(b.state_dict().iter()) {
+            assert!(ta.approx_eq(tb, 0.0));
+        }
+        // Identical state => identical inference.
+        let ya = a.forward(&[&x], false);
+        let yb = b.forward(&[&x], false);
+        assert!(ya.approx_eq(&yb, 1e-6));
+    }
+
+    #[test]
+    fn multi_input_concat_model() {
+        let nodes = vec![
+            NodeSpec::Input { shape: vec![3] },
+            NodeSpec::Input { shape: vec![2] },
+            NodeSpec::Layer {
+                op: LayerSpec::Dense { units: 4, activation: Some(Activation::Relu) },
+                inputs: vec![0],
+            },
+            NodeSpec::Layer { op: LayerSpec::Concat, inputs: vec![2, 1] },
+            NodeSpec::Layer { op: LayerSpec::Dense { units: 1, activation: None }, inputs: vec![3] },
+        ];
+        let spec = ModelSpec::new(nodes, 4).unwrap();
+        let mut model = Model::build(&spec, 4).unwrap();
+        let a = Tensor::ones([5, 3]);
+        let b = Tensor::ones([5, 2]);
+        let y = model.forward(&[&a, &b], true);
+        assert_eq!(y.shape().dims(), &[5, 1]);
+        model.zero_grads();
+        model.backward(&Tensor::ones([5, 1]));
+        // Both dense layers must have received gradients.
+        let mut nonzero = 0;
+        model.visit_updates(&mut |_n, _p, g| {
+            if g.max_abs() > 0.0 {
+                nonzero += 1;
+            }
+        });
+        assert!(nonzero >= 2, "expected gradients in both dense layers");
+    }
+
+    #[test]
+    fn diamond_dag_accumulates_gradients() {
+        // input -> id -> (two consumers) -> concat: gradient into the shared
+        // node must be the sum of both branch gradients.
+        let nodes = vec![
+            NodeSpec::Input { shape: vec![2] },
+            NodeSpec::Layer { op: LayerSpec::Identity, inputs: vec![0] },
+            NodeSpec::Layer { op: LayerSpec::Identity, inputs: vec![1] },
+            NodeSpec::Layer { op: LayerSpec::Identity, inputs: vec![1] },
+            NodeSpec::Layer { op: LayerSpec::Concat, inputs: vec![2, 3] },
+        ];
+        let spec = ModelSpec::new(nodes, 4).unwrap();
+        let mut model = Model::build(&spec, 0).unwrap();
+        let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]);
+        let y = model.forward(&[&x], true);
+        assert_eq!(y.data(), &[1.0, 2.0, 1.0, 2.0]);
+        // No trainable params, but backward must not panic and must fan-in.
+        model.backward(&Tensor::ones([1, 4]));
+    }
+}

@@ -1,0 +1,292 @@
+//! Training loop with the paper's early-stopping rule.
+//!
+//! Section VIII-B: "We apply early stopping, which means if the objective
+//! metrics do not change by more than a given threshold for a fixed number of
+//! epochs (two in our case), the training stops." Per-application thresholds
+//! are NT3 0.005, MNIST 0.001, CIFAR-10 0.01, Uno 0.02.
+
+use crate::dataset::Dataset;
+use crate::loss::{Loss, Metric};
+use crate::model::Model;
+use crate::optimizer::{Adam, AdamConfig};
+use swt_tensor::{Rng, Tensor};
+
+/// The paper's early-stopping rule: stop once the validation objective has
+/// changed by at most `threshold` for `patience` consecutive epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    pub threshold: f64,
+    pub patience: usize,
+}
+
+impl EarlyStop {
+    /// The paper's patience of two epochs with an app-specific threshold.
+    pub fn paper(threshold: f64) -> Self {
+        EarlyStop { threshold, patience: 2 }
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub adam: AdamConfig,
+    /// Seed for epoch shuffling (weight init is seeded at model build).
+    pub shuffle_seed: u64,
+    pub early_stop: Option<EarlyStop>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 1,
+            batch_size: 64,
+            adam: AdamConfig::default(),
+            shuffle_seed: 0,
+            early_stop: None,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    pub train_loss: f64,
+    pub val_metric: f64,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    pub records: Vec<EpochRecord>,
+    pub epochs_run: usize,
+    pub early_stopped: bool,
+    /// Validation objective after the final epoch.
+    pub final_metric: f64,
+}
+
+/// Couples a loss with the objective metric used to score candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trainer {
+    pub loss: Loss,
+    pub metric: Metric,
+}
+
+impl Trainer {
+    pub fn new(loss: Loss, metric: Metric) -> Self {
+        Trainer { loss, metric }
+    }
+
+    /// Train `model` on `train`, evaluating on `val` after every epoch.
+    pub fn fit(
+        &self,
+        model: &mut Model,
+        train: &Dataset,
+        val: &Dataset,
+        cfg: &TrainConfig,
+    ) -> TrainReport {
+        assert!(cfg.epochs > 0, "epochs must be positive");
+        let mut adam = Adam::new(cfg.adam);
+        let mut rng = Rng::seed(cfg.shuffle_seed);
+        let mut records = Vec::with_capacity(cfg.epochs);
+        let mut flat_epochs = 0usize;
+        let mut prev_metric: Option<f64> = None;
+        let mut early_stopped = false;
+
+        for epoch in 0..cfg.epochs {
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for idx in train.batch_indices(cfg.batch_size, Some(&mut rng)) {
+                let (inputs, targets) = train.batch(&idx);
+                let input_refs: Vec<&Tensor> = inputs.iter().collect();
+                let pred = model.forward(&input_refs, true);
+                let (loss, grad) = self.loss.forward_backward(&pred, &targets);
+                model.zero_grads();
+                model.backward(&grad);
+                adam.step(model);
+                loss_sum += loss;
+                batches += 1;
+            }
+            let val_metric = self.evaluate(model, val, cfg.batch_size);
+            records.push(EpochRecord {
+                epoch,
+                train_loss: loss_sum / batches.max(1) as f64,
+                val_metric,
+            });
+            if let Some(es) = cfg.early_stop {
+                if let Some(prev) = prev_metric {
+                    if (val_metric - prev).abs() <= es.threshold {
+                        flat_epochs += 1;
+                    } else {
+                        flat_epochs = 0;
+                    }
+                    if flat_epochs >= es.patience {
+                        early_stopped = true;
+                        break;
+                    }
+                }
+                prev_metric = Some(val_metric);
+            }
+        }
+        let final_metric = records.last().map(|r| r.val_metric).unwrap_or(0.0);
+        TrainReport { epochs_run: records.len(), records, early_stopped, final_metric }
+    }
+
+    /// Batched evaluation of the objective metric on a dataset.
+    pub fn evaluate(&self, model: &mut Model, data: &Dataset, batch_size: usize) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        // Run prediction in batches, then evaluate the metric globally (R²
+        // is not batch-decomposable).
+        let mut preds: Option<Vec<f32>> = None;
+        let mut pred_cols = 0usize;
+        for idx in data.batch_indices(batch_size, None) {
+            let (inputs, _) = data.batch(&idx);
+            let input_refs: Vec<&Tensor> = inputs.iter().collect();
+            let out = model.forward(&input_refs, false);
+            pred_cols = out.numel() / idx.len();
+            preds.get_or_insert_with(Vec::new).extend_from_slice(out.data());
+        }
+        let preds = Tensor::from_vec([data.len(), pred_cols], preds.unwrap());
+        self.metric.evaluate(&preds, data.targets())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Activation, LayerSpec, ModelSpec};
+
+    /// Tiny linearly-separable classification problem.
+    fn blob_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed(seed);
+        let mut xs = Vec::with_capacity(n * 2);
+        let mut ys = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let class = rng.below(2);
+            let cx = if class == 0 { -1.0 } else { 1.0 };
+            xs.push(cx + 0.3 * rng.normal());
+            xs.push(-cx + 0.3 * rng.normal());
+            ys.extend_from_slice(if class == 0 { &[1.0, 0.0] } else { &[0.0, 1.0] });
+        }
+        Dataset::new(vec![Tensor::from_vec([n, 2], xs)], Tensor::from_vec([n, 2], ys))
+    }
+
+    fn mlp() -> Model {
+        let spec = ModelSpec::chain(
+            vec![2],
+            vec![
+                LayerSpec::Dense { units: 8, activation: Some(Activation::Relu) },
+                LayerSpec::Dense { units: 2, activation: None },
+            ],
+        )
+        .unwrap();
+        Model::build(&spec, 42).unwrap()
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let train = blob_dataset(256, 1);
+        let val = blob_dataset(64, 2);
+        let mut model = mlp();
+        let trainer = Trainer::new(Loss::CategoricalCrossEntropy, Metric::Accuracy);
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            adam: AdamConfig { lr: 0.05, ..Default::default() },
+            ..Default::default()
+        };
+        let report = trainer.fit(&mut model, &train, &val, &cfg);
+        assert_eq!(report.epochs_run, 10);
+        assert!(!report.early_stopped);
+        assert!(report.final_metric > 0.95, "final accuracy {}", report.final_metric);
+        // Loss must trend downward.
+        assert!(report.records.last().unwrap().train_loss < report.records[0].train_loss);
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let train = blob_dataset(256, 3);
+        let val = blob_dataset(64, 4);
+        let mut model = mlp();
+        let trainer = Trainer::new(Loss::CategoricalCrossEntropy, Metric::Accuracy);
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 32,
+            adam: AdamConfig { lr: 0.05, ..Default::default() },
+            early_stop: Some(EarlyStop::paper(0.01)),
+            ..Default::default()
+        };
+        let report = trainer.fit(&mut model, &train, &val, &cfg);
+        assert!(report.early_stopped, "separable blobs must plateau within 40 epochs");
+        assert!(report.epochs_run < 40);
+        assert!(report.final_metric > 0.9);
+    }
+
+    #[test]
+    fn early_stopping_needs_consecutive_flat_epochs() {
+        // Patience 2 means one flat epoch alone must not stop training; we
+        // verify the machinery by checking at least 3 epochs always run.
+        let train = blob_dataset(64, 5);
+        let val = blob_dataset(32, 6);
+        let mut model = mlp();
+        let trainer = Trainer::new(Loss::CategoricalCrossEntropy, Metric::Accuracy);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            early_stop: Some(EarlyStop { threshold: 1.0, patience: 2 }),
+            ..Default::default()
+        };
+        // threshold = 1.0 makes every epoch "flat": stop after epoch 3
+        // (first epoch has no predecessor, then two flat comparisons).
+        let report = trainer.fit(&mut model, &train, &val, &cfg);
+        assert_eq!(report.epochs_run, 3);
+        assert!(report.early_stopped);
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_and_batch_insensitive() {
+        let val = blob_dataset(50, 7);
+        let mut model = mlp();
+        let trainer = Trainer::new(Loss::CategoricalCrossEntropy, Metric::Accuracy);
+        let a = trainer.evaluate(&mut model, &val, 7);
+        let b = trainer.evaluate(&mut model, &val, 50);
+        assert!((a - b).abs() < 1e-12, "batch size must not affect accuracy: {a} vs {b}");
+    }
+
+    #[test]
+    fn regression_path_improves_r2() {
+        // y = 3x - 1 with noise; a linear model should fit it well under MAE.
+        let mut rng = Rng::seed(8);
+        let make = |n: usize, rng: &mut Rng| {
+            let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+            let ys: Vec<f32> = xs.iter().map(|&x| 3.0 * x - 1.0 + 0.05 * rng.normal()).collect();
+            Dataset::new(
+                vec![Tensor::from_vec([n, 1], xs)],
+                Tensor::from_vec([n, 1], ys),
+            )
+        };
+        let train = make(256, &mut rng);
+        let val = make(64, &mut rng);
+        let spec = ModelSpec::chain(
+            vec![1],
+            vec![LayerSpec::Dense { units: 1, activation: None }],
+        )
+        .unwrap();
+        let mut model = Model::build(&spec, 9).unwrap();
+        let trainer = Trainer::new(Loss::MeanAbsoluteError, Metric::RSquared);
+        let before = trainer.evaluate(&mut model, &val, 32);
+        let cfg = TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            adam: AdamConfig { lr: 0.02, ..Default::default() },
+            ..Default::default()
+        };
+        let report = trainer.fit(&mut model, &train, &val, &cfg);
+        assert!(report.final_metric > 0.95, "R² {} (was {before})", report.final_metric);
+        assert!(report.final_metric > before);
+    }
+}

@@ -1,0 +1,474 @@
+//! The four application search-space templates (Section VII-A).
+//!
+//! Each template defines (a) the ordered variable nodes with their choice
+//! lists and (b) the fixed skeleton the chosen operations are spliced into.
+//! Dimensions are scaled relative to the paper (DESIGN.md §5) but every
+//! structural property the weight-transfer study relies on is preserved:
+//! choice *kinds* per node, node ordering, VGG-block repetition for
+//! CIFAR-10, the LeNet-5 layout for MNIST, 1-D convolution for NT3, and
+//! Uno's three input towers concatenated with a fourth raw source.
+
+use crate::space::VariableNode;
+use swt_data::AppKind;
+use swt_nn::{Activation, LayerSpec, ModelSpec, NodeSpec, SpecError};
+use swt_tensor::Padding;
+
+/// The ordered variable nodes of an application's search space.
+pub fn variable_nodes(kind: AppKind) -> Vec<VariableNode> {
+    match kind {
+        AppKind::Cifar10 => cifar_nodes(),
+        AppKind::Mnist => mnist_nodes(),
+        AppKind::Nt3 => nt3_nodes(),
+        AppKind::Uno => uno_nodes(),
+    }
+}
+
+/// Splice chosen operations into the application skeleton.
+pub fn assemble(kind: AppKind, ops: &[&LayerSpec]) -> Result<ModelSpec, SpecError> {
+    match kind {
+        AppKind::Cifar10 => assemble_cifar(ops),
+        AppKind::Mnist => assemble_mnist(ops),
+        AppKind::Nt3 => assemble_nt3(ops),
+        AppKind::Uno => assemble_uno(ops),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Choice lists
+// ---------------------------------------------------------------------------
+
+/// CIFAR "Convolution" node: filters × padding × optional L2 regularizer
+/// (paper: "varies the number of filters, 'valid' or 'same' paddings, and
+/// whether it has a kernel regularizer (L2 with 0.0005 weight decay)").
+fn cifar_conv_choices() -> Vec<LayerSpec> {
+    let mut v = Vec::new();
+    for &filters in &[8usize, 16, 24] {
+        for &padding in &[Padding::Same, Padding::Valid] {
+            for &l2 in &[0.0f32, 5e-4] {
+                v.push(LayerSpec::Conv2D { filters, kernel: 3, padding, l2 });
+            }
+        }
+    }
+    v
+}
+
+/// CIFAR "Pooling" node: identity or pooling with different sizes/strides.
+fn cifar_pool_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::MaxPool2D { size: 2, stride: 2 },
+        LayerSpec::MaxPool2D { size: 3, stride: 2 },
+    ]
+}
+
+/// CIFAR "BatchNorm" node: apply or not.
+fn cifar_bn_choices() -> Vec<LayerSpec> {
+    vec![LayerSpec::Identity, LayerSpec::BatchNorm]
+}
+
+/// CIFAR "Dense" node after the blocks.
+fn cifar_dense_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::Dense { units: 32, activation: Some(Activation::Relu) },
+        LayerSpec::Dense { units: 64, activation: Some(Activation::Relu) },
+        LayerSpec::Dense { units: 128, activation: Some(Activation::Relu) },
+    ]
+}
+
+fn cifar_nodes() -> Vec<VariableNode> {
+    let mut nodes = Vec::new();
+    for block in 0..2 {
+        for rep in 0..2 {
+            nodes.push(VariableNode::new(format!("b{block}/conv{rep}"), cifar_conv_choices()));
+            nodes.push(VariableNode::new(format!("b{block}/pool{rep}"), cifar_pool_choices()));
+            nodes.push(VariableNode::new(format!("b{block}/bn{rep}"), cifar_bn_choices()));
+        }
+    }
+    for d in 0..3 {
+        nodes.push(VariableNode::new(format!("dense{d}"), cifar_dense_choices()));
+    }
+    nodes
+}
+
+/// MNIST "Convolution" node: filter count × kernel size × padding.
+fn mnist_conv_choices() -> Vec<LayerSpec> {
+    let mut v = Vec::new();
+    for &filters in &[4usize, 8, 12, 16] {
+        for &kernel in &[3usize, 5] {
+            for &padding in &[Padding::Valid, Padding::Same] {
+                v.push(LayerSpec::Conv2D { filters, kernel, padding, l2: 0.0 });
+            }
+        }
+    }
+    v
+}
+
+/// "Activation" node: relu / tanh / sigmoid (paper).
+fn act_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Activation(Activation::Relu),
+        LayerSpec::Activation(Activation::Tanh),
+        LayerSpec::Activation(Activation::Sigmoid),
+    ]
+}
+
+/// MNIST "Pooling" node: identity or pooling with sizes/strides 2..5.
+fn mnist_pool_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::MaxPool2D { size: 2, stride: 2 },
+        LayerSpec::MaxPool2D { size: 3, stride: 2 },
+        LayerSpec::MaxPool2D { size: 3, stride: 3 },
+        LayerSpec::MaxPool2D { size: 4, stride: 4 },
+        LayerSpec::MaxPool2D { size: 5, stride: 5 },
+    ]
+}
+
+/// MNIST "Dense" node: identity or widths 32..512 (paper), activation
+/// supplied by the following Activation node.
+fn mnist_dense_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::Dense { units: 32, activation: None },
+        LayerSpec::Dense { units: 64, activation: None },
+        LayerSpec::Dense { units: 128, activation: None },
+        LayerSpec::Dense { units: 256, activation: None },
+        LayerSpec::Dense { units: 512, activation: None },
+    ]
+}
+
+/// "Dropout" node: identity or 2%..50% (paper).
+fn dropout_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::Dropout { rate: 0.02 },
+        LayerSpec::Dropout { rate: 0.05 },
+        LayerSpec::Dropout { rate: 0.10 },
+        LayerSpec::Dropout { rate: 0.20 },
+        LayerSpec::Dropout { rate: 0.30 },
+        LayerSpec::Dropout { rate: 0.40 },
+        LayerSpec::Dropout { rate: 0.50 },
+    ]
+}
+
+/// MNIST variable-node order (paper): Convolution, Activation, Pooling,
+/// Convolution, Activation, Pooling, Dense, Activation, Dense, Activation,
+/// Dropout — 11 nodes.
+fn mnist_nodes() -> Vec<VariableNode> {
+    vec![
+        VariableNode::new("conv0", mnist_conv_choices()),
+        VariableNode::new("act0", act_choices()),
+        VariableNode::new("pool0", mnist_pool_choices()),
+        VariableNode::new("conv1", mnist_conv_choices()),
+        VariableNode::new("act1", act_choices()),
+        VariableNode::new("pool1", mnist_pool_choices()),
+        VariableNode::new("dense0", mnist_dense_choices()),
+        VariableNode::new("act2", act_choices()),
+        VariableNode::new("dense1", mnist_dense_choices()),
+        VariableNode::new("act3", act_choices()),
+        VariableNode::new("drop0", dropout_choices()),
+    ]
+}
+
+/// NT3 "Convolution" node: 1-D, filters × kernel × padding.
+fn nt3_conv_choices() -> Vec<LayerSpec> {
+    let mut v = Vec::new();
+    for &filters in &[4usize, 8, 16] {
+        for &kernel in &[3usize, 5, 7] {
+            for &padding in &[Padding::Valid, Padding::Same] {
+                v.push(LayerSpec::Conv1D { filters, kernel, padding, l2: 0.0 });
+            }
+        }
+    }
+    v
+}
+
+fn nt3_pool_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::MaxPool1D { size: 2, stride: 2 },
+        LayerSpec::MaxPool1D { size: 3, stride: 3 },
+        LayerSpec::MaxPool1D { size: 4, stride: 4 },
+        LayerSpec::MaxPool1D { size: 5, stride: 5 },
+    ]
+}
+
+fn nt3_dense_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::Dense { units: 32, activation: None },
+        LayerSpec::Dense { units: 64, activation: None },
+        LayerSpec::Dense { units: 128, activation: None },
+        LayerSpec::Dense { units: 256, activation: None },
+    ]
+}
+
+/// NT3 variable-node order (paper): Convolution, Activation, Pooling, Dense,
+/// Activation, Dropout, Dense, Activation — with 1-D convolution for the
+/// gene-sequence data.
+fn nt3_nodes() -> Vec<VariableNode> {
+    vec![
+        VariableNode::new("conv0", nt3_conv_choices()),
+        VariableNode::new("act0", act_choices()),
+        VariableNode::new("pool0", nt3_pool_choices()),
+        VariableNode::new("dense0", nt3_dense_choices()),
+        VariableNode::new("act1", act_choices()),
+        VariableNode::new("drop0", dropout_choices()),
+        VariableNode::new("dense1", nt3_dense_choices()),
+        VariableNode::new("act2", act_choices()),
+    ]
+}
+
+/// Uno's mixed node (paper): "Identity, a dense layer with 100, 500, or
+/// 1,000 neurons, or a dropout layer with 30%, 40%, and 50% dropout
+/// connections" — widths scaled to 32/64/128.
+fn uno_mixed_choices() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Identity,
+        LayerSpec::Dense { units: 32, activation: Some(Activation::Relu) },
+        LayerSpec::Dense { units: 64, activation: Some(Activation::Relu) },
+        LayerSpec::Dense { units: 128, activation: Some(Activation::Relu) },
+        LayerSpec::Dropout { rate: 0.30 },
+        LayerSpec::Dropout { rate: 0.40 },
+        LayerSpec::Dropout { rate: 0.50 },
+    ]
+}
+
+/// Uno: three towers of three nodes (one per wide input source) plus a
+/// four-node bottom network — 13 variable nodes, all with the same choices
+/// (the paper highlights this when explaining why LP suits Uno).
+fn uno_nodes() -> Vec<VariableNode> {
+    let mut nodes = Vec::new();
+    for tower in 0..3 {
+        for level in 0..3 {
+            nodes.push(VariableNode::new(format!("t{tower}/v{level}"), uno_mixed_choices()));
+        }
+    }
+    for level in 0..4 {
+        nodes.push(VariableNode::new(format!("bottom/v{level}"), uno_mixed_choices()));
+    }
+    nodes
+}
+
+// ---------------------------------------------------------------------------
+// Skeleton assembly
+// ---------------------------------------------------------------------------
+
+/// Incrementally build a linear chain of nodes.
+struct ChainBuilder {
+    nodes: Vec<NodeSpec>,
+    last: usize,
+}
+
+impl ChainBuilder {
+    fn input(shape: Vec<usize>) -> Self {
+        ChainBuilder { nodes: vec![NodeSpec::Input { shape }], last: 0 }
+    }
+
+    fn push(&mut self, op: LayerSpec) -> &mut Self {
+        self.nodes.push(NodeSpec::Layer { op, inputs: vec![self.last] });
+        self.last = self.nodes.len() - 1;
+        self
+    }
+
+    fn finish(self) -> Result<ModelSpec, SpecError> {
+        let out = self.last;
+        ModelSpec::new(self.nodes, out)
+    }
+}
+
+fn expect_ops(ops: &[&LayerSpec], n: usize, app: &str) {
+    assert_eq!(ops.len(), n, "{app} expects {n} chosen operations, got {}", ops.len());
+}
+
+fn assemble_cifar(ops: &[&LayerSpec]) -> Result<ModelSpec, SpecError> {
+    expect_ops(ops, 15, "CIFAR-10");
+    let shapes = AppKind::Cifar10.input_shapes();
+    let mut b = ChainBuilder::input(shapes[0].clone());
+    let mut it = ops.iter();
+    for _block in 0..2 {
+        for _rep in 0..2 {
+            b.push((*it.next().unwrap()).clone()); // conv VN
+            b.push(LayerSpec::Activation(Activation::Relu)); // fixed VGG relu
+            b.push((*it.next().unwrap()).clone()); // pool VN
+            b.push((*it.next().unwrap()).clone()); // batchnorm VN
+        }
+    }
+    b.push(LayerSpec::Flatten);
+    for _ in 0..3 {
+        b.push((*it.next().unwrap()).clone()); // dense VN
+    }
+    b.push(LayerSpec::Dense { units: AppKind::Cifar10.output_width(), activation: None });
+    b.finish()
+}
+
+fn assemble_mnist(ops: &[&LayerSpec]) -> Result<ModelSpec, SpecError> {
+    expect_ops(ops, 11, "MNIST");
+    let shapes = AppKind::Mnist.input_shapes();
+    let mut b = ChainBuilder::input(shapes[0].clone());
+    // conv0, act0, pool0, conv1, act1, pool1
+    for op in &ops[0..6] {
+        b.push((*op).clone());
+    }
+    b.push(LayerSpec::Flatten);
+    // dense0, act2, dense1, act3, drop0
+    for op in &ops[6..11] {
+        b.push((*op).clone());
+    }
+    b.push(LayerSpec::Dense { units: AppKind::Mnist.output_width(), activation: None });
+    b.finish()
+}
+
+fn assemble_nt3(ops: &[&LayerSpec]) -> Result<ModelSpec, SpecError> {
+    expect_ops(ops, 8, "NT3");
+    let shapes = AppKind::Nt3.input_shapes();
+    let mut b = ChainBuilder::input(shapes[0].clone());
+    // conv0, act0, pool0
+    for op in &ops[0..3] {
+        b.push((*op).clone());
+    }
+    b.push(LayerSpec::Flatten);
+    // dense0, act1, drop0, dense1, act2
+    for op in &ops[3..8] {
+        b.push((*op).clone());
+    }
+    b.push(LayerSpec::Dense { units: AppKind::Nt3.output_width(), activation: None });
+    b.finish()
+}
+
+fn assemble_uno(ops: &[&LayerSpec]) -> Result<ModelSpec, SpecError> {
+    expect_ops(ops, 13, "Uno");
+    let shapes = AppKind::Uno.input_shapes();
+    let mut nodes: Vec<NodeSpec> = shapes.iter().map(|s| NodeSpec::Input { shape: s.clone() }).collect();
+    // Towers over the three wide sources (inputs 1..=3); input 0 is the raw
+    // scalar source concatenated at the fusion point.
+    let mut tower_outputs = Vec::with_capacity(3);
+    let mut op_iter = ops.iter();
+    for tower in 0..3 {
+        let mut last = tower + 1;
+        for _level in 0..3 {
+            let op = (*op_iter.next().unwrap()).clone();
+            nodes.push(NodeSpec::Layer { op, inputs: vec![last] });
+            last = nodes.len() - 1;
+        }
+        tower_outputs.push(last);
+    }
+    let mut concat_inputs = tower_outputs;
+    concat_inputs.push(0);
+    nodes.push(NodeSpec::Layer { op: LayerSpec::Concat, inputs: concat_inputs });
+    let mut last = nodes.len() - 1;
+    for _level in 0..4 {
+        let op = (*op_iter.next().unwrap()).clone();
+        nodes.push(NodeSpec::Layer { op, inputs: vec![last] });
+        last = nodes.len() - 1;
+    }
+    nodes.push(NodeSpec::Layer {
+        op: LayerSpec::Dense { units: AppKind::Uno.output_width(), activation: None },
+        inputs: vec![last],
+    });
+    let out = nodes.len() - 1;
+    ModelSpec::new(nodes, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSeq;
+    use crate::space::SearchSpace;
+    use swt_tensor::Rng;
+
+    #[test]
+    fn node_counts_match_templates() {
+        assert_eq!(variable_nodes(AppKind::Cifar10).len(), 15);
+        assert_eq!(variable_nodes(AppKind::Mnist).len(), 11);
+        assert_eq!(variable_nodes(AppKind::Nt3).len(), 8);
+        assert_eq!(variable_nodes(AppKind::Uno).len(), 13);
+    }
+
+    #[test]
+    fn uno_nodes_share_one_choice_set() {
+        // Section VIII-C: "the variable nodes of Uno choose the same set of
+        // operations" — the structural fact behind LP's strength on Uno.
+        let nodes = variable_nodes(AppKind::Uno);
+        for n in &nodes {
+            assert_eq!(n.choices, nodes[0].choices);
+        }
+    }
+
+    #[test]
+    fn cifar_and_nt3_nodes_differ_across_positions() {
+        // By contrast CIFAR-10/NT3 mix heterogeneous choice sets.
+        let cifar = variable_nodes(AppKind::Cifar10);
+        assert_ne!(cifar[0].choices, cifar[1].choices);
+        let nt3 = variable_nodes(AppKind::Nt3);
+        assert_ne!(nt3[0].choices, nt3[2].choices);
+    }
+
+    #[test]
+    fn all_zero_sequence_materialises() {
+        for kind in AppKind::all() {
+            let space = SearchSpace::for_app(kind);
+            let seq = ArchSeq::new(vec![0; space.num_nodes()]);
+            // Choice 0 is Identity/smallest everywhere except conv nodes,
+            // which have no identity; all-zeros must still be a valid model.
+            let spec = space.materialize(&seq).unwrap_or_else(|e| {
+                panic!("{}: all-zero candidate invalid: {e}", kind.name())
+            });
+            let shape = spec.output_shape().unwrap();
+            assert_eq!(shape.dims(), &[kind.output_width()], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn models_end_in_task_head() {
+        let mut rng = Rng::seed(5);
+        for kind in AppKind::all() {
+            let space = SearchSpace::for_app(kind);
+            for _ in 0..5 {
+                let seq = space.sample(&mut rng);
+                let spec = space.materialize(&seq).unwrap();
+                assert_eq!(
+                    spec.output_shape().unwrap().dims(),
+                    &[kind.output_width()],
+                    "{}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uno_uses_all_four_inputs() {
+        let space = SearchSpace::for_app(AppKind::Uno);
+        let seq = ArchSeq::new(vec![0; 13]);
+        let spec = space.materialize(&seq).unwrap();
+        assert_eq!(spec.input_nodes().len(), 4);
+    }
+
+    #[test]
+    fn space_sizes_are_large(){
+        // Table I analog: sizes must be search-worthy (way beyond what a
+        // 400-candidate run can enumerate).
+        for kind in AppKind::all() {
+            let space = SearchSpace::for_app(kind);
+            assert!(space.size() > 1e5, "{}: {}", kind.name(), space.size());
+        }
+        // And CIFAR must be the largest, as in the paper's Table I ordering.
+        let sizes: Vec<f64> =
+            AppKind::all().iter().map(|&k| SearchSpace::for_app(k).size()).collect();
+        assert!(sizes[0] > sizes[2], "CIFAR larger than NT3");
+    }
+
+    #[test]
+    fn invalid_pool_stacks_are_rejected_not_panicking() {
+        // Force MNIST's most aggressive pooling twice with valid convs: the
+        // materialisation must return Err, not panic.
+        let space = SearchSpace::for_app(AppKind::Mnist);
+        // conv choice 0 (k3 valid) shrinks 10 -> 8; pool (5,5) -> 1; second
+        // pool (5,5) on 1 is invalid.
+        let seq = ArchSeq::new(vec![0, 0, 5, 0, 0, 5, 0, 0, 0, 0, 0]);
+        assert!(space.materialize(&seq).is_err());
+        assert!(!space.is_valid(&seq));
+    }
+}

@@ -1,0 +1,17 @@
+//! NAS search spaces: variable nodes, architecture sequences and the four
+//! application templates of the paper's evaluation (Section VII-A).
+//!
+//! A search space is a fixed skeleton plus an ordered list of *variable
+//! nodes*, each offering a set of layer choices. Fixing every node's choice
+//! yields an *architecture sequence* — the paper's `[1, 2, 0, 2]` notation —
+//! which materialises into a `swt_nn::ModelSpec`. The similarity distance
+//! `d` between two candidates is the Hamming distance between their
+//! architecture sequences (Section V-A), and mutation changes exactly one
+//! node, so an evolution child always has `d = 1` to its parent.
+
+pub mod apps;
+pub mod arch;
+pub mod space;
+
+pub use arch::{distance, ArchSeq};
+pub use space::{SearchSpace, VariableNode};

@@ -1,0 +1,80 @@
+//! Property-based tests over the search spaces.
+
+use proptest::prelude::*;
+use swt_data::AppKind;
+use swt_space::{distance, ArchSeq, SearchSpace};
+use swt_tensor::Rng;
+
+fn any_app() -> impl Strategy<Value = AppKind> {
+    prop::sample::select(vec![AppKind::Cifar10, AppKind::Mnist, AppKind::Nt3, AppKind::Uno])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sampled_candidates_always_materialise(app in any_app(), seed in any::<u64>()) {
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(seed);
+        let seq = space.sample(&mut rng);
+        prop_assert_eq!(seq.len(), space.num_nodes());
+        let spec = space.materialize(&seq);
+        prop_assert!(spec.is_ok());
+        // Output head is the task head.
+        let spec = spec.unwrap();
+        let out_shape = spec.output_shape().unwrap();
+        prop_assert_eq!(out_shape.dims(), &[app.output_width()][..]);
+    }
+
+    #[test]
+    fn mutation_is_always_distance_one_and_valid(app in any_app(), seed in any::<u64>()) {
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(seed);
+        let parent = space.sample(&mut rng);
+        let child = space.mutate(&parent, &mut rng);
+        prop_assert_eq!(distance(&parent, &child), 1);
+        prop_assert!(space.is_valid(&child));
+        // The changed node's new choice is within its arity.
+        for (i, (p, c)) in parent.choices().iter().zip(child.choices()).enumerate() {
+            if p != c {
+                prop_assert!((*c as usize) < space.nodes()[i].arity());
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_samples(app in any_app(), seed in any::<u64>()) {
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(seed);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let c = space.sample(&mut rng);
+        prop_assert_eq!(distance(&a, &a), 0);
+        prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+        // Triangle inequality for Hamming distance.
+        prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+    }
+
+    #[test]
+    fn arch_seq_codec_round_trips(choices in prop::collection::vec(0u16..32, 0..24)) {
+        let seq = ArchSeq::new(choices);
+        prop_assert_eq!(ArchSeq::decode(&seq.encode()), Some(seq));
+    }
+
+    #[test]
+    fn param_shapes_align_with_built_models(app in any_app(), seed in any::<u64>()) {
+        // The load-bearing invariant of the whole transfer pipeline: the
+        // declarative shape sequence matches the built model's parameters.
+        let space = SearchSpace::for_app(app);
+        let mut rng = Rng::seed(seed);
+        let spec = space.materialize(&space.sample(&mut rng)).unwrap();
+        let declared = spec.param_shapes().unwrap();
+        let model = swt_nn::Model::build(&spec, 1).unwrap();
+        let built = model.named_params();
+        prop_assert_eq!(declared.len(), built.len());
+        for ((dn, ds), (bn, bt)) in declared.iter().zip(built.iter()) {
+            prop_assert_eq!(dn, bn);
+            prop_assert_eq!(ds, bt.shape());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Kendall's rank correlation coefficient.
+//!
+//! The paper (Section VIII-D) measures how well one-epoch estimated scores
+//! rank candidates relative to their fully-trained objective metrics using
+//! Kendall's tau: `tau = 2 (Nc - Nd) / (n (n - 1))`, where a pair `(i, j)` is
+//! *concordant* when both coordinates order the same way and *discordant*
+//! otherwise (the paper folds ties into the discordant count). [`kendall_tau`]
+//! implements exactly that definition; [`kendall_tau_b`] is the conventional
+//! tie-corrected variant, provided for sensitivity checks.
+
+/// Pairwise concordance counts underlying Kendall's tau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConcordanceCounts {
+    /// Strictly concordant pairs (`x` and `y` order the same way).
+    pub concordant: u64,
+    /// Strictly discordant pairs (`x` and `y` order opposite ways).
+    pub discordant: u64,
+    /// Pairs tied in `x` only.
+    pub ties_x: u64,
+    /// Pairs tied in `y` only.
+    pub ties_y: u64,
+    /// Pairs tied in both coordinates.
+    pub ties_xy: u64,
+}
+
+impl ConcordanceCounts {
+    /// Count concordant/discordant/tied pairs over all `n (n - 1) / 2`
+    /// unordered pairs. `O(n^2)`; the paper's experiment uses `n = 100`, for
+    /// which this is instantaneous and trivially correct.
+    pub fn count(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+        let mut c = Self::default();
+        for i in 0..xs.len() {
+            for j in (i + 1)..xs.len() {
+                let dx = xs[i].partial_cmp(&xs[j]).expect("NaN in Kendall input");
+                let dy = ys[i].partial_cmp(&ys[j]).expect("NaN in Kendall input");
+                use std::cmp::Ordering::Equal;
+                match (dx, dy) {
+                    (Equal, Equal) => c.ties_xy += 1,
+                    (Equal, _) => c.ties_x += 1,
+                    (_, Equal) => c.ties_y += 1,
+                    (a, b) if a == b => c.concordant += 1,
+                    _ => c.discordant += 1,
+                }
+            }
+        }
+        c
+    }
+
+    /// Total number of unordered pairs.
+    pub fn total(&self) -> u64 {
+        self.concordant + self.discordant + self.ties_x + self.ties_y + self.ties_xy
+    }
+}
+
+/// Kendall's tau as defined in the paper: `2 (Nc - Nd') / (n (n - 1))` where
+/// `Nd'` counts every non-concordant pair (strict discordance *and* ties).
+///
+/// Returns 0.0 for inputs with fewer than two samples.
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [0.1, 0.2, 0.3, 0.4];
+/// assert!((swt_stats::kendall_tau(&x, &y) - 1.0).abs() < 1e-12);
+/// let rev: Vec<f64> = y.iter().rev().copied().collect();
+/// assert!((swt_stats::kendall_tau(&x, &rev) + 1.0).abs() < 1e-12);
+/// ```
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let c = ConcordanceCounts::count(xs, ys);
+    let nc = c.concordant as f64;
+    let nd = (c.total() - c.concordant) as f64;
+    2.0 * (nc - nd) / (n * (n - 1.0))
+}
+
+/// Conventional Kendall's tau-b with tie correction:
+/// `(Nc - Nd) / sqrt((N0 - Tx)(N0 - Ty))` with `N0 = n (n-1) / 2`,
+/// `Tx`/`Ty` the pairs tied in each coordinate.
+///
+/// Returns 0.0 when either coordinate is constant (undefined correlation).
+pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let c = ConcordanceCounts::count(xs, ys);
+    let n0 = c.total() as f64;
+    let tx = (c.ties_x + c.ties_xy) as f64;
+    let ty = (c.ties_y + c.ties_xy) as f64;
+    let denom = ((n0 - tx) * (n0 - ty)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (c.concordant as f64 - c.discordant as f64) / denom
+}
+
+/// `O(n log n)` Kendall's tau (Knight's algorithm) for tie-free data:
+/// sort by `x`, then count the inversions of the corresponding `y` order
+/// via merge sort. Agrees with [`kendall_tau`] whenever neither coordinate
+/// has ties; used by benches and large-sample analyses.
+///
+/// # Panics
+/// Panics if lengths differ or either coordinate contains ties or NaN.
+pub fn kendall_tau_fast(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in Kendall input"));
+    for w in order.windows(2) {
+        assert!(xs[w[0]] != xs[w[1]], "kendall_tau_fast requires tie-free x");
+    }
+    let mut seq: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+    {
+        let mut sorted = seq.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in sorted.windows(2) {
+            assert!(w[0] != w[1], "kendall_tau_fast requires tie-free y");
+        }
+    }
+    let mut buf = vec![0.0; n];
+    let discordant = merge_count(&mut seq, &mut buf);
+    let total = (n * (n - 1) / 2) as f64;
+    let concordant = total - discordant as f64;
+    (concordant - discordant as f64) / total
+}
+
+/// Count inversions while merge-sorting `seq` in place.
+fn merge_count(seq: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = seq.split_at_mut(mid);
+    let mut inv = merge_count(left, &mut buf[..mid]) + merge_count(right, &mut buf[mid..]);
+    let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+    while i < mid && j < n {
+        if seq[i] <= seq[j] {
+            buf[k] = seq[i];
+            i += 1;
+        } else {
+            // seq[j] jumps ahead of every remaining left element.
+            inv += (mid - i) as u64;
+            buf[k] = seq[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    buf[k..k + (mid - i)].copy_from_slice(&seq[i..mid]);
+    let k2 = k + (mid - i);
+    buf[k2..].copy_from_slice(&seq[j..]);
+    seq.copy_from_slice(buf);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_matches_naive_on_tie_free_data() {
+        // Deterministic pseudo-random, tie-free by construction.
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7391).sin() + i as f64 * 1e-6).collect();
+        let ys: Vec<f64> = (0..200).map(|i| (i as f64 * 1.217).cos() + i as f64 * 1e-6).collect();
+        let naive = kendall_tau(&xs, &ys);
+        let fast = kendall_tau_fast(&xs, &ys);
+        assert!((naive - fast).abs() < 1e-12, "{naive} vs {fast}");
+    }
+
+    #[test]
+    fn fast_extremes() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let rev: Vec<f64> = xs.iter().rev().copied().collect();
+        assert!((kendall_tau_fast(&xs, &xs) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau_fast(&xs, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tie-free")]
+    fn fast_rejects_ties() {
+        kendall_tau_fast(&[1.0, 2.0, 3.0], &[5.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let x = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+        assert!((kendall_tau(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau_b(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_disagreement_is_minus_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&x, &y) + 1.0).abs() < 1e-12);
+        assert!((kendall_tau_b(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_swap_matches_hand_count() {
+        // x ranks 1,2,3,4; y swaps the last two: one discordant pair of six.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 4.0, 3.0];
+        // tau = 2 * (5 - 1) / (4 * 3) = 8 / 12
+        assert!((kendall_tau(&x, &y) - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_count_as_discordant_in_paper_variant() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 1.0, 2.0]; // pair (0,1) tied in y
+        // concordant: (0,2), (1,2); tied-in-y: (0,1) -> Nd' = 1
+        // tau = 2 * (2 - 1) / (3 * 2) = 1/3
+        assert!((kendall_tau(&x, &y) - 1.0 / 3.0).abs() < 1e-12);
+        // tau-b excludes the tied pair from the denominator instead.
+        let n0: f64 = 3.0;
+        let expected_b = 2.0 / (n0 * (n0 - 1.0)).sqrt();
+        assert!((kendall_tau_b(&x, &y) - expected_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_tau_b_is_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(kendall_tau_b(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn short_inputs_are_zero() {
+        assert_eq!(kendall_tau(&[], &[]), 0.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn counts_are_exhaustive() {
+        let x = [1.0, 2.0, 2.0, 3.0, 0.5];
+        let y = [2.0, 2.0, 1.0, 0.0, 0.0];
+        let c = ConcordanceCounts::count(&x, &y);
+        assert_eq!(c.total(), 10); // 5 choose 2
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        kendall_tau(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Descriptive statistics: mean/std/CI summaries, geometric mean, percentiles.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n - 1 denominator); 0.0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Geometric mean of strictly positive values, computed in log space for
+/// numerical robustness. Used for the cross-application speedup of Fig. 8.
+///
+/// # Panics
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Median (average of the two middle elements for even lengths).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile in `[0, 100]`; 0.0 for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Two-sided 95% critical value of Student's t distribution for `df` degrees
+/// of freedom. Exact table for small `df` (the paper averages 5 NAS runs, so
+/// small-sample correctness matters), normal approximation past 30.
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => TABLE[d - 1],
+        d if d <= 60 => 2.021,
+        d if d <= 120 => 2.000,
+        _ => 1.96,
+    }
+}
+
+/// Mean / std / 95% confidence-interval summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Half-width of the two-sided 95% CI on the mean (Student's t).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. Empty input yields an all-zero summary with `n = 0`.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, ci95: 0.0 };
+        }
+        let m = mean(xs);
+        let sd = std_dev(xs);
+        let sem = if xs.len() > 1 { sd / (xs.len() as f64).sqrt() } else { 0.0 };
+        let ci = if xs.len() > 1 { t_critical_95(xs.len() - 1) * sem } else { 0.0 };
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        Summary { n: xs.len(), mean: m, std_dev: sd, min: lo, max: hi, ci95: ci }
+    }
+
+    /// Render as the paper's `mean ± std` notation with the given precision.
+    pub fn pm(&self, digits: usize) -> String {
+        format!("{:.d$} ± {:.d$}", self.mean, self.std_dev, d = digits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_speedups() {
+        // Paper-style aggregation: per-app speedups -> overall.
+        let speedups = [1.5, 1.5, 1.5, 1.5];
+        assert!((geometric_mean(&speedups) - 1.5).abs() < 1e-12);
+        let mixed = [2.0, 8.0];
+        assert!((geometric_mean(&mixed) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&xs, 0.0) - 10.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 40.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_five_runs_uses_t_distribution() {
+        // Five repeats, like the paper's NAS experiments: df = 4 -> t = 2.776.
+        let xs = [0.80, 0.82, 0.78, 0.81, 0.79];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 5);
+        let sem = s.std_dev / 5.0f64.sqrt();
+        assert!((s.ci95 - 2.776 * sem).abs() < 1e-9);
+        assert_eq!(s.min, 0.78);
+        assert_eq!(s.max, 0.82);
+    }
+
+    #[test]
+    fn summary_handles_degenerate_inputs() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let one = Summary::of(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn pm_formats_like_the_paper() {
+        let s = Summary::of(&[0.799, 0.799, 0.799]);
+        assert_eq!(s.pm(3), "0.799 ± 0.000");
+    }
+
+    #[test]
+    fn t_critical_monotone_nonincreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_critical_95(df);
+            assert!(t <= prev + 1e-12, "t table must not increase with df");
+            prev = t;
+        }
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-12);
+    }
+}

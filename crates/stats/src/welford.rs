@@ -1,0 +1,152 @@
+//! Welford's online algorithm for streaming mean/variance.
+//!
+//! NAS runs stream candidate scores back to the scheduler; the Fig. 7 slot
+//! statistics are accumulated online without storing every sample twice.
+
+/// Numerically stable streaming mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0.0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance with `n - 1` denominator (0.0 below two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction), using
+    /// Chan's pairwise update.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        *self = Welford { n, mean, m2 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{mean, std_dev};
+
+    #[test]
+    fn matches_batch_statistics() {
+        let xs = [1.5, -2.0, 3.25, 0.0, 7.5, -1.25, 4.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(37);
+        let mut wa = Welford::new();
+        let mut wb = Welford::new();
+        for &x in a {
+            wa.push(x);
+        }
+        for &x in b {
+            wb.push(x);
+        }
+        wa.merge(&wb);
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        assert_eq!(wa.count(), whole.count());
+        assert!((wa.mean() - whole.mean()).abs() < 1e-10);
+        assert!((wa.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.push(2.0);
+        w.push(4.0);
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let mut w = Welford::new();
+        assert_eq!(w.variance(), 0.0);
+        w.push(5.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.mean(), 5.0);
+    }
+
+    #[test]
+    fn stable_under_large_offset() {
+        // A classic catastrophic-cancellation case for naive sum-of-squares.
+        let offset = 1e9;
+        let mut w = Welford::new();
+        for x in [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0] {
+            w.push(x);
+        }
+        assert!((w.variance() - 30.0).abs() < 1e-6);
+    }
+}

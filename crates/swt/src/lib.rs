@@ -1,0 +1,60 @@
+//! # Selective Weight Transfer for Neural Architecture Search
+//!
+//! Facade crate re-exporting the full public API of this reproduction of
+//! *"Accelerating DNN Architecture Search at Scale Using Selective Weight
+//! Transfer"* (CLUSTER 2021).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use swt::prelude::*;
+//!
+//! // Pick an application, build its (synthetic) problem and search space.
+//! let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 42));
+//! let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+//! let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+//!
+//! // Run a small NAS with LCS weight transfer.
+//! let cfg = NasConfig::quick(TransferScheme::Lcs, 8, 2, 7);
+//! let trace = run_nas(problem, space, store, &cfg);
+//! assert_eq!(trace.events.len(), 8);
+//! ```
+//!
+//! See the crate-level docs of the member crates for details:
+//! [`swt_core`] (LP/LCS transfer), [`swt_nas`] (runtime), [`swt_space`]
+//! (search spaces), [`swt_nn`] / [`swt_tensor`] (training substrate),
+//! [`swt_data`] (synthetic applications), [`swt_checkpoint`],
+//! [`swt_cluster`] (scalability simulator) and [`swt_stats`].
+
+pub use swt_checkpoint as checkpoint;
+pub use swt_cluster as cluster;
+pub use swt_core as core;
+pub use swt_data as data;
+pub use swt_nas as nas;
+pub use swt_nn as nn;
+pub use swt_space as space;
+pub use swt_stats as stats;
+pub use swt_tensor as tensor;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use swt_checkpoint::{CheckpointStore, DirStore, MemStore};
+    pub use swt_cluster::{simulate, ClusterConfig, SimReport, TaskCost};
+    pub use swt_core::{
+        apply_transfer, lcs_match, lp_match, select_nearest, Matcher, ShapeSeq, TransferPlan,
+        TransferScheme, TransferStats,
+    };
+    pub use swt_data::{AppKind, AppProblem, DataScale};
+    pub use swt_nas::{
+        full_train_top_k, run_nas, run_pair_experiment, Candidate, NasConfig, NasTrace,
+        PairSummary, ProviderPolicy, StrategyKind, TopKReport, TraceEvent,
+    };
+    pub use swt_nn::{
+        Activation, Dataset, LayerSpec, Loss, Metric, Model, ModelSpec, NodeSpec, TrainConfig,
+        Trainer,
+    };
+    pub use swt_space::{distance, ArchSeq, SearchSpace};
+    pub use swt_stats::{geometric_mean, kendall_tau, SlotBinner, Summary};
+    pub use swt_tensor::{Rng, Shape, Tensor};
+}

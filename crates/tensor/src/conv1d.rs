@@ -1,0 +1,193 @@
+//! 1-D convolution (NWC) via im2col, forward and backward.
+//!
+//! NT3 classifies RNA-sequence gene-expression profiles with 1-D
+//! convolutions over very wide inputs (Section VII-A); this is the kernel
+//! backing the NT3-like search space. Implemented directly rather than as a
+//! degenerate conv2d so the hot path stays branch-light.
+
+use crate::conv2d::Padding;
+use crate::matmul::{matmul, matmul_at, matmul_bt};
+use crate::tensor::Tensor;
+
+fn check_conv1d(input: &Tensor, kernel: &Tensor) -> (usize, usize, usize, usize, usize) {
+    assert_eq!(input.shape().rank(), 3, "conv1d input must be (n, w, c) rank 3");
+    assert_eq!(kernel.shape().rank(), 3, "conv1d kernel must be (k, c, f)");
+    let (n, w, c) = (input.shape().dim(0), input.shape().dim(1), input.shape().dim(2));
+    let (k, kc, f) = (kernel.shape().dim(0), kernel.shape().dim(1), kernel.shape().dim(2));
+    assert_eq!(c, kc, "conv1d channel mismatch: input {c}, kernel {kc}");
+    (n, w, c, k, f)
+}
+
+fn im2col1d(input: &Tensor, k: usize, padding: Padding) -> (Tensor, usize) {
+    let (n, w, c) = (input.shape().dim(0), input.shape().dim(1), input.shape().dim(2));
+    let ow = padding.out_size(w, k);
+    let (pl, _) = padding.pads(k);
+    let cols = k * c;
+    let mut m = vec![0.0f32; n * ow * cols];
+    let src = input.data();
+    for ni in 0..n {
+        for ox in 0..ow {
+            let row = (ni * ow + ox) * cols;
+            for kx in 0..k {
+                let ix = ox as isize + kx as isize - pl as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                let dst = row + kx * c;
+                let s = (ni * w + ix as usize) * c;
+                m[dst..dst + c].copy_from_slice(&src[s..s + c]);
+            }
+        }
+    }
+    (Tensor::from_vec([n * ow, cols], m), ow)
+}
+
+fn col2im1d(dcol: &Tensor, n: usize, w: usize, c: usize, k: usize, padding: Padding) -> Tensor {
+    let ow = padding.out_size(w, k);
+    let (pl, _) = padding.pads(k);
+    let cols = k * c;
+    let mut out = Tensor::zeros([n, w, c]);
+    let dst = out.data_mut();
+    let src = dcol.data();
+    for ni in 0..n {
+        for ox in 0..ow {
+            let row = (ni * ow + ox) * cols;
+            for kx in 0..k {
+                let ix = ox as isize + kx as isize - pl as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                let s = row + kx * c;
+                let d = (ni * w + ix as usize) * c;
+                for ci in 0..c {
+                    dst[d + ci] += src[s + ci];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forward 1-D convolution.
+///
+/// * `input` — `(n, w, c)`
+/// * `kernel` — `(k, c, f)`
+///
+/// Returns `(n, ow, f)`.
+pub fn conv1d_forward(input: &Tensor, kernel: &Tensor, padding: Padding) -> Tensor {
+    let (n, _w, c, k, f) = check_conv1d(input, kernel);
+    let (col, ow) = im2col1d(input, k, padding);
+    let w2 = kernel.clone().reshape([k * c, f]);
+    matmul(&col, &w2).reshape([n, ow, f])
+}
+
+/// Backward 1-D convolution: `(d_input, d_kernel)` for upstream `dout (n, ow, f)`.
+pub fn conv1d_backward(
+    input: &Tensor,
+    kernel: &Tensor,
+    dout: &Tensor,
+    padding: Padding,
+) -> (Tensor, Tensor) {
+    let (n, w, c, k, f) = check_conv1d(input, kernel);
+    let (col, ow) = im2col1d(input, k, padding);
+    assert_eq!(dout.shape().dims(), &[n, ow, f], "conv1d_backward: bad dout {}", dout.shape());
+    let dout2 = dout.clone().reshape([n * ow, f]);
+    let dkernel = matmul_at(&col, &dout2).reshape([k, c, f]);
+    let w2 = kernel.clone().reshape([k * c, f]);
+    let dcol = matmul_bt(&dout2, &w2);
+    let dinput = col2im1d(&dcol, n, w, c, k, padding);
+    (dinput, dkernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive_conv1d(input: &Tensor, kernel: &Tensor, padding: Padding) -> Tensor {
+        let (n, w, c) = (input.shape().dim(0), input.shape().dim(1), input.shape().dim(2));
+        let (k, _, f) = (kernel.shape().dim(0), kernel.shape().dim(1), kernel.shape().dim(2));
+        let ow = padding.out_size(w, k);
+        let (pl, _) = padding.pads(k);
+        let mut out = Tensor::zeros([n, ow, f]);
+        for ni in 0..n {
+            for ox in 0..ow {
+                for fi in 0..f {
+                    let mut acc = 0.0;
+                    for kx in 0..k {
+                        let ix = ox as isize + kx as isize - pl as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        for ci in 0..c {
+                            acc += input.at(&[ni, ix as usize, ci]) * kernel.at(&[kx, ci, fi]);
+                        }
+                    }
+                    out.set(&[ni, ox, fi], acc);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn shapes() {
+        let input = Tensor::zeros([2, 16, 4]);
+        let kernel = Tensor::zeros([5, 4, 8]);
+        assert_eq!(conv1d_forward(&input, &kernel, Padding::Valid).shape().dims(), &[2, 12, 8]);
+        assert_eq!(conv1d_forward(&input, &kernel, Padding::Same).shape().dims(), &[2, 16, 8]);
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = Rng::seed(10);
+        for &padding in &[Padding::Valid, Padding::Same] {
+            for &(w, c, k, f) in &[(9, 1, 3, 2), (12, 3, 4, 5), (7, 2, 1, 1)] {
+                let input = Tensor::rand_normal([2, w, c], 0.0, 1.0, &mut rng);
+                let kernel = Tensor::rand_normal([k, c, f], 0.0, 1.0, &mut rng);
+                let fast = conv1d_forward(&input, &kernel, padding);
+                let slow = naive_conv1d(&input, &kernel, padding);
+                assert!(fast.approx_eq(&slow, 1e-4), "{padding:?} ({w},{c},{k},{f})");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = Rng::seed(11);
+        for &padding in &[Padding::Valid, Padding::Same] {
+            let input = Tensor::rand_normal([1, 8, 2], 0.0, 1.0, &mut rng);
+            let kernel = Tensor::rand_normal([3, 2, 3], 0.0, 0.5, &mut rng);
+            let out = conv1d_forward(&input, &kernel, padding);
+            let dout = Tensor::ones(out.shape().dims().to_vec());
+            let (dinput, dkernel) = conv1d_backward(&input, &kernel, &dout, padding);
+            let eps = 1e-2f32;
+            for idx in (0..input.numel()).step_by(3) {
+                let mut plus = input.clone();
+                plus.data_mut()[idx] += eps;
+                let mut minus = input.clone();
+                minus.data_mut()[idx] -= eps;
+                let num = (conv1d_forward(&plus, &kernel, padding).sum()
+                    - conv1d_forward(&minus, &kernel, padding).sum())
+                    / (2.0 * eps);
+                assert!((num - dinput.data()[idx]).abs() < 1e-2, "{padding:?} dinput[{idx}]");
+            }
+            for kidx in 0..kernel.numel() {
+                let mut plus = kernel.clone();
+                plus.data_mut()[kidx] += eps;
+                let mut minus = kernel.clone();
+                minus.data_mut()[kidx] -= eps;
+                let num = (conv1d_forward(&input, &plus, padding).sum()
+                    - conv1d_forward(&input, &minus, padding).sum())
+                    / (2.0 * eps);
+                assert!((num - dkernel.data()[kidx]).abs() < 1e-2, "{padding:?} dkernel[{kidx}]");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3")]
+    fn wrong_rank_panics() {
+        conv1d_forward(&Tensor::zeros([2, 4]), &Tensor::zeros([3, 1, 1]), Padding::Valid);
+    }
+}

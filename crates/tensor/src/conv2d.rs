@@ -1,0 +1,352 @@
+//! 2-D convolution (NHWC) via im2col lowering, forward and backward.
+//!
+//! The CIFAR-like and MNIST-like search spaces stack convolutional variable
+//! nodes with `valid`/`same` padding choices (Section VII-A); this module
+//! provides the kernel. Stride is fixed at 1 — exactly like the paper's
+//! search spaces, where spatial reduction comes from the pooling variable
+//! nodes, not from strided convolutions.
+
+use crate::matmul::{matmul, matmul_at, matmul_bt};
+use crate::tensor::Tensor;
+
+/// Convolution padding mode, mirroring the Keras/TensorFlow vocabulary used
+/// by the paper's search spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Padding {
+    /// No padding; output shrinks by `k - 1`.
+    Valid,
+    /// Zero padding so the output has the input's spatial size (stride 1).
+    /// Total padding `k - 1` split TensorFlow-style: `floor` before, `ceil`
+    /// after.
+    Same,
+}
+
+impl Padding {
+    /// `(pad_before, pad_after)` for kernel size `k` at stride 1.
+    pub fn pads(self, k: usize) -> (usize, usize) {
+        match self {
+            Padding::Valid => (0, 0),
+            Padding::Same => {
+                let total = k - 1;
+                (total / 2, total - total / 2)
+            }
+        }
+    }
+
+    /// Output spatial size for input size `s` and kernel size `k`.
+    pub fn out_size(self, s: usize, k: usize) -> usize {
+        match self {
+            Padding::Valid => {
+                assert!(s >= k, "valid conv: input {s} smaller than kernel {k}");
+                s - k + 1
+            }
+            Padding::Same => s,
+        }
+    }
+}
+
+fn check_conv2d(input: &Tensor, kernel: &Tensor) -> (usize, usize, usize, usize, usize, usize, usize) {
+    assert_eq!(input.shape().rank(), 4, "conv2d input must be NHWC rank 4");
+    assert_eq!(kernel.shape().rank(), 4, "conv2d kernel must be (kh, kw, c, f)");
+    let (n, h, w, c) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let (kh, kw, kc, f) = (
+        kernel.shape().dim(0),
+        kernel.shape().dim(1),
+        kernel.shape().dim(2),
+        kernel.shape().dim(3),
+    );
+    assert_eq!(c, kc, "conv2d channel mismatch: input {c}, kernel {kc}");
+    (n, h, w, c, kh, kw, f)
+}
+
+/// Lower the input into the im2col matrix `(n·oh·ow, kh·kw·c)`.
+fn im2col(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    padding: Padding,
+) -> (Tensor, usize, usize) {
+    let (n, h, w, c) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let oh = padding.out_size(h, kh);
+    let ow = padding.out_size(w, kw);
+    let (pt, _) = padding.pads(kh);
+    let (pl, _) = padding.pads(kw);
+    let cols = kh * kw * c;
+    let mut m = vec![0.0f32; n * oh * ow * cols];
+    let src = input.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols;
+                for ky in 0..kh {
+                    let iy = oy as isize + ky as isize - pt as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // zero padding: leave zeros
+                    }
+                    for kx in 0..kw {
+                        let ix = ox as isize + kx as isize - pl as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let dst = row + (ky * kw + kx) * c;
+                        let s = ((ni * h + iy as usize) * w + ix as usize) * c;
+                        m[dst..dst + c].copy_from_slice(&src[s..s + c]);
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec([n * oh * ow, cols], m), oh, ow)
+}
+
+/// Scatter-add the im2col-shaped gradient back onto the input layout.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    dcol: &Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+    padding: Padding,
+) -> Tensor {
+    let oh = padding.out_size(h, kh);
+    let ow = padding.out_size(w, kw);
+    let (pt, _) = padding.pads(kh);
+    let (pl, _) = padding.pads(kw);
+    let cols = kh * kw * c;
+    let mut out = Tensor::zeros([n, h, w, c]);
+    let dst = out.data_mut();
+    let src = dcol.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols;
+                for ky in 0..kh {
+                    let iy = oy as isize + ky as isize - pt as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = ox as isize + kx as isize - pl as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let s = row + (ky * kw + kx) * c;
+                        let d = ((ni * h + iy as usize) * w + ix as usize) * c;
+                        for ci in 0..c {
+                            dst[d + ci] += src[s + ci];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input` — `(n, h, w, c)`
+/// * `kernel` — `(kh, kw, c, f)`
+///
+/// Returns `(n, oh, ow, f)`.
+pub fn conv2d_forward(input: &Tensor, kernel: &Tensor, padding: Padding) -> Tensor {
+    let (n, _h, _w, c, kh, kw, f) = check_conv2d(input, kernel);
+    let (col, oh, ow) = im2col(input, kh, kw, padding);
+    let w2 = kernel.clone().reshape([kh * kw * c, f]);
+    matmul(&col, &w2).reshape([n, oh, ow, f])
+}
+
+/// Backward 2-D convolution: given upstream gradient `dout (n, oh, ow, f)`,
+/// returns `(d_input, d_kernel)`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    kernel: &Tensor,
+    dout: &Tensor,
+    padding: Padding,
+) -> (Tensor, Tensor) {
+    let (n, h, w, c, kh, kw, f) = check_conv2d(input, kernel);
+    let (col, oh, ow) = im2col(input, kh, kw, padding);
+    assert_eq!(
+        dout.shape().dims(),
+        &[n, oh, ow, f],
+        "conv2d_backward: dout shape {} unexpected",
+        dout.shape()
+    );
+    let dout2 = dout.clone().reshape([n * oh * ow, f]);
+    // dW = colᵀ · dOut
+    let dkernel = matmul_at(&col, &dout2).reshape([kh, kw, c, f]);
+    // dCol = dOut · Wᵀ
+    let w2 = kernel.clone().reshape([kh * kw * c, f]);
+    let dcol = matmul_bt(&dout2, &w2);
+    let dinput = col2im(&dcol, n, h, w, c, kh, kw, padding);
+    (dinput, dkernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Direct (quadruple-loop) reference convolution.
+    fn naive_conv2d(input: &Tensor, kernel: &Tensor, padding: Padding) -> Tensor {
+        let (n, h, w, c) = (
+            input.shape().dim(0),
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        let (kh, kw, _, f) = (
+            kernel.shape().dim(0),
+            kernel.shape().dim(1),
+            kernel.shape().dim(2),
+            kernel.shape().dim(3),
+        );
+        let oh = padding.out_size(h, kh);
+        let ow = padding.out_size(w, kw);
+        let (pt, _) = padding.pads(kh);
+        let (pl, _) = padding.pads(kw);
+        let mut out = Tensor::zeros([n, oh, ow, f]);
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for fi in 0..f {
+                        let mut acc = 0.0;
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = oy as isize + ky as isize - pt as isize;
+                                let ix = ox as isize + kx as isize - pl as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                for ci in 0..c {
+                                    acc += input.at(&[ni, iy as usize, ix as usize, ci])
+                                        * kernel.at(&[ky, kx, ci, fi]);
+                                }
+                            }
+                        }
+                        out.set(&[ni, oy, ox, fi], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn valid_output_shape() {
+        let input = Tensor::zeros([2, 8, 8, 3]);
+        let kernel = Tensor::zeros([3, 3, 3, 16]);
+        let out = conv2d_forward(&input, &kernel, Padding::Valid);
+        assert_eq!(out.shape().dims(), &[2, 6, 6, 16]);
+    }
+
+    #[test]
+    fn same_output_shape_even_kernel() {
+        let input = Tensor::zeros([1, 7, 7, 2]);
+        let kernel = Tensor::zeros([4, 2, 2, 5]);
+        let out = conv2d_forward(&input, &kernel, Padding::Same);
+        assert_eq!(out.shape().dims(), &[1, 7, 7, 5]);
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = Rng::seed(1);
+        for &padding in &[Padding::Valid, Padding::Same] {
+            for &(h, w, c, kh, kw, f) in &[(5, 5, 1, 3, 3, 2), (6, 4, 3, 2, 3, 4), (4, 4, 2, 1, 1, 3)]
+            {
+                let input = Tensor::rand_normal([2, h, w, c], 0.0, 1.0, &mut rng);
+                let kernel = Tensor::rand_normal([kh, kw, c, f], 0.0, 1.0, &mut rng);
+                let fast = conv2d_forward(&input, &kernel, padding);
+                let slow = naive_conv2d(&input, &kernel, padding);
+                assert!(fast.approx_eq(&slow, 1e-4), "padding {padding:?} ({h},{w},{c},{kh},{kw},{f})");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel = identity over channels when kernel is the identity matrix.
+        let mut rng = Rng::seed(2);
+        let input = Tensor::rand_normal([1, 3, 3, 2], 0.0, 1.0, &mut rng);
+        let mut kernel = Tensor::zeros([1, 1, 2, 2]);
+        kernel.set(&[0, 0, 0, 0], 1.0);
+        kernel.set(&[0, 0, 1, 1], 1.0);
+        let out = conv2d_forward(&input, &kernel, Padding::Valid);
+        assert!(out.approx_eq(&input, 1e-6));
+    }
+
+    /// Central-difference gradient check of both input and kernel gradients.
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = Rng::seed(3);
+        for &padding in &[Padding::Valid, Padding::Same] {
+            let input = Tensor::rand_normal([1, 4, 4, 2], 0.0, 1.0, &mut rng);
+            let kernel = Tensor::rand_normal([3, 3, 2, 2], 0.0, 0.5, &mut rng);
+            // Loss = sum of conv output elements -> dout = ones.
+            let out = conv2d_forward(&input, &kernel, padding);
+            let dout = Tensor::ones(out.shape().dims().to_vec());
+            let (dinput, dkernel) = conv2d_backward(&input, &kernel, &dout, padding);
+
+            let eps = 1e-2f32;
+            for probe in 0..6 {
+                // Probe input gradient.
+                let idx = probe * 3 % input.numel();
+                let mut plus = input.clone();
+                plus.data_mut()[idx] += eps;
+                let mut minus = input.clone();
+                minus.data_mut()[idx] -= eps;
+                let num = (conv2d_forward(&plus, &kernel, padding).sum()
+                    - conv2d_forward(&minus, &kernel, padding).sum())
+                    / (2.0 * eps);
+                assert!(
+                    (num - dinput.data()[idx]).abs() < 1e-2,
+                    "dinput[{idx}] analytic {} vs numeric {num} ({padding:?})",
+                    dinput.data()[idx]
+                );
+                // Probe kernel gradient.
+                let kidx = probe * 5 % kernel.numel();
+                let mut kplus = kernel.clone();
+                kplus.data_mut()[kidx] += eps;
+                let mut kminus = kernel.clone();
+                kminus.data_mut()[kidx] -= eps;
+                let num = (conv2d_forward(&input, &kplus, padding).sum()
+                    - conv2d_forward(&input, &kminus, padding).sum())
+                    / (2.0 * eps);
+                assert!(
+                    (num - dkernel.data()[kidx]).abs() < 1e-2,
+                    "dkernel[{kidx}] analytic {} vs numeric {num} ({padding:?})",
+                    dkernel.data()[kidx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let input = Tensor::zeros([1, 4, 4, 3]);
+        let kernel = Tensor::zeros([3, 3, 2, 8]);
+        conv2d_forward(&input, &kernel, Padding::Valid);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn valid_too_small_panics() {
+        let input = Tensor::zeros([1, 2, 2, 1]);
+        let kernel = Tensor::zeros([3, 3, 1, 1]);
+        conv2d_forward(&input, &kernel, Padding::Valid);
+    }
+}

@@ -1,0 +1,37 @@
+//! Minimal CPU tensor library for the selective-weight-transfer reproduction.
+//!
+//! The paper trains Keras/TensorFlow models on GPUs; this crate is the
+//! from-scratch substitute: dense row-major `f32` tensors with exactly the
+//! kernels the four application search spaces need —
+//!
+//! * parallel blocked [`matmul`](matmul::matmul) (rayon over output rows),
+//! * im2col [`conv2d`](conv2d) / [`conv1d`](conv1d) forward *and* backward,
+//! * max-pooling with argmax-based backward,
+//! * row-wise softmax and elementwise activations,
+//! * a seeded, splittable [`Rng`](rng::Rng) so every experiment is
+//!   reproducible from a single `u64` seed.
+//!
+//! Everything is safe Rust; hot loops are written over slices so bounds
+//! checks vectorise away (see the Rust Performance Book guidance this repo
+//! follows).
+
+pub mod conv1d;
+pub mod conv2d;
+pub mod matmul;
+pub mod ops;
+pub mod pool;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use conv1d::{conv1d_backward, conv1d_forward};
+pub use conv2d::{conv2d_backward, conv2d_forward, Padding};
+pub use matmul::{matmul, matmul_at, matmul_bt};
+pub use ops::{
+    relu, relu_grad_from_output, sigmoid, sigmoid_grad_from_output, softmax_rows, tanh_act,
+    tanh_grad_from_output,
+};
+pub use pool::{maxpool1d_backward, maxpool1d_forward, maxpool2d_backward, maxpool2d_forward};
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;

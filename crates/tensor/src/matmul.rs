@@ -1,0 +1,213 @@
+//! Parallel dense matrix multiplication.
+//!
+//! Dense layers and the im2col convolution lowering reduce everything to
+//! GEMM, so this is the hottest kernel in the repository. The implementation
+//! follows the session's HPC guidance: rayon `par_chunks_mut` over output
+//! rows (data-race free by construction), `k`-outer loops over slices so
+//! bounds checks hoist, and an fma-friendly inner axpy.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many output elements the parallel dispatch overhead dominates
+/// and we run single-threaded. (Candidate models here are small; many GEMMs
+/// are tiny.)
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank 2, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+/// `C = A (M×K) · B (K×N)`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree or inputs are not rank 2.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let row_kernel = |row_i: usize, out_row: &mut [f32]| {
+        let a_row = &ad[row_i * k..(row_i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_kernel(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, row);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C = Aᵀ · B` for `A (K×M)` and `B (K×N)`, result `(M, N)`:
+/// `C[m][n] = Σ_k A[k][m] · B[k][n]`.
+///
+/// This is the dense-layer weight gradient `dW = Xᵀ · dY` without
+/// materialising the transpose.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_at lhs");
+    let (k2, n) = dims2(b, "matmul_at rhs");
+    assert_eq!(k, k2, "matmul_at inner dimension mismatch: {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    // Accumulate rank-1 updates row-by-row of A/B; each k contributes
+    // outer(A[k,:], B[k,:]). Parallelise over output rows instead to stay
+    // race-free: C[m] = Σ_k A[k][m] * B[k].
+    let row_kernel = |mi: usize, out_row: &mut [f32]| {
+        for kk in 0..k {
+            let amk = ad[kk * m + mi];
+            if amk == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += amk * bv;
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_kernel(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, row);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C = A · Bᵀ` for `A (M×K)` and `B (N×K)`, result `(M, N)`:
+/// `C[m][n] = Σ_k A[m][k] · B[n][k]`.
+///
+/// This is the dense-layer input gradient `dX = dY · Wᵀ` without
+/// materialising the transpose; the dot-product form is cache-friendly since
+/// both operands stream row-major.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_bt lhs");
+    let (n, k2) = dims2(b, "matmul_bt rhs");
+    assert_eq!(k, k2, "matmul_bt inner dimension mismatch: {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let row_kernel = |mi: usize, out_row: &mut [f32]| {
+        let a_row = &ad[mi * k..(mi + 1) * k];
+        for (ni, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[ni * k..(ni + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_kernel(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, row);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed(1);
+        let a = Tensor::rand_normal([5, 5], 0.0, 1.0, &mut rng);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert!(matmul(&a, &eye).approx_eq(&a, 1e-6));
+        assert!(matmul(&eye, &a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matches_naive_on_random_sizes() {
+        let mut rng = Rng::seed(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 1, 8), (17, 9, 13)] {
+            let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+            assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-4), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn large_parallel_path_matches_naive() {
+        let mut rng = Rng::seed(3);
+        let a = Tensor::rand_normal([96, 40], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([40, 200], 0.0, 1.0, &mut rng);
+        // 96 * 200 = 19200 > threshold -> exercises the rayon path.
+        assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn at_variant_equals_explicit_transpose() {
+        let mut rng = Rng::seed(4);
+        let a = Tensor::rand_normal([7, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([7, 5], 0.0, 1.0, &mut rng);
+        let expect = matmul(&a.transpose2(), &b);
+        assert!(matmul_at(&a, &b).approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn bt_variant_equals_explicit_transpose() {
+        let mut rng = Rng::seed(5);
+        let a = Tensor::rand_normal([6, 4], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([9, 4], 0.0, 1.0, &mut rng);
+        let expect = matmul(&a, &b.transpose2());
+        assert!(matmul_bt(&a, &b).approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        matmul(&a, &b);
+    }
+}

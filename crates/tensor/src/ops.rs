@@ -1,0 +1,142 @@
+//! Elementwise activations and row-wise softmax.
+//!
+//! The MNIST-like and NT3-like search spaces choose activations from
+//! `relu`, `tanh` and `sigmoid` (Section VII-A); softmax feeds the
+//! categorical cross-entropy loss used by three of the four applications.
+
+use crate::tensor::Tensor;
+
+/// Elementwise ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU gradient expressed via the *output*: `1` where the output is
+/// positive. (For all three activations here the derivative is computable
+/// from the forward output alone, which lets layers avoid caching inputs.)
+pub fn relu_grad_from_output(y: &Tensor) -> Tensor {
+    y.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Sigmoid derivative from the output: `y (1 - y)`.
+pub fn sigmoid_grad_from_output(y: &Tensor) -> Tensor {
+    y.map(|v| v * (1.0 - v))
+}
+
+/// Elementwise tanh. (Named `tanh_act` to avoid clashing with `f32::tanh`.)
+pub fn tanh_act(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Tanh derivative from the output: `1 - y²`.
+pub fn tanh_grad_from_output(y: &Tensor) -> Tensor {
+    y.map(|v| 1.0 - v * v)
+}
+
+/// Numerically stable row-wise softmax of a rank-2 tensor `(rows, classes)`.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax_rows requires rank 2");
+    let (rows, cols) = (logits.shape().dim(0), logits.shape().dim(1));
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let dst = &mut out[r * cols..(r + 1) * cols];
+        let mut sum = 0.0f32;
+        for (d, &x) in dst.iter_mut().zip(row) {
+            let e = (x - maxv).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        let x = Tensor::from_vec([3], vec![-3.0, 0.0, 3.0]);
+        let y = sigmoid(&x);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!((y.data()[0] + y.data()[2] - 1.0).abs() < 1e-6);
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn activation_gradients_match_numeric() {
+        let mut rng = Rng::seed(1);
+        let x = Tensor::rand_normal([32], 0.5, 1.0, &mut rng);
+        let eps = 1e-3f32;
+        type ActFn = fn(&Tensor) -> Tensor;
+        let cases: Vec<(ActFn, ActFn, &str)> = vec![
+            (sigmoid, sigmoid_grad_from_output, "sigmoid"),
+            (tanh_act, tanh_grad_from_output, "tanh"),
+            (relu, relu_grad_from_output, "relu"),
+        ];
+        for (f, g, name) in cases {
+            let y = f(&x);
+            let grad = g(&y);
+            for i in 0..x.numel() {
+                if name == "relu" && x.data()[i].abs() < 2.0 * eps {
+                    continue; // skip the kink
+                }
+                let mut plus = x.clone();
+                plus.data_mut()[i] += eps;
+                let mut minus = x.clone();
+                minus.data_mut()[i] -= eps;
+                let num = (f(&plus).data()[i] - f(&minus).data()[i]) / (2.0 * eps);
+                assert!(
+                    (num - grad.data()[i]).abs() < 1e-2,
+                    "{name}[{i}]: analytic {} numeric {num}",
+                    grad.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed(2);
+        let x = Tensor::rand_normal([5, 7], 0.0, 3.0, &mut rng);
+        let s = softmax_rows(&x);
+        for r in 0..5 {
+            let sum: f32 = s.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = Tensor::from_vec([1, 3], vec![1000.0, 1001.0, 1002.0]);
+        let s = softmax_rows(&x);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        let y = Tensor::from_vec([1, 3], vec![0.0, 1.0, 2.0]);
+        assert!(s.approx_eq(&softmax_rows(&y), 1e-6));
+    }
+
+    #[test]
+    fn softmax_orders_preserved() {
+        let x = Tensor::from_vec([1, 4], vec![0.1, 2.0, -1.0, 0.5]);
+        let s = softmax_rows(&x);
+        assert_eq!(s.row_argmax(), vec![1]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Seeded, splittable random number generation.
+//!
+//! The paper repeats every NAS experiment five times with different seeds and
+//! notes that GPU nondeterminism makes exact repetition impossible on real
+//! hardware. Our CPU reproduction is fully deterministic: every source of
+//! randomness (weight init, dropout masks, batch shuffling, search-strategy
+//! sampling, dataset synthesis) derives from one root `u64` through
+//! [`Rng::fork`], so independent components never share a stream and runs
+//! replay bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// A seeded RNG with normal/uniform sampling and deterministic forking.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+}
+
+impl Rng {
+    /// Construct from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Rng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent stream for a named sub-component.
+    ///
+    /// Mixing is done with splitmix64 over `(seed-draw, stream)` so forks with
+    /// different `stream` values are decorrelated even for adjacent ids.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base = self.inner.next_u64();
+        Rng::seed(splitmix64(base ^ splitmix64(stream)))
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        debug_assert!(hi > lo);
+        self.inner.gen::<f32>() * (hi - lo) + lo
+    }
+
+    /// Standard normal sample (Box–Muller; avoids a rand_distr dependency).
+    pub fn normal(&mut self) -> f32 {
+        loop {
+            let u1: f64 = self.inner.gen::<f64>();
+            let u2: f64 = self.inner.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                let r = (-2.0 * u1.ln()).sqrt();
+                return (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// `k` distinct indices sampled uniformly from `[0, n)` (partial
+    /// Fisher–Yates). Used for the evolution strategy's tournament sample
+    /// (`S` out of `N`, Algorithm 1 line 6).
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.inner.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Raw u64 draw (for deriving child seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed(42);
+        let mut b = Rng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed(1);
+        let mut b = Rng::seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut root = Rng::seed(7);
+        let mut f1 = root.fork(0);
+        let mut f2 = root.fork(1);
+        let same = (0..64).filter(|_| f1.next_u64() == f2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::seed(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal() as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng::seed(9);
+        for _ in 0..1000 {
+            let x = rng.uniform(-0.25, 0.75);
+            assert!((-0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_covers_support() {
+        let mut rng = Rng::seed(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng::seed(11);
+        for _ in 0..100 {
+            let s = rng.sample_indices(32, 16);
+            assert_eq!(s.len(), 16);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 16, "duplicates in {s:?}");
+            assert!(s.iter().all(|&i| i < 32));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle left input ordered");
+    }
+}

@@ -1,0 +1,161 @@
+//! Tensor shapes.
+//!
+//! `Shape` is the unit the paper's matchers compare: two tensors are
+//! *transferable* iff their shapes are identical (Section IV-A), so `Shape`
+//! implements `Eq + Hash + Ord` and a display form matching the paper's
+//! `(f, w, h)` notation.
+
+use std::fmt;
+
+/// A dense row-major tensor shape (dimension sizes, outermost first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Build a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-index.
+    ///
+    /// # Panics
+    /// Panics if the index rank mismatches or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.rank()).rev() {
+            assert!(index[i] < self.0[i], "index {index:?} out of shape {self}");
+            off += index[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Bytes occupied by an `f32` tensor of this shape. Fig. 11 reports
+    /// checkpoint sizes, which are dominated by this quantity.
+    pub fn size_bytes(&self) -> usize {
+        self.numel() * std::mem::size_of::<f32>()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::new([2, 3]);
+        let mut seen = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                seen.push(s.offset(&[i, j]));
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of shape")]
+    fn offset_rejects_out_of_range() {
+        Shape::new([2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Shape::new([3, 3, 16]).to_string(), "(3, 3, 16)");
+        assert_eq!(Shape::new([128, 10]).to_string(), "(128, 10)");
+    }
+
+    #[test]
+    fn equality_is_exact() {
+        assert_eq!(Shape::new([4, 4]), Shape::new(vec![4, 4]));
+        assert_ne!(Shape::new([4, 4]), Shape::new([4, 4, 1]));
+        assert_ne!(Shape::new([4, 4]), Shape::new([4, 5]));
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(Shape::new([10, 10]).size_bytes(), 400);
+    }
+}

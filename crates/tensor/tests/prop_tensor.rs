@@ -1,0 +1,117 @@
+//! Property-based tests for tensor kernels.
+
+use proptest::prelude::*;
+use swt_tensor::{matmul, matmul_at, matmul_bt, softmax_rows, Padding, Rng, Shape, Tensor};
+
+fn tensor_strategy(max_dim: usize, rank: usize) -> impl Strategy<Value = Tensor> {
+    (prop::collection::vec(1usize..=max_dim, rank), any::<u64>()).prop_map(|(dims, seed)| {
+        let mut rng = Rng::seed(seed);
+        Tensor::rand_normal(dims, 0.0, 1.0, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn shape_offset_is_bijective(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let mut seen = vec![false; shape.numel()];
+        // Enumerate all multi-indices.
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&idx);
+            prop_assert!(!seen[off], "offset {off} visited twice");
+            seen[off] = true;
+            // Increment multi-index.
+            let mut d = dims.len();
+            loop {
+                if d == 0 { break; }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < dims[d] { break; }
+                idx[d] = 0;
+                if d == 0 {
+                    break;
+                }
+            }
+            if idx.iter().all(|&v| v == 0) {
+                break;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in any::<u64>(), m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+        let mut rng = Rng::seed(seed);
+        let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+        let c = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+        let bc = b.zip_map(&c, |x, y| x + y);
+        let lhs = matmul(&a, &bc);
+        let mut rhs = matmul(&a, &b);
+        rhs.axpy(1.0, &matmul(&a, &c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_identities(seed in any::<u64>(), m in 1usize..7, k in 1usize..7, n in 1usize..7) {
+        let mut rng = Rng::seed(seed);
+        let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+        // (A B) == matmul_at(Aᵀ, B) == matmul_bt(A, Bᵀ)
+        let base = matmul(&a, &b);
+        prop_assert!(matmul_at(&a.transpose2(), &b).approx_eq(&base, 1e-3));
+        prop_assert!(matmul_bt(&a, &b.transpose2()).approx_eq(&base, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_strategy(9, 2)) {
+        let s = softmax_rows(&t);
+        let cols = t.shape().dim(1);
+        for r in 0..t.shape().dim(0) {
+            let row = &s.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn conv2d_is_linear_in_input(seed in any::<u64>()) {
+        let mut rng = Rng::seed(seed);
+        let x = Tensor::rand_normal([1, 5, 5, 2], 0.0, 1.0, &mut rng);
+        let y = Tensor::rand_normal([1, 5, 5, 2], 0.0, 1.0, &mut rng);
+        let k = Tensor::rand_normal([3, 3, 2, 3], 0.0, 1.0, &mut rng);
+        let sum = x.zip_map(&y, |a, b| a + b);
+        let lhs = swt_tensor::conv2d_forward(&sum, &k, Padding::Same);
+        let mut rhs = swt_tensor::conv2d_forward(&x, &k, Padding::Same);
+        rhs.axpy(1.0, &swt_tensor::conv2d_forward(&y, &k, Padding::Same));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn pooling_output_bounded_by_input_extrema(seed in any::<u64>(), w in 4usize..12) {
+        let mut rng = Rng::seed(seed);
+        let x = Tensor::rand_normal([2, w, 3], 0.0, 1.0, &mut rng);
+        let (out, arg) = swt_tensor::maxpool1d_forward(&x, 2, 2);
+        let hi = x.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(out.data().iter().all(|&v| v <= hi));
+        // Every argmax points at an element equal to the recorded output.
+        for (i, &a) in arg.iter().enumerate() {
+            prop_assert_eq!(x.data()[a as usize], out.data()[i]);
+        }
+    }
+
+    #[test]
+    fn gather_rows_preserves_content(seed in any::<u64>(), rows in 1usize..10, cols in 1usize..10) {
+        let mut rng = Rng::seed(seed);
+        let t = Tensor::rand_normal([rows, cols], 0.0, 1.0, &mut rng);
+        let order: Vec<usize> = (0..rows).rev().collect();
+        let g = t.gather_rows(&order);
+        for (gi, &ri) in order.iter().enumerate() {
+            for c in 0..cols {
+                prop_assert_eq!(g.at(&[gi, c]), t.at(&[ri, c]));
+            }
+        }
+    }
+}
