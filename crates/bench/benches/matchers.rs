@@ -1,9 +1,11 @@
-//! Criterion benches for the LP/LCS matchers and transfer-plan machinery —
-//! the paper's "at most 150 ms" mechanism cost (Section VIII-E).
+//! Benches for the LP/LCS matchers and transfer-plan machinery — the
+//! paper's "at most 150 ms" mechanism cost (Section VIII-E).
+//!
+//! Run with `cargo bench -p swt-bench --bench matchers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swt::prelude::*;
 use std::hint::black_box;
+use swt::prelude::*;
+use swt_bench::Harness;
 
 /// Synthetic shape sequences of a given length with realistic collision
 /// rates (shapes drawn from a small alphabet).
@@ -19,28 +21,25 @@ fn shape_seq(len: usize, seed: u64) -> ShapeSeq {
     ShapeSeq::from_params(params)
 }
 
-fn bench_matchers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matchers");
+fn bench_matchers(h: &mut Harness) {
     for &len in &[8usize, 32, 128] {
         let a = shape_seq(len, 1);
         let b = shape_seq(len, 2);
-        group.bench_with_input(BenchmarkId::new("lp", len), &len, |bench, _| {
-            bench.iter(|| black_box(lp_match(&a.shapes(), &b.shapes())));
+        h.bench(&format!("matchers.lp.{len}"), || {
+            black_box(lp_match(&a.shapes(), &b.shapes()));
         });
-        group.bench_with_input(BenchmarkId::new("lcs", len), &len, |bench, _| {
-            bench.iter(|| black_box(lcs_match(&a.shapes(), &b.shapes())));
+        h.bench(&format!("matchers.lcs.{len}"), || {
+            black_box(lcs_match(&a.shapes(), &b.shapes()));
         });
-        group.bench_with_input(BenchmarkId::new("plan_lcs", len), &len, |bench, _| {
-            bench.iter(|| black_box(TransferPlan::build(Matcher::Lcs, &a, &b)));
+        h.bench(&format!("matchers.plan_lcs.{len}"), || {
+            black_box(TransferPlan::build(Matcher::Lcs, &a, &b));
         });
     }
-    group.finish();
 }
 
-fn bench_real_space_matching(c: &mut Criterion) {
+fn bench_real_space_matching(h: &mut Harness) {
     // End-to-end matching cost on real search-space candidates (what the
     // evaluator pays per child, minus I/O).
-    let mut group = c.benchmark_group("real_space");
     for app in AppKind::all() {
         let space = SearchSpace::for_app(app);
         let mut rng = Rng::seed(7);
@@ -48,18 +47,17 @@ fn bench_real_space_matching(c: &mut Criterion) {
         let child = space.mutate(&parent, &mut rng);
         let pseq = ShapeSeq::of(&space.materialize(&parent).unwrap()).unwrap();
         let cseq = ShapeSeq::of(&space.materialize(&child).unwrap()).unwrap();
-        group.bench_function(BenchmarkId::new("lcs_plan", app.name()), |bench| {
-            bench.iter(|| black_box(TransferPlan::build(Matcher::Lcs, &pseq, &cseq)));
+        h.bench(&format!("real_space.lcs_plan.{}", app.name()), || {
+            black_box(TransferPlan::build(Matcher::Lcs, &pseq, &cseq));
         });
-        group.bench_function(BenchmarkId::new("shape_seq_extract", app.name()), |bench| {
-            let spec = space.materialize(&parent).unwrap();
-            bench.iter(|| black_box(ShapeSeq::of(&spec).unwrap()));
+        let spec = space.materialize(&parent).unwrap();
+        h.bench(&format!("real_space.shape_seq_extract.{}", app.name()), || {
+            black_box(ShapeSeq::of(&spec).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_apply_transfer(c: &mut Criterion) {
+fn bench_apply_transfer(h: &mut Harness) {
     // Weight-copy throughput: provider checkpoint -> receiver model.
     let space = SearchSpace::for_app(AppKind::Cifar10);
     let mut rng = Rng::seed(3);
@@ -74,14 +72,18 @@ fn bench_apply_transfer(c: &mut Criterion) {
         &ShapeSeq::of(&pspec).unwrap(),
         &ShapeSeq::of(&cspec).unwrap(),
     );
-    c.bench_function("apply_transfer_cifar_child", |bench| {
-        bench.iter_batched(
-            || Model::build(&cspec, 2).unwrap(),
-            |mut receiver| black_box(apply_transfer(&plan, &ckpt, &mut receiver)),
-            criterion::BatchSize::SmallInput,
-        );
-    });
+    h.bench_with_setup(
+        "transfer.apply_cifar_child",
+        || Model::build(&cspec, 2).unwrap(),
+        |mut receiver| {
+            black_box(apply_transfer(&plan, &ckpt, &mut receiver));
+        },
+    );
 }
 
-criterion_group!(benches, bench_matchers, bench_real_space_matching, bench_apply_transfer);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_matchers(&mut h);
+    bench_real_space_matching(&mut h);
+    bench_apply_transfer(&mut h);
+}

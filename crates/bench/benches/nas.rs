@@ -1,63 +1,61 @@
-//! Criterion benches over NAS-level machinery: strategy stepping, provider
-//! selection, pair analysis, Kendall's tau and the cluster simulator — one
-//! target per remaining table/figure (see DESIGN.md §4).
+//! Benches over NAS-level machinery: strategy stepping, provider selection,
+//! Kendall's tau and the cluster simulator — one target per remaining
+//! table/figure (see DESIGN.md §4).
+//!
+//! Run with `cargo bench -p swt-bench --bench nas`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use swt::nas::{RegularizedEvolution, ScoredCandidate, SearchStrategy};
 use swt::prelude::*;
+use swt_bench::Harness;
 
-fn bench_evolution_step(c: &mut Criterion) {
+fn bench_evolution_step(h: &mut Harness) {
     // Scheduler-side cost per candidate (Fig. 7's non-training overhead).
     let space = Arc::new(SearchSpace::for_app(AppKind::Cifar10));
-    c.bench_function("evolution_next_report", |bench| {
-        let mut evo = RegularizedEvolution::new(Arc::clone(&space), 64, 32);
-        let mut rng = Rng::seed(1);
-        // Pre-fill the population.
-        for _ in 0..64 {
-            let cand = evo.next(&mut rng);
-            evo.report(ScoredCandidate { id: cand.id, score: 0.5, arch: cand.arch });
-        }
-        bench.iter(|| {
-            let cand = evo.next(&mut rng);
-            let id = cand.id;
-            evo.report(ScoredCandidate { id, score: 0.5, arch: cand.arch });
-            black_box(id)
-        });
+    let mut evo = RegularizedEvolution::new(Arc::clone(&space), 64, 32);
+    let mut rng = Rng::seed(1);
+    // Pre-fill the population.
+    for _ in 0..64 {
+        let cand = evo.next(&mut rng);
+        evo.report(ScoredCandidate { id: cand.id, score: 0.5, arch: cand.arch });
+    }
+    h.bench("evolution.next_report", || {
+        let cand = evo.next(&mut rng);
+        let id = cand.id;
+        evo.report(ScoredCandidate { id, score: 0.5, arch: cand.arch });
+        black_box(id);
     });
 }
 
-fn bench_provider_scan(c: &mut Criterion) {
+fn bench_provider_scan(h: &mut Harness) {
     // The nearest-provider scan the paper avoids by integrating with
     // evolution (Section V-B) — quantifying what the integration saves.
     let space = SearchSpace::for_app(AppKind::Cifar10);
     let mut rng = Rng::seed(2);
-    let mut group = c.benchmark_group("provider_scan");
     for &pool_size in &[64usize, 512, 4096] {
         let pool: Vec<swt::core::PoolEntry<u64>> = (0..pool_size as u64)
             .map(|id| swt::core::PoolEntry { id, arch: space.sample(&mut rng), score: 0.1 })
             .collect();
         let receiver = space.sample(&mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(pool_size), &pool_size, |bench, _| {
-            bench.iter(|| black_box(select_nearest(&receiver, &pool)));
+        h.bench(&format!("provider_scan.{pool_size}"), || {
+            black_box(select_nearest(&receiver, &pool));
         });
     }
-    group.finish();
 }
 
-fn bench_kendall(c: &mut Criterion) {
+fn bench_kendall(h: &mut Harness) {
     // Fig. 9's statistic at the paper's n = 100.
     let mut rng = Rng::seed(3);
     let xs: Vec<f64> = (0..100).map(|_| rng.normal() as f64).collect();
     let ys: Vec<f64> = xs.iter().map(|x| x + 0.5 * rng.normal() as f64).collect();
-    c.bench_function("kendall_tau_n100", |bench| {
-        bench.iter(|| black_box(kendall_tau(&xs, &ys)));
+    h.bench("kendall_tau.n100", || {
+        black_box(kendall_tau(&xs, &ys));
     });
 }
 
-fn bench_cluster_sim(c: &mut Criterion) {
-    // Fig. 10's simulator: 400 tasks on 32 GPUs.
+fn bench_cluster_sim(h: &mut Harness) {
+    // Fig. 10's simulator: 400 tasks on up to 32 GPUs.
     let tasks: Vec<TaskCost> = (0..400)
         .map(|i| TaskCost {
             train_secs: 6.0 + (i % 5) as f64,
@@ -66,46 +64,37 @@ fn bench_cluster_sim(c: &mut Criterion) {
             write_bytes: 40_000_000,
         })
         .collect();
-    let mut group = c.benchmark_group("cluster_sim");
     for nodes in [1usize, 2, 4] {
         let cfg = ClusterConfig::node_type_a(nodes);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(nodes * 8),
-            &nodes,
-            |bench, _| {
-                bench.iter(|| black_box(simulate(&cfg, &tasks)));
-            },
-        );
+        h.bench(&format!("cluster_sim.{}gpus", nodes * 8), || {
+            black_box(simulate(&cfg, &tasks));
+        });
     }
-    group.finish();
 }
 
-fn bench_space_ops(c: &mut Criterion) {
+fn bench_space_ops(h: &mut Harness) {
     // Table I machinery: sampling/mutation/materialisation per app.
-    let mut group = c.benchmark_group("space_ops");
     for app in AppKind::all() {
         let space = SearchSpace::for_app(app);
         let mut rng = Rng::seed(4);
-        group.bench_function(BenchmarkId::new("sample", app.name()), |bench| {
-            bench.iter(|| black_box(space.sample(&mut rng)));
+        h.bench(&format!("space_ops.sample.{}", app.name()), || {
+            black_box(space.sample(&mut rng));
         });
         let parent = space.sample(&mut rng);
-        group.bench_function(BenchmarkId::new("mutate", app.name()), |bench| {
-            bench.iter(|| black_box(space.mutate(&parent, &mut rng)));
+        h.bench(&format!("space_ops.mutate.{}", app.name()), || {
+            black_box(space.mutate(&parent, &mut rng));
         });
-        group.bench_function(BenchmarkId::new("materialize", app.name()), |bench| {
-            bench.iter(|| black_box(space.materialize(&parent).unwrap()));
+        h.bench(&format!("space_ops.materialize.{}", app.name()), || {
+            black_box(space.materialize(&parent).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_evolution_step,
-    bench_provider_scan,
-    bench_kendall,
-    bench_cluster_sim,
-    bench_space_ops
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_evolution_step(&mut h);
+    bench_provider_scan(&mut h);
+    bench_kendall(&mut h);
+    bench_cluster_sim(&mut h);
+    bench_space_ops(&mut h);
+}

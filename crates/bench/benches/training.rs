@@ -1,17 +1,17 @@
-//! Criterion benches for the training substrate: the per-candidate cost
-//! model feeding Figs. 7/10 (one epoch of estimation per application) and
-//! the checkpoint I/O on its critical path.
+//! Benches for the training substrate: the per-candidate cost model feeding
+//! Figs. 7/10 (one epoch of estimation per application) and the checkpoint
+//! I/O on its critical path.
+//!
+//! Run with `cargo bench -p swt-bench --bench training`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use swt::prelude::*;
 use swt::nn::AdamConfig;
+use swt::prelude::*;
+use swt_bench::Harness;
 
-fn bench_one_epoch_estimate(c: &mut Criterion) {
+fn bench_one_epoch_estimate(h: &mut Harness) {
     // One epoch of candidate estimation per application — the unit of
     // Fig. 7's x-axis and the dominant term of Fig. 10's task cost.
-    let mut group = c.benchmark_group("one_epoch_estimate");
-    group.sample_size(10);
     for app in AppKind::all() {
         let problem = app.problem(DataScale::Quick, 5);
         let space = SearchSpace::for_app(app);
@@ -26,22 +26,18 @@ fn bench_one_epoch_estimate(c: &mut Criterion) {
             shuffle_seed: 3,
             early_stop: None,
         };
-        group.bench_function(BenchmarkId::new("train", app.name()), |bench| {
-            bench.iter_batched(
-                || Model::build(&spec, 7).unwrap(),
-                |mut model| {
-                    black_box(trainer.fit(&mut model, &problem.train, &problem.val, &cfg))
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        h.bench_with_setup(
+            &format!("one_epoch_estimate.train.{}", app.name()),
+            || Model::build(&spec, 7).unwrap(),
+            |mut model| {
+                black_box(trainer.fit(&mut model, &problem.train, &problem.val, &cfg));
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_checkpoint_roundtrip(c: &mut Criterion) {
+fn bench_checkpoint_roundtrip(h: &mut Harness) {
     // Encode/decode + store round trip per application (Fig. 11's object).
-    let mut group = c.benchmark_group("checkpoint");
     for app in AppKind::all() {
         let space = SearchSpace::for_app(app);
         let mut rng = Rng::seed(23);
@@ -49,30 +45,31 @@ fn bench_checkpoint_roundtrip(c: &mut Criterion) {
         let model = Model::build(&spec, 1).unwrap();
         let state = model.state_dict();
         let store = MemStore::new();
-        group.bench_function(BenchmarkId::new("save", app.name()), |bench| {
-            bench.iter(|| black_box(store.save("bench", &state).unwrap()));
+        h.bench(&format!("checkpoint.save.{}", app.name()), || {
+            black_box(store.save("bench", &state).unwrap());
         });
         store.save("bench", &state).unwrap();
-        group.bench_function(BenchmarkId::new("load", app.name()), |bench| {
-            bench.iter(|| black_box(store.load("bench").unwrap()));
+        h.bench(&format!("checkpoint.load.{}", app.name()), || {
+            black_box(store.load("bench").unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_model_build(c: &mut Criterion) {
+fn bench_model_build(h: &mut Harness) {
     // Candidate materialisation + init cost (scheduler-side overhead).
-    let mut group = c.benchmark_group("model_build");
     for app in AppKind::all() {
         let space = SearchSpace::for_app(app);
         let mut rng = Rng::seed(31);
         let spec = space.materialize(&space.sample(&mut rng)).unwrap();
-        group.bench_function(BenchmarkId::new("build", app.name()), |bench| {
-            bench.iter(|| black_box(Model::build(&spec, 9).unwrap()));
+        h.bench(&format!("model_build.build.{}", app.name()), || {
+            black_box(Model::build(&spec, 9).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_one_epoch_estimate, bench_checkpoint_roundtrip, bench_model_build);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_one_epoch_estimate(&mut h);
+    bench_checkpoint_roundtrip(&mut h);
+    bench_model_build(&mut h);
+}

@@ -12,11 +12,10 @@
 //! flow (children reading parents) is unchanged.
 
 use crate::store::CheckpointStore;
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io;
 use std::sync::mpsc::{self, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use swt_tensor::Tensor;
 
@@ -44,7 +43,8 @@ impl AsyncStore {
     /// Wrap `inner` with a single background writer thread.
     pub fn new(inner: Arc<dyn CheckpointStore>) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
-        let pending = Arc::new(Pending { ids: Mutex::new(HashMap::new()), drained: Condvar::new() });
+        let pending =
+            Arc::new(Pending { ids: Mutex::new(HashMap::new()), drained: Condvar::new() });
         let writer_inner = Arc::clone(&inner);
         let writer_pending = Arc::clone(&pending);
         let writer = std::thread::Builder::new()
@@ -56,7 +56,7 @@ impl AsyncStore {
                             // Persist, then clear the pending mark and wake
                             // any blocked readers.
                             let _ = writer_inner.save(&id, &entries);
-                            let mut ids = writer_pending.ids.lock();
+                            let mut ids = writer_pending.ids.lock().unwrap();
                             if let Some(count) = ids.get_mut(&id) {
                                 *count -= 1;
                                 if *count == 0 {
@@ -75,16 +75,16 @@ impl AsyncStore {
 
     /// Block until no writes are pending (used by tests and at run end).
     pub fn flush(&self) {
-        let mut ids = self.pending.ids.lock();
+        let mut ids = self.pending.ids.lock().unwrap();
         while !ids.is_empty() {
-            self.pending.drained.wait(&mut ids);
+            ids = self.pending.drained.wait(ids).unwrap();
         }
     }
 
     fn wait_for(&self, id: &str) {
-        let mut ids = self.pending.ids.lock();
+        let mut ids = self.pending.ids.lock().unwrap();
         while ids.contains_key(id) {
-            self.pending.drained.wait(&mut ids);
+            ids = self.pending.drained.wait(ids).unwrap();
         }
     }
 }
@@ -94,7 +94,7 @@ impl CheckpointStore for AsyncStore {
         // Size accounting must stay exact (Fig. 11), so encode eagerly for
         // the byte count while the actual I/O happens in the background.
         let bytes = crate::format::encode(entries).len() as u64;
-        *self.pending.ids.lock().entry(id.to_string()).or_insert(0) += 1;
+        *self.pending.ids.lock().unwrap().entry(id.to_string()).or_insert(0) += 1;
         self.tx
             .send(Job::Save { id: id.to_string(), entries: entries.to_vec() })
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "writer thread gone"))?;

@@ -66,10 +66,8 @@ fn pack_bytes(bytes: &[u8]) -> Tensor {
     while !padded.len().is_multiple_of(4) {
         padded.push(0);
     }
-    let data: Vec<f32> = padded
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let data: Vec<f32> =
+        padded.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     Tensor::from_vec([data.len()], data)
 }
 
@@ -216,7 +214,10 @@ mod tests {
     fn odd_length_tensors_pack_correctly() {
         let store = QuantizedStore::new(Box::new(MemStore::new()));
         for n in [1usize, 2, 3, 5, 17] {
-            let t = vec![("x/kernel".to_string(), Tensor::from_vec([n], (0..n).map(|i| i as f32).collect()))];
+            let t = vec![(
+                "x/kernel".to_string(),
+                Tensor::from_vec([n], (0..n).map(|i| i as f32).collect()),
+            )];
             store.save("odd", &t).unwrap();
             let back = store.load("odd").unwrap();
             assert_eq!(back[0].1.numel(), n);

@@ -70,10 +70,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// assert!(decoded[0].1.approx_eq(&entries[0].1, 0.0));
 /// ```
 pub fn encode(entries: &[(String, Tensor)]) -> Vec<u8> {
-    let payload: usize = entries
-        .iter()
-        .map(|(n, t)| 4 + n.len() + 4 + 8 * t.shape().rank() + 4 * t.numel())
-        .sum();
+    let payload: usize =
+        entries.iter().map(|(n, t)| 4 + n.len() + 4 + 8 * t.shape().rank() + 4 * t.numel()).sum();
     let mut buf = Vec::with_capacity(4 + 4 + payload + 8);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
@@ -139,9 +137,8 @@ pub fn decode(buf: &[u8]) -> Result<Vec<(String, Tensor)>, FormatError> {
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
         let name_len = r.u32()? as usize;
-        let name = std::str::from_utf8(r.take(name_len)?)
-            .map_err(|_| FormatError::BadName)?
-            .to_string();
+        let name =
+            std::str::from_utf8(r.take(name_len)?).map_err(|_| FormatError::BadName)?.to_string();
         let rank = r.u32()? as usize;
         let mut dims = Vec::with_capacity(rank);
         let mut numel: u64 = 1;
@@ -155,10 +152,8 @@ pub fn decode(buf: &[u8]) -> Result<Vec<(String, Tensor)>, FormatError> {
         }
         let numel = dims.iter().product::<usize>();
         let raw = r.take(numel * 4)?;
-        let data: Vec<f32> = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let data: Vec<f32> =
+            raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         entries.push((name, Tensor::from_vec(dims, data)));
     }
     if r.pos != body.len() {

@@ -1,10 +1,10 @@
 //! Checkpoint storage backends.
 
 use crate::format::{decode, encode, FormatError};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
+use std::sync::RwLock;
 use swt_tensor::Tensor;
 
 /// A place to persist candidate checkpoints, keyed by candidate id.
@@ -126,7 +126,7 @@ impl MemStore {
 
     /// Total bytes across all checkpoints.
     pub fn total_bytes(&self) -> u64 {
-        self.map.read().values().map(|v| v.len() as u64).sum()
+        self.map.read().unwrap().values().map(|v| v.len() as u64).sum()
     }
 }
 
@@ -134,32 +134,32 @@ impl CheckpointStore for MemStore {
     fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
         let buf = encode(entries);
         let len = buf.len() as u64;
-        self.map.write().insert(id.to_string(), buf);
+        self.map.write().unwrap().insert(id.to_string(), buf);
         Ok(len)
     }
 
     fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
-        let guard = self.map.read();
-        let buf = guard
-            .get(id)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no checkpoint {id}")))?;
+        let guard = self.map.read().unwrap();
+        let buf = guard.get(id).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no checkpoint {id}"))
+        })?;
         decode(buf).map_err(format_err)
     }
 
     fn exists(&self, id: &str) -> bool {
-        self.map.read().contains_key(id)
+        self.map.read().unwrap().contains_key(id)
     }
 
     fn size_bytes(&self, id: &str) -> Option<u64> {
-        self.map.read().get(id).map(|v| v.len() as u64)
+        self.map.read().unwrap().get(id).map(|v| v.len() as u64)
     }
 
     fn list(&self) -> Vec<String> {
-        self.map.read().keys().cloned().collect()
+        self.map.read().unwrap().keys().cloned().collect()
     }
 
     fn delete(&self, id: &str) -> bool {
-        self.map.write().remove(id).is_some()
+        self.map.write().unwrap().remove(id).is_some()
     }
 }
 

@@ -67,11 +67,8 @@ pub fn simulate(cfg: &ClusterConfig, tasks: &[TaskCost]) -> SimReport {
         dispatch_free = dispatch_at + cfg.dispatch_secs;
         let start = dispatch_free;
 
-        let read = if task.read_bytes > 0 {
-            cfg.pfs.read_secs(task.read_bytes, concurrency)
-        } else {
-            0.0
-        };
+        let read =
+            if task.read_bytes > 0 { cfg.pfs.read_secs(task.read_bytes, concurrency) } else { 0.0 };
         let write = cfg.pfs.write_secs(task.write_bytes, concurrency);
         let duration = read + task.transfer_secs + task.train_secs + write;
         let end = start + duration;
@@ -80,11 +77,7 @@ pub fn simulate(cfg: &ClusterConfig, tasks: &[TaskCost]) -> SimReport {
         makespan = makespan.max(end);
         workers.push(Reverse(OrderedF64(end)));
     }
-    let utilization = if makespan > 0.0 {
-        busy_secs / (makespan * cfg.gpus as f64)
-    } else {
-        0.0
-    };
+    let utilization = if makespan > 0.0 { busy_secs / (makespan * cfg.gpus as f64) } else { 0.0 };
     SimReport { makespan, busy_secs, io_secs, utilization, tasks: tasks.len() }
 }
 
@@ -121,7 +114,10 @@ mod tests {
     }
 
     fn long_tasks(n: usize) -> Vec<TaskCost> {
-        vec![TaskCost { train_secs: 60.0, read_bytes: 0, transfer_secs: 0.0, write_bytes: 1_000_000 }; n]
+        vec![
+            TaskCost { train_secs: 60.0, read_bytes: 0, transfer_secs: 0.0, write_bytes: 1_000_000 };
+            n
+        ]
     }
 
     #[test]
@@ -165,7 +161,12 @@ mod tests {
     #[test]
     fn transfer_reads_add_overhead_vs_baseline() {
         let baseline: Vec<TaskCost> = (0..100)
-            .map(|_| TaskCost { train_secs: 5.0, read_bytes: 0, transfer_secs: 0.0, write_bytes: 10_000_000 })
+            .map(|_| TaskCost {
+                train_secs: 5.0,
+                read_bytes: 0,
+                transfer_secs: 0.0,
+                write_bytes: 10_000_000,
+            })
             .collect();
         let transfer: Vec<TaskCost> = baseline
             .iter()

@@ -37,9 +37,7 @@ impl TransferPlan {
                 // Pair with the receiver tensor of the same local name; its
                 // shape is determined by the (equal) primary shape, but we
                 // re-check to stay safe against layer-kind collisions.
-                if let Some((_, r_full, r_shape)) =
-                    r.tensors.iter().find(|(l, _, _)| l == local)
-                {
+                if let Some((_, r_full, r_shape)) = r.tensors.iter().find(|(l, _, _)| l == local) {
                     if shape == r_shape {
                         bytes += shape.size_bytes();
                         pairs.push((full.clone(), r_full.clone()));
@@ -148,10 +146,7 @@ mod tests {
     fn mismatched_local_names_are_skipped() {
         // Same primary shape but one side lacks a bias: only the kernel
         // moves.
-        let provider = ShapeSeq::from_params(vec![(
-            "p/kernel".to_string(),
-            Shape::new([4, 4]),
-        )]);
+        let provider = ShapeSeq::from_params(vec![("p/kernel".to_string(), Shape::new([4, 4]))]);
         let receiver = seq(&[("r", &[4, 4])]);
         let plan = TransferPlan::build(Matcher::Lcs, &provider, &receiver);
         assert_eq!(plan.matched_layers(), 1);

@@ -28,9 +28,7 @@ pub fn select_nearest<'a, Id>(
     pool.iter().min_by(|a, b| {
         let da = distance(receiver, &a.arch);
         let db = distance(receiver, &b.arch);
-        da.cmp(&db).then(
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal),
-        )
+        da.cmp(&db).then(b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
     })
 }
 

@@ -131,12 +131,8 @@ mod tests {
     use swt_tensor::Padding;
 
     fn cnn(extra_conv: bool) -> ModelSpec {
-        let mut ops = vec![LayerSpec::Conv2D {
-            filters: 4,
-            kernel: 3,
-            padding: Padding::Same,
-            l2: 0.0,
-        }];
+        let mut ops =
+            vec![LayerSpec::Conv2D { filters: 4, kernel: 3, padding: Padding::Same, l2: 0.0 }];
         if extra_conv {
             ops.push(LayerSpec::Conv2D { filters: 4, kernel: 3, padding: Padding::Same, l2: 0.0 });
         }
@@ -173,16 +169,10 @@ mod tests {
         // a bias shape but not a primary shape -> NOT shareable. This is the
         // property that keeps Fig. 2 meaningful (the fixed output head's
         // bias is identical in every candidate).
-        let a = ModelSpec::chain(
-            vec![4],
-            vec![LayerSpec::Dense { units: 8, activation: None }],
-        )
-        .unwrap();
-        let b = ModelSpec::chain(
-            vec![6],
-            vec![LayerSpec::Dense { units: 8, activation: None }],
-        )
-        .unwrap();
+        let a = ModelSpec::chain(vec![4], vec![LayerSpec::Dense { units: 8, activation: None }])
+            .unwrap();
+        let b = ModelSpec::chain(vec![6], vec![LayerSpec::Dense { units: 8, activation: None }])
+            .unwrap();
         let sa = ShapeSeq::of(&a).unwrap();
         let sb = ShapeSeq::of(&b).unwrap();
         assert!(!sa.shares_any_shape(&sb));

@@ -64,10 +64,7 @@ mod tests {
             ops.push(LayerSpec::Conv2D { filters: 6, kernel: 1, padding: Padding::Same, l2: 0.0 });
             ops.push(LayerSpec::Conv2D { filters: 4, kernel: 1, padding: Padding::Same, l2: 0.0 });
         }
-        ops.extend([
-            LayerSpec::Flatten,
-            LayerSpec::Dense { units: 10, activation: None },
-        ]);
+        ops.extend([LayerSpec::Flatten, LayerSpec::Dense { units: 10, activation: None }]);
         ModelSpec::chain(vec![5, 5, 2], ops).unwrap()
     }
 
@@ -86,8 +83,7 @@ mod tests {
         assert_eq!(stats.tensors, plan.tensors());
         assert_eq!(stats.tensors, provider.named_params().len());
         assert_eq!(stats.skipped, 0);
-        for ((_, a), (_, b)) in provider.named_params().iter().zip(receiver.named_params().iter())
-        {
+        for ((_, a), (_, b)) in provider.named_params().iter().zip(receiver.named_params().iter()) {
             assert!(a.approx_eq(b, 0.0));
         }
     }

@@ -1,16 +1,17 @@
-//! Property-based tests for the LP/LCS matchers — the invariants the paper
+//! Property-style tests for the LP/LCS matchers — the invariants the paper
 //! states in Section IV hold for *all* shape sequences, not just the ones we
-//! hand-pick.
+//! hand-pick. Randomized sweeps are driven by the crate's own seeded [`Rng`]
+//! (the container builds fully offline, so no proptest) and therefore replay
+//! deterministically.
 
-use proptest::prelude::*;
 use swt_core::{lcs_match, lp_match};
-use swt_tensor::Shape;
+use swt_tensor::{Rng, Shape};
 
 /// Shape sequences over a small alphabet so collisions are common (like real
 /// search spaces, where many layers share shapes).
-fn shape_vec() -> impl Strategy<Value = Vec<Shape>> {
-    prop::collection::vec(0usize..4, 0..12)
-        .prop_map(|v| v.into_iter().map(|d| Shape::new([d + 1])).collect())
+fn shape_vec(rng: &mut Rng) -> Vec<Shape> {
+    let len = rng.below(12);
+    (0..len).map(|_| Shape::new([rng.below(4) + 1])).collect()
 }
 
 fn refs(v: &[Shape]) -> Vec<&Shape> {
@@ -28,65 +29,100 @@ fn brute_lcs_len(a: &[&Shape], b: &[&Shape]) -> usize {
     }
 }
 
-proptest! {
-    #[test]
-    fn lcs_length_is_optimal(a in shape_vec(), b in shape_vec()) {
+#[test]
+fn lcs_length_is_optimal() {
+    let mut rng = Rng::seed(0x1C5);
+    for case in 0..200 {
+        let a = shape_vec(&mut rng);
+        let b = shape_vec(&mut rng);
         let fast = lcs_match(&refs(&a), &refs(&b));
-        prop_assert_eq!(fast.len(), brute_lcs_len(&refs(&a), &refs(&b)));
+        assert_eq!(fast.len(), brute_lcs_len(&refs(&a), &refs(&b)), "case {case}: {a:?} vs {b:?}");
     }
+}
 
-    #[test]
-    fn lcs_is_a_valid_common_subsequence(a in shape_vec(), b in shape_vec()) {
+#[test]
+fn lcs_is_a_valid_common_subsequence() {
+    let mut rng = Rng::seed(0x5EC);
+    for case in 0..200 {
+        let a = shape_vec(&mut rng);
+        let b = shape_vec(&mut rng);
         let pairs = lcs_match(&refs(&a), &refs(&b));
         // Strictly increasing in both coordinates, all matches equal.
         for w in pairs.windows(2) {
-            prop_assert!(w[0].0 < w[1].0);
-            prop_assert!(w[0].1 < w[1].1);
+            assert!(w[0].0 < w[1].0, "case {case}");
+            assert!(w[0].1 < w[1].1, "case {case}");
         }
         for &(i, j) in &pairs {
-            prop_assert!(i < a.len() && j < b.len());
-            prop_assert_eq!(&a[i], &b[j]);
+            assert!(i < a.len() && j < b.len(), "case {case}");
+            assert_eq!(&a[i], &b[j], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn lp_is_prefix_of_both(a in shape_vec(), b in shape_vec()) {
+#[test]
+fn lp_is_prefix_of_both() {
+    let mut rng = Rng::seed(0x1B);
+    for case in 0..200 {
+        let a = shape_vec(&mut rng);
+        let b = shape_vec(&mut rng);
         let pairs = lp_match(&refs(&a), &refs(&b));
         for (k, &(i, j)) in pairs.iter().enumerate() {
-            prop_assert_eq!(i, k);
-            prop_assert_eq!(j, k);
-            prop_assert_eq!(&a[k], &b[k]);
+            assert_eq!(i, k, "case {case}");
+            assert_eq!(j, k, "case {case}");
+            assert_eq!(&a[k], &b[k], "case {case}");
         }
         // Maximality: the element right after the prefix differs (or one
         // sequence ended).
         let k = pairs.len();
         if k < a.len() && k < b.len() {
-            prop_assert_ne!(&a[k], &b[k]);
+            assert_ne!(&a[k], &b[k], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn lcs_never_transfers_less_than_lp(a in shape_vec(), b in shape_vec()) {
-        // Section IV-A: "LCS will always transfer at least as many tensors
-        // as LP."
-        prop_assert!(lcs_match(&refs(&a), &refs(&b)).len() >= lp_match(&refs(&a), &refs(&b)).len());
+#[test]
+fn lcs_never_transfers_less_than_lp() {
+    // Section IV-A: "LCS will always transfer at least as many tensors
+    // as LP."
+    let mut rng = Rng::seed(0xA11);
+    for case in 0..200 {
+        let a = shape_vec(&mut rng);
+        let b = shape_vec(&mut rng);
+        assert!(
+            lcs_match(&refs(&a), &refs(&b)).len() >= lp_match(&refs(&a), &refs(&b)).len(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn lcs_is_symmetric_in_length(a in shape_vec(), b in shape_vec()) {
+#[test]
+fn lcs_is_symmetric_in_length() {
+    let mut rng = Rng::seed(0x5F1);
+    for case in 0..200 {
+        let a = shape_vec(&mut rng);
+        let b = shape_vec(&mut rng);
         let ab = lcs_match(&refs(&a), &refs(&b)).len();
         let ba = lcs_match(&refs(&b), &refs(&a)).len();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "case {case}");
     }
+}
 
-    #[test]
-    fn self_match_is_total(a in shape_vec()) {
-        prop_assert_eq!(lp_match(&refs(&a), &refs(&a)).len(), a.len());
-        prop_assert_eq!(lcs_match(&refs(&a), &refs(&a)).len(), a.len());
+#[test]
+fn self_match_is_total() {
+    let mut rng = Rng::seed(0x70F);
+    for case in 0..200 {
+        let a = shape_vec(&mut rng);
+        assert_eq!(lp_match(&refs(&a), &refs(&a)).len(), a.len(), "case {case}");
+        assert_eq!(lcs_match(&refs(&a), &refs(&a)).len(), a.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn lcs_bounded_by_shorter_sequence(a in shape_vec(), b in shape_vec()) {
-        prop_assert!(lcs_match(&refs(&a), &refs(&b)).len() <= a.len().min(b.len()));
+#[test]
+fn lcs_bounded_by_shorter_sequence() {
+    let mut rng = Rng::seed(0xB0B);
+    for case in 0..200 {
+        let a = shape_vec(&mut rng);
+        let b = shape_vec(&mut rng);
+        assert!(lcs_match(&refs(&a), &refs(&b)).len() <= a.len().min(b.len()), "case {case}");
     }
 }

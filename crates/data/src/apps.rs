@@ -153,17 +153,10 @@ impl AppKind {
                 // accuracy in MNIST".
                 synthetic::image_classification(train_n, val_n, 10, 10, 1, 10, 0.5, seed)
             }
-            AppKind::Nt3 => {
-                synthetic::sequence_classification(train_n, val_n, 512, 2, 8.0, seed)
+            AppKind::Nt3 => synthetic::sequence_classification(train_n, val_n, 512, 2, 8.0, seed),
+            AppKind::Uno => {
+                synthetic::multi_source_regression(train_n, val_n, &[1, 96, 160, 64], 6, 0.35, seed)
             }
-            AppKind::Uno => synthetic::multi_source_regression(
-                train_n,
-                val_n,
-                &[1, 96, 160, 64],
-                6,
-                0.35,
-                seed,
-            ),
         }
     }
 

@@ -117,10 +117,7 @@ pub fn sequence_classification(
                 xs.push(p + noise * rng.normal());
             }
         }
-        Dataset::new(
-            vec![Tensor::from_vec([n, width, 1], xs)],
-            one_hot(&labels, classes),
-        )
+        Dataset::new(vec![Tensor::from_vec([n, width, 1], xs)], one_hot(&labels, classes))
     };
     let train = make(train_n, &mut rng);
     let val = make(val_n, &mut rng);
@@ -157,9 +154,7 @@ pub fn multi_source_regression(
         let mut targets = Vec::with_capacity(n);
         for _ in 0..n {
             let z: Vec<f32> = (0..latents).map(|_| rng.normal()).collect();
-            for (src, (emb, &w)) in
-                sources.iter_mut().zip(embeddings.iter().zip(source_widths))
-            {
+            for (src, (emb, &w)) in sources.iter_mut().zip(embeddings.iter().zip(source_widths)) {
                 for row in 0..w {
                     let mut v = 0.0f32;
                     for (j, &zj) in z.iter().enumerate() {
@@ -196,10 +191,8 @@ pub fn multi_source_regression(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swt_nn::{
-        Activation, LayerSpec, Loss, Metric, Model, ModelSpec, TrainConfig, Trainer,
-    };
     use swt_nn::AdamConfig;
+    use swt_nn::{Activation, LayerSpec, Loss, Metric, Model, ModelSpec, TrainConfig, Trainer};
 
     #[test]
     fn image_dataset_shapes_and_determinism() {

@@ -47,8 +47,7 @@ fn main() {
                     sample_size: ctx.sample,
                     ..NasConfig::quick(TransferScheme::Lcs, ctx.candidates, ctx.workers, seed)
                 };
-                let trace =
-                    run_nas(Arc::clone(&problem), Arc::clone(&space), store, &cfg);
+                let trace = run_nas(Arc::clone(&problem), Arc::clone(&space), store, &cfg);
                 let events = trace.by_completion();
                 let tail = &events[events.len() * 2 / 3..];
                 tails.extend(tail.iter().map(|e| e.score));
@@ -76,5 +75,7 @@ fn main() {
         &rows,
     );
     println!("\nDesign-choice check: parent/nearest should dominate random, random >= none on");
-    println!("transfer-friendly apps; parent achieves this with zero selection cost (Section V-B).");
+    println!(
+        "transfer-friendly apps; parent achieves this with zero selection cost (Section V-B)."
+    );
 }

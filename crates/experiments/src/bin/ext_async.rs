@@ -27,10 +27,10 @@ fn main() {
     // Real runs: sync vs async store, same seed and budget.
     let mut rows = Vec::new();
     for (label, wrap_async) in [("sync DirStore", false), ("AsyncStore", true)] {
-        let dir = ctx.out.join("ckpts").join(format!(
-            "ext_async_{}",
-            if wrap_async { "async" } else { "sync" }
-        ));
+        let dir = ctx
+            .out
+            .join("ckpts")
+            .join(format!("ext_async_{}", if wrap_async { "async" } else { "sync" }));
         let _ = std::fs::remove_dir_all(&dir);
         let base: Arc<dyn CheckpointStore> = Arc::new(DirStore::new(&dir).expect("store dir"));
         let store: Arc<dyn CheckpointStore> =

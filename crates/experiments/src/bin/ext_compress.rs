@@ -98,7 +98,14 @@ fn main() {
     }
     print_table(
         "Extension — 8-bit quantized provider checkpoints (d=1 pairs, LCS)",
-        &["App", "Pairs", "Exact positive", "Quantized positive", "Exact beats quantized", "Size reduction"],
+        &[
+            "App",
+            "Pairs",
+            "Exact positive",
+            "Quantized positive",
+            "Exact beats quantized",
+            "Size reduction",
+        ],
         &rows,
     );
     write_csv(

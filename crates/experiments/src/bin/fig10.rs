@@ -47,9 +47,8 @@ fn main() {
             // the measured distribution up to that count so scaling is not
             // distorted by wave quantisation at 32 GPUs.
             let mut rng = swt_tensor::Rng::seed(0x00F1_6010);
-            let events: Vec<&swt_nas::TraceEvent> = (0..400)
-                .map(|_| &trace.events[rng.below(trace.events.len())])
-                .collect();
+            let events: Vec<&swt_nas::TraceEvent> =
+                (0..400).map(|_| &trace.events[rng.below(trace.events.len())]).collect();
             let tasks: Vec<TaskCost> = events
                 .iter()
                 .map(|e| {
@@ -57,7 +56,8 @@ fn main() {
                     let read_bytes = if e.transfer_tensors > 0 { ckpt_bytes } else { 0 };
                     // Matching/copy cost: the paper measures "at most 150 ms";
                     // keep our measured value, floor-scaled to that order.
-                    let mut transfer_secs = e.transfer_secs.max(if read_bytes > 0 { 0.05 } else { 0.0 });
+                    let mut transfer_secs =
+                        e.transfer_secs.max(if read_bytes > 0 { 0.05 } else { 0.0 });
                     if app == AppKind::Nt3 && read_bytes > 0 {
                         transfer_secs += read_bytes as f64 / NT3_REHYDRATE_BYTES_PER_SEC;
                     }

@@ -26,8 +26,7 @@ fn main() {
     for &app in &ctx.apps {
         let (trace, _store) =
             ctx.run_or_load(app, TransferScheme::Lcs, StrategyKind::Evolution, ctx.seeds[0]);
-        let sizes: Vec<f64> =
-            trace.events.iter().map(|e| e.checkpoint_bytes as f64).collect();
+        let sizes: Vec<f64> = trace.events.iter().map(|e| e.checkpoint_bytes as f64).collect();
         let s = Summary::of(&sizes);
         let train: Vec<f64> = trace.events.iter().map(|e| e.train_secs).collect();
         let t = Summary::of(&train);
@@ -43,7 +42,15 @@ fn main() {
     }
     print_table(
         "Fig. 11 — average checkpoint sizes (and size-to-training-time ratio)",
-        &["App", "Mean", "Max", "Min", "Mean train", "KB per train-sec", "Calibrated (paper-scale)"],
+        &[
+            "App",
+            "Mean",
+            "Max",
+            "Min",
+            "Mean train",
+            "KB per train-sec",
+            "Calibrated (paper-scale)",
+        ],
         &rows,
     );
     write_csv(

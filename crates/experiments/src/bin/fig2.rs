@@ -20,21 +20,10 @@ fn main() {
         let problem = ctx.problem(app);
         let space = Arc::new(SearchSpace::for_app(app));
         // Structural-only pass: 10x the trained-pair budget is still cheap.
-        let outcomes = run_pair_experiment(
-            &problem,
-            space,
-            store,
-            &trace,
-            ctx.pairs * 10,
-            2025,
-            false,
-        );
+        let outcomes =
+            run_pair_experiment(&problem, space, store, &trace, ctx.pairs * 10, 2025, false);
         let summary = PairSummary::of(&outcomes);
-        rows.push(vec![
-            app.name().to_string(),
-            summary.pairs.to_string(),
-            pct(summary.shareable),
-        ]);
+        rows.push(vec![app.name().to_string(), summary.pairs.to_string(), pct(summary.shareable)]);
     }
     print_table("Fig. 2 — shareable pairs", &["App", "Pairs", "Shareable"], &rows);
     write_csv(&ctx.out.join("fig2.csv"), &["app", "pairs", "shareable_pct"], &rows);

@@ -22,8 +22,7 @@ fn main() {
         let problem = ctx.problem(app);
         let space = Arc::new(SearchSpace::for_app(app));
         eprintln!("[pairs] {}: training {} receiver pairs x3", app.name(), ctx.pairs);
-        let outcomes =
-            run_pair_experiment(&problem, space, store, &trace, ctx.pairs, 404, true);
+        let outcomes = run_pair_experiment(&problem, space, store, &trace, ctx.pairs, 404, true);
         let s = PairSummary::of(&outcomes);
         for (matcher, transferable, positive, negative) in [
             ("LCS", s.lcs_transferable, s.lcs_positive, s.lcs_negative),
@@ -47,7 +46,14 @@ fn main() {
     );
     write_csv(
         &ctx.out.join("fig4.csv"),
-        &["app", "matcher", "transferable_pct", "positive_pct", "negative_pct", "positive_rate_pct"],
+        &[
+            "app",
+            "matcher",
+            "transferable_pct",
+            "positive_pct",
+            "negative_pct",
+            "positive_rate_pct",
+        ],
         &rows,
     );
     println!("\nPaper reference: LCS transferable ~100% (CIFAR-10, Uno), >=42% (MNIST, NT3);");

@@ -63,6 +63,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nPaper reference: positive fraction dominates negatives for d < 3 and decays with d;");
+    println!(
+        "\nPaper reference: positive fraction dominates negatives for d < 3 and decays with d;"
+    );
     println!("Uno's LCS positive fraction decays only marginally (shared choice sets).");
 }

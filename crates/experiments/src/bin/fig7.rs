@@ -22,15 +22,13 @@ fn main() {
         let mut runs: Vec<(TransferScheme, NasTrace)> = Vec::new();
         for scheme in TransferScheme::all() {
             for &seed in &ctx.seeds {
-                let (trace, _store) =
-                    ctx.run_or_load(app, scheme, StrategyKind::Evolution, seed);
+                let (trace, _store) = ctx.run_or_load(app, scheme, StrategyKind::Evolution, seed);
                 runs.push((scheme, trace));
             }
         }
         // The paper cuts all curves at the duration of the shortest
         // experiment.
-        let cutoff =
-            runs.iter().map(|(_, t)| t.wall_secs).fold(f64::INFINITY, f64::min);
+        let cutoff = runs.iter().map(|(_, t)| t.wall_secs).fold(f64::INFINITY, f64::min);
         let slot = (cutoff / 25.0).max(1e-3);
         for scheme in TransferScheme::all() {
             let mut binner = SlotBinner::new(slot);
@@ -57,10 +55,8 @@ fn main() {
             }
             // Summary: mean score over the last third of the run (the
             // "after the beginning stage" comparison the paper makes).
-            let tail: Vec<&swt_stats::SlotStat> = stats
-                .iter()
-                .filter(|s| s.slot_end > cutoff * 2.0 / 3.0)
-                .collect();
+            let tail: Vec<&swt_stats::SlotStat> =
+                stats.iter().filter(|s| s.slot_end > cutoff * 2.0 / 3.0).collect();
             let tail_mean = if tail.is_empty() {
                 f64::NAN
             } else {
@@ -97,6 +93,8 @@ fn main() {
         &["app", "scheme", "tail_mean_score", "mean_lineage_depth"],
         &summary_rows,
     );
-    println!("\nPaper reference: LP/LCS curves significantly above baseline for CIFAR-10, NT3, Uno;");
+    println!(
+        "\nPaper reference: LP/LCS curves significantly above baseline for CIFAR-10, NT3, Uno;"
+    );
     println!("MNIST comparable across schemes; LCS slightly above LP on CIFAR-10 and Uno.");
 }

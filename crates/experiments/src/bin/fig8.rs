@@ -18,15 +18,12 @@ fn main() {
     for &app in &ctx.apps {
         let mut mean_epochs = std::collections::HashMap::new();
         for scheme in ["Baseline", "LCS", "LP"] {
-            let subset: Vec<&fulltrain::ModelRow> = rows
-                .iter()
-                .filter(|r| r.app == app.name() && r.scheme == scheme)
-                .collect();
+            let subset: Vec<&fulltrain::ModelRow> =
+                rows.iter().filter(|r| r.app == app.name() && r.scheme == scheme).collect();
             if subset.is_empty() {
                 continue;
             }
-            let epochs: Vec<f64> =
-                subset.iter().map(|r| r.epochs_early_stop as f64).collect();
+            let epochs: Vec<f64> = subset.iter().map(|r| r.epochs_early_stop as f64).collect();
             let es: Vec<f64> = subset.iter().map(|r| r.metric_early_stop).collect();
             let full: Vec<f64> = subset.iter().map(|r| r.metric_full).collect();
             let e = Summary::of(&epochs);
@@ -39,11 +36,9 @@ fn main() {
                 Summary::of(&full).pm(3),
             ]);
         }
-        if let (Some(&b), Some(&lp), Some(&lcs)) = (
-            mean_epochs.get("Baseline"),
-            mean_epochs.get("LP"),
-            mean_epochs.get("LCS"),
-        ) {
+        if let (Some(&b), Some(&lp), Some(&lcs)) =
+            (mean_epochs.get("Baseline"), mean_epochs.get("LP"), mean_epochs.get("LCS"))
+        {
             if lp > 0.0 {
                 speedups_lp.push(b / lp);
             }

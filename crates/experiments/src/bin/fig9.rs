@@ -28,8 +28,7 @@ fn main() {
         for scheme in TransferScheme::all() {
             let mut taus = Vec::new();
             for &seed in &ctx.seeds {
-                let (trace, store) =
-                    ctx.run_or_load(app, scheme, StrategyKind::Evolution, seed);
+                let (trace, store) = ctx.run_or_load(app, scheme, StrategyKind::Evolution, seed);
                 eprintln!(
                     "[tau  ] {} {} seed {seed}: fully training {sample_n} sampled candidates",
                     app.name(),

@@ -29,10 +29,8 @@ const MAPPING: &[(&str, &str)] = &[
 fn extract_table(log: &str) -> Option<String> {
     let start = log.find("\n== ")?;
     let body = &log[start + 1..];
-    let end = body
-        .find("\n[csv")
-        .or_else(|| body.find("\n\nPaper reference"))
-        .unwrap_or(body.len());
+    let end =
+        body.find("\n[csv").or_else(|| body.find("\n\nPaper reference")).unwrap_or(body.len());
     let mut table = body[..end].trim_end().to_string();
     // Keep the geomean speedup line of fig8, which follows the table.
     if let Some(extra_start) = body.find("Geometric-mean") {

@@ -9,8 +9,7 @@ use swt_experiments::{print_table, write_csv, ExpCtx};
 use swt_space::SearchSpace;
 
 fn human(size: f64) -> String {
-    const UNITS: [(&str, f64); 4] =
-        [("T", 1e12), ("B", 1e9), ("M", 1e6), ("K", 1e3)];
+    const UNITS: [(&str, f64); 4] = [("T", 1e12), ("B", 1e9), ("M", 1e6), ("K", 1e3)];
     for (suffix, scale) in UNITS {
         if size >= scale {
             return format!("{:.1}{suffix}", size / scale);

@@ -15,10 +15,8 @@ fn main() {
     let mut out_rows = Vec::new();
     for &app in &ctx.apps {
         for scheme in ["Baseline", "LCS", "LP"] {
-            let subset: Vec<&fulltrain::ModelRow> = rows
-                .iter()
-                .filter(|r| r.app == app.name() && r.scheme == scheme)
-                .collect();
+            let subset: Vec<&fulltrain::ModelRow> =
+                rows.iter().filter(|r| r.app == app.name() && r.scheme == scheme).collect();
             if subset.is_empty() {
                 continue;
             }

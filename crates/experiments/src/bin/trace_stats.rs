@@ -19,29 +19,24 @@ fn main() {
             let mut bytes_per_child = Vec::new();
             let mut best_scores = Vec::new();
             for &seed in &ctx.seeds {
-                let (trace, _store) =
-                    ctx.run_or_load(app, scheme, StrategyKind::Evolution, seed);
+                let (trace, _store) = ctx.run_or_load(app, scheme, StrategyKind::Evolution, seed);
                 let depths = trace.lineage_depths();
                 depth_means.push(trace.mean_lineage_depth());
                 max_depths.push(depths.values().copied().max().unwrap_or(0) as f64);
-                let children =
-                    trace.events.iter().filter(|e| e.parent.is_some()).count();
-                let transferred =
-                    trace.events.iter().filter(|e| e.transfer_tensors > 0).count();
+                let children = trace.events.iter().filter(|e| e.parent.is_some()).count();
+                let transferred = trace.events.iter().filter(|e| e.transfer_tensors > 0).count();
                 transferred_frac.push(if children > 0 {
                     transferred as f64 / children as f64
                 } else {
                     0.0
                 });
-                let total_bytes: usize =
-                    trace.events.iter().map(|e| e.transfer_bytes).sum();
+                let total_bytes: usize = trace.events.iter().map(|e| e.transfer_bytes).sum();
                 bytes_per_child.push(if transferred > 0 {
                     total_bytes as f64 / transferred as f64
                 } else {
                     0.0
                 });
-                best_scores
-                    .push(trace.top_k(1).first().map(|e| e.score).unwrap_or(f64::NAN));
+                best_scores.push(trace.top_k(1).first().map(|e| e.score).unwrap_or(f64::NAN));
             }
             rows.push(vec![
                 app.name().to_string(),

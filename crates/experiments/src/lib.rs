@@ -142,7 +142,13 @@ impl ExpCtx {
     }
 
     /// Canonical run name for caching.
-    pub fn run_name(&self, app: AppKind, scheme: TransferScheme, strategy: StrategyKind, seed: u64) -> String {
+    pub fn run_name(
+        &self,
+        app: AppKind,
+        scheme: TransferScheme,
+        strategy: StrategyKind,
+        seed: u64,
+    ) -> String {
         let strat = match strategy {
             StrategyKind::Random => "rand",
             StrategyKind::Evolution => "evo",

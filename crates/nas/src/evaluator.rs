@@ -14,6 +14,7 @@ use swt_core::{apply_transfer, ShapeSeq, TransferPlan, TransferScheme, TransferS
 use swt_data::AppProblem;
 use swt_nn::{AdamConfig, Model, TrainConfig, Trainer};
 use swt_space::SearchSpace;
+use swt_tensor::Workspace;
 
 /// Everything measured while evaluating one candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +54,10 @@ pub struct Evaluator {
     epochs: usize,
     /// Root seed of the run; candidate seeds derive from it.
     run_seed: u64,
+    /// Scratch arena handed to each candidate's model and reclaimed after
+    /// evaluation, so buffers warmed up by one candidate are reused by the
+    /// next instead of being reallocated per evaluation.
+    ws: Workspace,
 }
 
 impl Evaluator {
@@ -64,7 +69,7 @@ impl Evaluator {
         epochs: usize,
         run_seed: u64,
     ) -> Self {
-        Evaluator { problem, space, store, scheme, epochs, run_seed }
+        Evaluator { problem, space, store, scheme, epochs, run_seed, ws: Workspace::new() }
     }
 
     /// Deterministic per-candidate seed.
@@ -77,10 +82,11 @@ impl Evaluator {
     /// # Panics
     /// Panics if the candidate's architecture fails to materialise (the
     /// strategy only emits valid candidates).
-    pub fn evaluate(&self, cand: &Candidate) -> EvalOutcome {
+    pub fn evaluate(&mut self, cand: &Candidate) -> EvalOutcome {
         let spec = self.space.materialize(&cand.arch).expect("strategy emitted invalid candidate");
         let seed = self.seed_for(cand.id);
         let mut model = Model::build(&spec, seed).expect("spec validated at materialise time");
+        model.set_workspace(std::mem::take(&mut self.ws));
 
         // Weight transfer from the parent checkpoint, when enabled.
         let mut transfer = TransferStats::default();
@@ -96,7 +102,9 @@ impl Evaluator {
                 let provider_seq = ShapeSeq::from_params(
                     provider_ckpt
                         .iter()
-                        .filter(|(n, _)| !n.ends_with("running_mean") && !n.ends_with("running_var"))
+                        .filter(|(n, _)| {
+                            !n.ends_with("running_mean") && !n.ends_with("running_var")
+                        })
                         .map(|(n, t)| (n.clone(), t.shape().clone()))
                         .collect(),
                 );
@@ -127,6 +135,7 @@ impl Evaluator {
             .save(&cand.checkpoint_id(), &model.state_dict())
             .expect("checkpoint save failed");
         let save_secs = t0.elapsed().as_secs_f64();
+        self.ws = model.take_workspace();
 
         EvalOutcome {
             id: cand.id,
@@ -165,7 +174,7 @@ mod tests {
 
     #[test]
     fn evaluates_and_checkpoints() {
-        let (eval, space, store) = setup(TransferScheme::Baseline);
+        let (mut eval, space, store) = setup(TransferScheme::Baseline);
         let mut rng = Rng::seed(1);
         let cand = Candidate { id: 0, arch: space.sample(&mut rng), parent: None };
         let out = eval.evaluate(&cand);
@@ -179,7 +188,7 @@ mod tests {
 
     #[test]
     fn child_evaluation_transfers_from_parent() {
-        let (eval, space, _store) = setup(TransferScheme::Lcs);
+        let (mut eval, space, _store) = setup(TransferScheme::Lcs);
         let mut rng = Rng::seed(2);
         let parent_arch = space.sample(&mut rng);
         let parent = Candidate { id: 0, arch: parent_arch.clone(), parent: None };
@@ -198,7 +207,7 @@ mod tests {
 
     #[test]
     fn missing_parent_checkpoint_degrades_to_random_init() {
-        let (eval, space, _store) = setup(TransferScheme::Lp);
+        let (mut eval, space, _store) = setup(TransferScheme::Lp);
         let mut rng = Rng::seed(3);
         let arch = space.sample(&mut rng);
         let cand = Candidate { id: 9, arch, parent: Some(777) }; // no such checkpoint
@@ -209,7 +218,7 @@ mod tests {
 
     #[test]
     fn identical_candidate_same_seed_reproduces_score() {
-        let (eval, space, _) = setup(TransferScheme::Baseline);
+        let (mut eval, space, _) = setup(TransferScheme::Baseline);
         let mut rng = Rng::seed(4);
         let arch = space.sample(&mut rng);
         let a = eval.evaluate(&Candidate { id: 5, arch: arch.clone(), parent: None });

@@ -23,7 +23,9 @@ pub mod trace;
 
 pub use candidate::{Candidate, CandidateId, ScoredCandidate};
 pub use evaluator::{candidate_seed, EvalOutcome, Evaluator};
-pub use pairs::{run_distance_experiment, run_pair_experiment, MatchOutcome, PairOutcome, PairSummary};
+pub use pairs::{
+    run_distance_experiment, run_pair_experiment, MatchOutcome, PairOutcome, PairSummary,
+};
 pub use runner::{run_nas, NasConfig, StrategyKind};
 pub use strategy::{ProviderPolicy, RandomSearch, RegularizedEvolution, SearchStrategy};
 pub use topk::{full_train_sample, full_train_top_k, FullTrainOutcome, TopKReport};

@@ -4,8 +4,8 @@ use crate::candidate::{Candidate, ScoredCandidate};
 use crate::evaluator::{EvalOutcome, Evaluator};
 use crate::strategy::{ProviderPolicy, RandomSearch, RegularizedEvolution, SearchStrategy};
 use crate::trace::{NasTrace, TraceEvent};
-use crossbeam::channel;
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use swt_checkpoint::CheckpointStore;
 use swt_core::TransferScheme;
@@ -46,7 +46,12 @@ pub struct NasConfig {
 
 impl NasConfig {
     /// The paper's configuration, scaled only in candidate count.
-    pub fn paper(scheme: TransferScheme, total_candidates: usize, workers: usize, seed: u64) -> Self {
+    pub fn paper(
+        scheme: TransferScheme,
+        total_candidates: usize,
+        workers: usize,
+        seed: u64,
+    ) -> Self {
         NasConfig {
             scheme,
             strategy: StrategyKind::Evolution,
@@ -61,7 +66,12 @@ impl NasConfig {
     }
 
     /// A small configuration for tests and quick runs.
-    pub fn quick(scheme: TransferScheme, total_candidates: usize, workers: usize, seed: u64) -> Self {
+    pub fn quick(
+        scheme: TransferScheme,
+        total_candidates: usize,
+        workers: usize,
+        seed: u64,
+    ) -> Self {
         NasConfig {
             population_size: 16,
             sample_size: 8,
@@ -93,16 +103,31 @@ pub fn run_nas(
     };
     let mut rng = Rng::seed(cfg.seed ^ 0x57A7E6);
 
+    // Thread-budget policy: every evaluator worker models one GPU, and each
+    // runs its candidate's training mostly single-threaded. The intra-op
+    // pool in swt-tensor must therefore share the machine with the worker
+    // pool — without this cap, `workers` evaluators each fanning out to
+    // `available_parallelism()` intra-op threads oversubscribes the host by
+    // a factor of `workers` and context-switch thrash erases the speedup.
+    // Budget = hardware threads / workers, floored at 1 (i.e. pure
+    // inter-candidate parallelism once workers ≥ cores).
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    swt_tensor::parallel::set_max_threads((hardware / cfg.workers).max(1));
+
     let start = Instant::now();
-    let (task_tx, task_rx) = channel::unbounded::<Candidate>();
-    let (result_tx, result_rx) = channel::unbounded::<(Candidate, f64, f64, EvalOutcome)>();
+    let (task_tx, task_rx) = mpsc::channel::<Candidate>();
+    // Workers pull tasks from one shared queue; std's Receiver is
+    // single-consumer, so it is wrapped in a mutex (lock contention is
+    // negligible: tasks take seconds, the lock nanoseconds).
+    let task_rx = Arc::new(Mutex::new(task_rx));
+    let (result_tx, result_rx) = mpsc::channel::<(Candidate, f64, f64, EvalOutcome)>();
 
     let mut events: Vec<TraceEvent> = Vec::with_capacity(cfg.total_candidates);
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers {
-            let task_rx = task_rx.clone();
+            let task_rx = Arc::clone(&task_rx);
             let result_tx = result_tx.clone();
-            let evaluator = Evaluator::new(
+            let mut evaluator = Evaluator::new(
                 Arc::clone(&problem),
                 Arc::clone(&space),
                 Arc::clone(&store),
@@ -110,14 +135,16 @@ pub fn run_nas(
                 cfg.epochs,
                 cfg.seed,
             );
-            scope.spawn(move || {
-                for cand in task_rx.iter() {
-                    let t_start = start.elapsed().as_secs_f64();
-                    let outcome = evaluator.evaluate(&cand);
-                    let t_end = start.elapsed().as_secs_f64();
-                    if result_tx.send((cand, t_start, t_end, outcome)).is_err() {
-                        break;
-                    }
+            scope.spawn(move || loop {
+                // Hold the lock only for the blocking recv handoff, never
+                // while evaluating.
+                let next = task_rx.lock().expect("task queue poisoned").recv();
+                let Ok(cand) = next else { break };
+                let t_start = start.elapsed().as_secs_f64();
+                let outcome = evaluator.evaluate(&cand);
+                let t_end = start.elapsed().as_secs_f64();
+                if result_tx.send((cand, t_start, t_end, outcome)).is_err() {
+                    break;
                 }
             });
         }
@@ -176,7 +203,12 @@ mod tests {
     use swt_checkpoint::MemStore;
     use swt_data::{AppKind, DataScale};
 
-    fn run(scheme: TransferScheme, strategy: StrategyKind, total: usize, workers: usize) -> NasTrace {
+    fn run(
+        scheme: TransferScheme,
+        strategy: StrategyKind,
+        total: usize,
+        workers: usize,
+    ) -> NasTrace {
         let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
         let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
         let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());

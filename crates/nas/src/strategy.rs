@@ -147,9 +147,7 @@ impl SearchStrategy for RegularizedEvolution {
         let provider = match self.provider {
             ProviderPolicy::Parent => Some(parent_id),
             ProviderPolicy::None => None,
-            ProviderPolicy::Random => {
-                Some(self.population[rng.below(self.population.len())].id)
-            }
+            ProviderPolicy::Random => Some(self.population[rng.below(self.population.len())].id),
             ProviderPolicy::Nearest => {
                 let pool: Vec<swt_core::PoolEntry<CandidateId>> = self
                     .population

@@ -97,8 +97,7 @@ pub fn full_train_top_k(
     max_epochs: usize,
     cutoff_secs: f64,
 ) -> TopKReport {
-    let mut eligible: Vec<_> =
-        trace.events.iter().filter(|e| e.t_end <= cutoff_secs).collect();
+    let mut eligible: Vec<_> = trace.events.iter().filter(|e| e.t_end <= cutoff_secs).collect();
     eligible.sort_by(|a, b| {
         b.score.partial_cmp(&a.score).unwrap().then(a.t_end.partial_cmp(&b.t_end).unwrap())
     });
@@ -117,8 +116,7 @@ pub fn full_train_top_k(
             };
             // Early-stopping run.
             let mut model = restore_candidate(&space, &*store, trace.seed, event.id, &event.arch);
-            let es_cfg =
-                TrainConfig { early_stop: Some(problem.early_stop), ..base_cfg.clone() };
+            let es_cfg = TrainConfig { early_stop: Some(problem.early_stop), ..base_cfg.clone() };
             let es_report = trainer.fit(&mut model, &problem.train, &problem.val, &es_cfg);
             // Full run without early stopping (fresh restore).
             let mut model = restore_candidate(&space, &*store, trace.seed, event.id, &event.arch);
@@ -139,7 +137,7 @@ pub fn full_train_top_k(
 /// Fig. 9's harness: fully train a random sample of `n` candidates from the
 /// estimation phase (resuming from their checkpoints, early stopping
 /// enabled) and return `(estimate, ground_truth)` pairs for rank-correlation
-/// analysis. Runs candidates in parallel with rayon.
+/// analysis. Runs candidates in parallel within the process thread budget.
 pub fn full_train_sample(
     problem: &AppProblem,
     space: Arc<SearchSpace>,
@@ -149,28 +147,24 @@ pub fn full_train_sample(
     max_epochs: usize,
     sample_seed: u64,
 ) -> Vec<(f64, f64)> {
-    use rayon::prelude::*;
     let mut rng = swt_tensor::Rng::seed(sample_seed);
     let mut idx: Vec<usize> = (0..trace.events.len()).collect();
     rng.shuffle(&mut idx);
     idx.truncate(n);
     let trainer = Trainer::new(problem.loss, problem.metric);
-    idx.par_iter()
-        .map(|&i| {
-            let event = &trace.events[i];
-            let mut model =
-                restore_candidate(&space, &*store, trace.seed, event.id, &event.arch);
-            let cfg = TrainConfig {
-                epochs: max_epochs,
-                batch_size: problem.batch_size,
-                adam: AdamConfig { lr: problem.lr, ..Default::default() },
-                shuffle_seed: trace.seed ^ event.id ^ 0x516,
-                early_stop: Some(problem.early_stop),
-            };
-            let report = trainer.fit(&mut model, &problem.train, &problem.val, &cfg);
-            (event.score, report.final_metric)
-        })
-        .collect()
+    swt_tensor::parallel::par_map(&idx, |_, &i| {
+        let event = &trace.events[i];
+        let mut model = restore_candidate(&space, &*store, trace.seed, event.id, &event.arch);
+        let cfg = TrainConfig {
+            epochs: max_epochs,
+            batch_size: problem.batch_size,
+            adam: AdamConfig { lr: problem.lr, ..Default::default() },
+            shuffle_seed: trace.seed ^ event.id ^ 0x516,
+            early_stop: Some(problem.early_stop),
+        };
+        let report = trainer.fit(&mut model, &problem.train, &problem.val, &cfg);
+        (event.score, report.final_metric)
+    })
 }
 
 #[cfg(test)]
@@ -213,8 +207,7 @@ mod tests {
     fn cutoff_excludes_late_candidates() {
         let (problem, space, store, trace) = setup();
         let mid = trace.by_completion()[trace.events.len() / 2].t_end;
-        let report =
-            full_train_top_k(&problem, space, store, &trace, 100, 2, mid);
+        let report = full_train_top_k(&problem, space, store, &trace, 100, 2, mid);
         assert!(report.outcomes.len() <= trace.events.len() / 2 + 1);
         assert!(!report.outcomes.is_empty());
     }

@@ -49,10 +49,7 @@ impl NasTrace {
     pub fn top_k(&self, k: usize) -> Vec<&TraceEvent> {
         let mut v: Vec<&TraceEvent> = self.events.iter().collect();
         v.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap()
-                .then(a.t_end.partial_cmp(&b.t_end).unwrap())
+            b.score.partial_cmp(&a.score).unwrap().then(a.t_end.partial_cmp(&b.t_end).unwrap())
         });
         v.truncate(k);
         v

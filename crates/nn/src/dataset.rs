@@ -1,6 +1,6 @@
 //! In-memory, multi-input datasets and batching.
 
-use swt_tensor::{Rng, Tensor};
+use swt_tensor::{Rng, Tensor, Workspace};
 
 /// A supervised dataset: one or more input tensors (all with the same
 /// leading sample dimension, matching the model's input nodes in order) plus
@@ -69,9 +69,27 @@ impl Dataset {
 
     /// Materialise one batch as `(inputs, targets)`.
     pub fn batch(&self, indices: &[usize]) -> (Vec<Tensor>, Tensor) {
+        (self.inputs.iter().map(|t| t.gather0(indices)).collect(), self.targets.gather0(indices))
+    }
+
+    /// Like [`Dataset::batch`], but the batch tensors come from `ws` —
+    /// recycle them back after the step and steady-state training never
+    /// allocates batch storage.
+    pub fn batch_ws(&self, indices: &[usize], ws: &mut Workspace) -> (Vec<Tensor>, Tensor) {
+        fn gather(t: &Tensor, indices: &[usize], ws: &mut Workspace) -> Tensor {
+            let row = t.numel() / t.shape().dim(0);
+            let mut dims = t.shape().dims().to_vec();
+            dims[0] = indices.len();
+            let mut out = ws.take_tensor(dims);
+            for (r, &i) in indices.iter().enumerate() {
+                out.data_mut()[r * row..(r + 1) * row]
+                    .copy_from_slice(&t.data()[i * row..(i + 1) * row]);
+            }
+            out
+        }
         (
-            self.inputs.iter().map(|t| t.gather0(indices)).collect(),
-            self.targets.gather0(indices),
+            self.inputs.iter().map(|t| gather(t, indices, ws)).collect(),
+            gather(&self.targets, indices, ws),
         )
     }
 }

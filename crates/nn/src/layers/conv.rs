@@ -1,9 +1,10 @@
 //! Convolutional layers (2-D NHWC and 1-D NWC), stride 1, with optional L2
 //! kernel regularisation (the CIFAR-like space's `l2 = 5e-4` choice).
 
-use super::{glorot_limit, Layer};
+use super::{cache_from, glorot_limit, Layer};
 use swt_tensor::{
-    conv1d_backward, conv1d_forward, conv2d_backward, conv2d_forward, Padding, Rng, Tensor,
+    conv1d_backward_ws, conv1d_forward_ws, conv2d_backward_ws, conv2d_forward_ws, Padding, Rng,
+    Tensor, Workspace,
 };
 
 /// 2-D convolution layer: kernel `(k, k, c_in, filters)` + bias `(filters,)`.
@@ -30,7 +31,12 @@ impl Conv2DLayer {
         let fan_out = kernel * kernel * filters;
         let limit = glorot_limit(fan_in, fan_out);
         Conv2DLayer {
-            kernel: Tensor::rand_uniform([kernel, kernel, in_channels, filters], -limit, limit, rng),
+            kernel: Tensor::rand_uniform(
+                [kernel, kernel, in_channels, filters],
+                -limit,
+                limit,
+                rng,
+            ),
             bias: Tensor::zeros([filters]),
             d_kernel: Tensor::zeros([kernel, kernel, in_channels, filters]),
             d_bias: Tensor::zeros([filters]),
@@ -51,29 +57,30 @@ fn add_channel_bias(t: &mut Tensor, bias: &Tensor) {
     }
 }
 
-/// Per-channel (last-dim) sums of `t`, the bias gradient reduction.
-fn channel_sums(t: &Tensor, f: usize) -> Tensor {
-    let mut out = vec![0.0f32; f];
+/// Accumulate per-channel (last-dim) sums of `t` into `acc`, the bias
+/// gradient reduction.
+fn accumulate_channel_sums(t: &Tensor, acc: &mut Tensor) {
+    let f = acc.numel();
+    let out = acc.data_mut();
     for chunk in t.data().chunks(f) {
         for (o, &v) in out.iter_mut().zip(chunk) {
             *o += v;
         }
     }
-    Tensor::from_vec([f], out)
 }
 
 impl Layer for Conv2DLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, ws: &mut Workspace) -> Tensor {
         let x = inputs[0];
-        let mut y = conv2d_forward(x, &self.kernel, self.padding);
+        let mut y = conv2d_forward_ws(x, &self.kernel, self.padding, ws);
         add_channel_bias(&mut y, &self.bias);
-        self.cached_input = Some(x.clone());
+        cache_from(&mut self.cached_input, x, ws);
         y
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
         let x = self.cached_input.as_ref().expect("backward before forward");
-        let (dx, mut dk) = conv2d_backward(x, &self.kernel, dout, self.padding);
+        let (dx, mut dk) = conv2d_backward_ws(x, &self.kernel, dout, self.padding, ws);
         if self.l2 > 0.0 {
             // d/dw of (l2/2)·||w||² accumulated into the kernel gradient; the
             // factor matches Keras' `l2(l2)` regulariser up to its 1/2
@@ -81,7 +88,8 @@ impl Layer for Conv2DLayer {
             dk.axpy(self.l2, &self.kernel);
         }
         self.d_kernel.axpy(1.0, &dk);
-        self.d_bias.axpy(1.0, &channel_sums(dout, self.bias.numel()));
+        ws.recycle(dk);
+        accumulate_channel_sums(dout, &mut self.d_bias);
         vec![dx]
     }
 
@@ -140,22 +148,23 @@ impl Conv1DLayer {
 }
 
 impl Layer for Conv1DLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, ws: &mut Workspace) -> Tensor {
         let x = inputs[0];
-        let mut y = conv1d_forward(x, &self.kernel, self.padding);
+        let mut y = conv1d_forward_ws(x, &self.kernel, self.padding, ws);
         add_channel_bias(&mut y, &self.bias);
-        self.cached_input = Some(x.clone());
+        cache_from(&mut self.cached_input, x, ws);
         y
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
         let x = self.cached_input.as_ref().expect("backward before forward");
-        let (dx, mut dk) = conv1d_backward(x, &self.kernel, dout, self.padding);
+        let (dx, mut dk) = conv1d_backward_ws(x, &self.kernel, dout, self.padding, ws);
         if self.l2 > 0.0 {
             dk.axpy(self.l2, &self.kernel);
         }
         self.d_kernel.axpy(1.0, &dk);
-        self.d_bias.axpy(1.0, &channel_sums(dout, self.bias.numel()));
+        ws.recycle(dk);
+        accumulate_channel_sums(dout, &mut self.d_bias);
         vec![dx]
     }
 
@@ -187,11 +196,12 @@ mod tests {
     #[test]
     fn conv2d_bias_broadcasts_per_filter() {
         let mut rng = Rng::seed(1);
+        let mut ws = Workspace::new();
         let mut layer = Conv2DLayer::new(1, 2, 1, Padding::Valid, 0.0, &mut rng);
         layer.kernel = Tensor::zeros([1, 1, 1, 2]);
         layer.bias = Tensor::from_vec([2], vec![5.0, -5.0]);
         let x = Tensor::zeros([1, 2, 2, 1]);
-        let y = layer.forward(&[&x], true);
+        let y = layer.forward(&[&x], true, &mut ws);
         for p in 0..4 {
             assert_eq!(y.data()[p * 2], 5.0);
             assert_eq!(y.data()[p * 2 + 1], -5.0);
@@ -201,18 +211,20 @@ mod tests {
     #[test]
     fn conv2d_gradient_check() {
         let mut rng = Rng::seed(2);
+        let mut ws = Workspace::new();
         let mut layer = Conv2DLayer::new(2, 2, 3, Padding::Same, 0.0, &mut rng);
         let x = Tensor::rand_normal([1, 4, 4, 2], 0.0, 1.0, &mut rng);
-        let y = layer.forward(&[&x], true);
+        let y = layer.forward(&[&x], true, &mut ws);
         let dout = Tensor::ones(y.shape().dims().to_vec());
-        let dx = layer.backward(&dout).remove(0);
+        let dx = layer.backward(&dout, &mut ws).remove(0);
         let eps = 1e-2f32;
         for i in (0..x.numel()).step_by(5) {
             let mut plus = x.clone();
             plus.data_mut()[i] += eps;
             let mut minus = x.clone();
             minus.data_mut()[i] -= eps;
-            let num = (layer.forward(&[&plus], true).sum() - layer.forward(&[&minus], true).sum())
+            let num = (layer.forward(&[&plus], true, &mut ws).sum()
+                - layer.forward(&[&minus], true, &mut ws).sum())
                 / (2.0 * eps);
             assert!((num - dx.data()[i]).abs() < 2e-2, "dx[{i}]");
         }
@@ -224,9 +236,10 @@ mod tests {
         let x = Tensor::rand_normal([1, 3, 3, 1], 0.0, 1.0, &mut rng);
         let mk = |l2: f32| {
             let mut r = Rng::seed(4);
+            let mut ws = Workspace::new();
             let mut layer = Conv2DLayer::new(1, 1, 3, Padding::Valid, l2, &mut r);
-            let y = layer.forward(&[&x], true);
-            let _ = layer.backward(&Tensor::ones(y.shape().dims().to_vec()));
+            let y = layer.forward(&[&x], true, &mut ws);
+            let _ = layer.backward(&Tensor::ones(y.shape().dims().to_vec()), &mut ws);
             let mut grad = None;
             let mut kern = None;
             layer.visit_updates(&mut |n, p, g| {
@@ -248,18 +261,20 @@ mod tests {
     #[test]
     fn conv1d_gradient_check() {
         let mut rng = Rng::seed(5);
+        let mut ws = Workspace::new();
         let mut layer = Conv1DLayer::new(2, 3, 3, Padding::Valid, 0.0, &mut rng);
         let x = Tensor::rand_normal([2, 7, 2], 0.0, 1.0, &mut rng);
-        let y = layer.forward(&[&x], true);
+        let y = layer.forward(&[&x], true, &mut ws);
         let dout = Tensor::ones(y.shape().dims().to_vec());
-        let dx = layer.backward(&dout).remove(0);
+        let dx = layer.backward(&dout, &mut ws).remove(0);
         let eps = 1e-2f32;
         for i in (0..x.numel()).step_by(4) {
             let mut plus = x.clone();
             plus.data_mut()[i] += eps;
             let mut minus = x.clone();
             minus.data_mut()[i] -= eps;
-            let num = (layer.forward(&[&plus], true).sum() - layer.forward(&[&minus], true).sum())
+            let num = (layer.forward(&[&plus], true, &mut ws).sum()
+                - layer.forward(&[&minus], true, &mut ws).sum())
                 / (2.0 * eps);
             assert!((num - dx.data()[i]).abs() < 2e-2, "dx[{i}]");
         }

@@ -1,20 +1,20 @@
 //! Parameter-free layers: identity, activation, dropout, flatten, concat.
 
-use super::dense::{activation_grad_from_output, apply_activation};
-use super::Layer;
+use super::dense::{activation_grad_scalar, apply_activation_inplace};
+use super::{cache_from, ws_copy, Layer};
 use crate::spec::Activation;
-use swt_tensor::{Rng, Tensor};
+use swt_tensor::{Rng, Tensor, Workspace};
 
 /// Skip connection (`Identity` choice of the variable nodes).
 pub struct IdentityLayer;
 
 impl Layer for IdentityLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
-        inputs[0].clone()
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, ws: &mut Workspace) -> Tensor {
+        ws_copy(inputs[0], ws)
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
-        vec![dout.clone()]
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
+        vec![ws_copy(dout, ws)]
     }
 }
 
@@ -31,15 +31,20 @@ impl ActivationLayer {
 }
 
 impl Layer for ActivationLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
-        let y = apply_activation(inputs[0], self.activation);
-        self.cached_output = Some(y.clone());
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, ws: &mut Workspace) -> Tensor {
+        let mut y = ws_copy(inputs[0], ws);
+        apply_activation_inplace(&mut y, self.activation);
+        cache_from(&mut self.cached_output, &y, ws);
         y
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
         let y = self.cached_output.as_ref().expect("backward before forward");
-        vec![dout.zip_map(&activation_grad_from_output(y, self.activation), |g, d| g * d)]
+        let mut dx = ws.take_tensor(dout.shape().dims().to_vec());
+        for ((o, &g), &yv) in dx.data_mut().iter_mut().zip(dout.data()).zip(y.data()) {
+            *o = g * activation_grad_scalar(yv, self.activation);
+        }
+        vec![dx]
     }
 }
 
@@ -60,27 +65,46 @@ impl DropoutLayer {
 }
 
 impl Layer for DropoutLayer {
-    fn forward(&mut self, inputs: &[&Tensor], training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], training: bool, ws: &mut Workspace) -> Tensor {
         let x = inputs[0];
         if !training || self.rate == 0.0 {
-            self.cached_mask = None;
-            return x.clone();
+            if let Some(old) = self.cached_mask.take() {
+                ws.recycle(old);
+            }
+            return ws_copy(x, ws);
         }
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
-        let mask_data: Vec<f32> = (0..x.numel())
-            .map(|_| if self.rng.chance(keep as f64) { scale } else { 0.0 })
-            .collect();
-        let mask = Tensor::from_vec(x.shape().dims().to_vec(), mask_data);
-        let y = x.zip_map(&mask, |a, m| a * m);
+        let mut mask = match self.cached_mask.take() {
+            Some(old) if old.numel() == x.numel() => old.reshape(x.shape().dims().to_vec()),
+            other => {
+                if let Some(old) = other {
+                    ws.recycle(old);
+                }
+                ws.take_tensor(x.shape().dims().to_vec())
+            }
+        };
+        for m in mask.data_mut() {
+            *m = if self.rng.chance(keep as f64) { scale } else { 0.0 };
+        }
+        let mut y = ws.take_tensor(x.shape().dims().to_vec());
+        for ((o, &a), &m) in y.data_mut().iter_mut().zip(x.data()).zip(mask.data()) {
+            *o = a * m;
+        }
         self.cached_mask = Some(mask);
         y
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
         match &self.cached_mask {
-            Some(mask) => vec![dout.zip_map(mask, |g, m| g * m)],
-            None => vec![dout.clone()],
+            Some(mask) => {
+                let mut dx = ws.take_tensor(dout.shape().dims().to_vec());
+                for ((o, &g), &m) in dx.data_mut().iter_mut().zip(dout.data()).zip(mask.data()) {
+                    *o = g * m;
+                }
+                vec![dx]
+            }
+            None => vec![ws_copy(dout, ws)],
         }
     }
 }
@@ -103,16 +127,17 @@ impl Default for FlattenLayer {
 }
 
 impl Layer for FlattenLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, ws: &mut Workspace) -> Tensor {
         let x = inputs[0];
-        self.cached_input_shape = x.shape().dims().to_vec();
+        self.cached_input_shape.clear();
+        self.cached_input_shape.extend_from_slice(x.shape().dims());
         let b = x.shape().dim(0);
         let rest = x.numel() / b;
-        x.clone().reshape([b, rest])
+        ws_copy(x, ws).reshape([b, rest])
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
-        vec![dout.clone().reshape(self.cached_input_shape.clone())]
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
+        vec![ws_copy(dout, ws).reshape(self.cached_input_shape.clone())]
     }
 }
 
@@ -135,44 +160,41 @@ impl Default for ConcatLayer {
 }
 
 impl Layer for ConcatLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, ws: &mut Workspace) -> Tensor {
         assert!(inputs.len() >= 2, "concat needs >= 2 inputs");
         let b = inputs[0].shape().dim(0);
-        self.cached_widths = inputs
-            .iter()
-            .map(|t| {
-                assert_eq!(t.shape().rank(), 2, "concat expects rank-2 inputs");
-                assert_eq!(t.shape().dim(0), b, "concat batch mismatch");
-                t.shape().dim(1)
-            })
-            .collect();
+        self.cached_widths.clear();
+        for t in inputs {
+            assert_eq!(t.shape().rank(), 2, "concat expects rank-2 inputs");
+            assert_eq!(t.shape().dim(0), b, "concat batch mismatch");
+            self.cached_widths.push(t.shape().dim(1));
+        }
         let total: usize = self.cached_widths.iter().sum();
-        let mut data = Vec::with_capacity(b * total);
+        let mut out = ws.take_tensor([b, total]);
+        let data = out.data_mut();
         for row in 0..b {
+            let mut off = row * total;
             for (t, &w) in inputs.iter().zip(&self.cached_widths) {
-                data.extend_from_slice(&t.data()[row * w..(row + 1) * w]);
+                data[off..off + w].copy_from_slice(&t.data()[row * w..(row + 1) * w]);
+                off += w;
             }
         }
-        Tensor::from_vec([b, total], data)
+        out
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
         let b = dout.shape().dim(0);
         let total: usize = self.cached_widths.iter().sum();
-        let mut grads: Vec<Vec<f32>> =
-            self.cached_widths.iter().map(|&w| Vec::with_capacity(b * w)).collect();
+        let mut grads: Vec<Tensor> =
+            self.cached_widths.iter().map(|&w| ws.take_tensor([b, w])).collect();
         for row in 0..b {
             let mut off = row * total;
             for (g, &w) in grads.iter_mut().zip(&self.cached_widths) {
-                g.extend_from_slice(&dout.data()[off..off + w]);
+                g.data_mut()[row * w..(row + 1) * w].copy_from_slice(&dout.data()[off..off + w]);
                 off += w;
             }
         }
         grads
-            .into_iter()
-            .zip(&self.cached_widths)
-            .map(|(g, &w)| Tensor::from_vec([b, w], g))
-            .collect()
     }
 }
 
@@ -183,37 +205,41 @@ mod tests {
     #[test]
     fn identity_round_trip() {
         let mut layer = IdentityLayer;
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
-        assert!(layer.forward(&[&x], true).approx_eq(&x, 0.0));
-        assert!(layer.backward(&x)[0].approx_eq(&x, 0.0));
+        assert!(layer.forward(&[&x], true, &mut ws).approx_eq(&x, 0.0));
+        assert!(layer.backward(&x, &mut ws)[0].approx_eq(&x, 0.0));
     }
 
     #[test]
     fn activation_layer_backward() {
         let mut layer = ActivationLayer::new(Activation::Relu);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec([1, 4], vec![-1.0, 2.0, -3.0, 4.0]);
-        let y = layer.forward(&[&x], true);
+        let y = layer.forward(&[&x], true, &mut ws);
         assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
-        let dx = layer.backward(&Tensor::ones([1, 4])).remove(0);
+        let dx = layer.backward(&Tensor::ones([1, 4]), &mut ws).remove(0);
         assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 1.0]);
     }
 
     #[test]
     fn dropout_inference_is_identity() {
         let mut layer = DropoutLayer::new(0.5, Rng::seed(1));
+        let mut ws = Workspace::new();
         let x = Tensor::ones([4, 4]);
-        assert!(layer.forward(&[&x], false).approx_eq(&x, 0.0));
+        assert!(layer.forward(&[&x], false, &mut ws).approx_eq(&x, 0.0));
     }
 
     #[test]
     fn dropout_training_preserves_expectation() {
         let mut layer = DropoutLayer::new(0.3, Rng::seed(2));
+        let mut ws = Workspace::new();
         let x = Tensor::ones([100, 100]);
-        let y = layer.forward(&[&x], true);
+        let y = layer.forward(&[&x], true, &mut ws);
         // E[y] = 1; mean over 10k elements should be close.
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Backward routes gradient only through kept elements.
-        let dx = layer.backward(&Tensor::ones([100, 100])).remove(0);
+        let dx = layer.backward(&Tensor::ones([100, 100]), &mut ws).remove(0);
         assert!(dx.approx_eq(&y, 1e-6));
     }
 
@@ -226,10 +252,11 @@ mod tests {
     #[test]
     fn flatten_round_trip() {
         let mut layer = FlattenLayer::new();
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec([2, 2, 3], (0..12).map(|i| i as f32).collect());
-        let y = layer.forward(&[&x], true);
+        let y = layer.forward(&[&x], true, &mut ws);
         assert_eq!(y.shape().dims(), &[2, 6]);
-        let dx = layer.backward(&y).remove(0);
+        let dx = layer.backward(&y, &mut ws).remove(0);
         assert_eq!(dx.shape().dims(), &[2, 2, 3]);
         assert!(dx.approx_eq(&x, 0.0));
     }
@@ -237,12 +264,13 @@ mod tests {
     #[test]
     fn concat_forward_backward_partition() {
         let mut layer = ConcatLayer::new();
+        let mut ws = Workspace::new();
         let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
         let b = Tensor::from_vec([2, 1], vec![9., 8.]);
-        let y = layer.forward(&[&a, &b], true);
+        let y = layer.forward(&[&a, &b], true, &mut ws);
         assert_eq!(y.shape().dims(), &[2, 3]);
         assert_eq!(y.data(), &[1., 2., 9., 3., 4., 8.]);
-        let grads = layer.backward(&y);
+        let grads = layer.backward(&y, &mut ws);
         assert!(grads[0].approx_eq(&a, 0.0));
         assert!(grads[1].approx_eq(&b, 0.0));
     }
@@ -251,8 +279,9 @@ mod tests {
     #[should_panic(expected = "batch mismatch")]
     fn concat_batch_mismatch_panics() {
         let mut layer = ConcatLayer::new();
+        let mut ws = Workspace::new();
         let a = Tensor::zeros([2, 2]);
         let b = Tensor::zeros([3, 2]);
-        layer.forward(&[&a, &b], true);
+        layer.forward(&[&a, &b], true, &mut ws);
     }
 }

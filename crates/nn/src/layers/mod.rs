@@ -4,6 +4,11 @@
 //! accumulates parameter gradients internally; the [`crate::Model`] walks its
 //! DAG calling `forward`/`backward` and exposes parameters to the optimizer
 //! through [`Layer::visit_updates`].
+//!
+//! Both passes receive the model's [`Workspace`]: layers draw every
+//! per-batch buffer (outputs, caches, GEMM scratch) from it and recycle dead
+//! tensors back, so at steady state a training step touches the allocator
+//! only for O(1)-sized control structures, never for tensor storage.
 
 mod conv;
 mod dense;
@@ -17,7 +22,7 @@ pub use misc::{ActivationLayer, ConcatLayer, DropoutLayer, FlattenLayer, Identit
 pub use norm::BatchNormLayer;
 pub use pool::{MaxPool1DLayer, MaxPool2DLayer};
 
-use swt_tensor::Tensor;
+use swt_tensor::{Tensor, Workspace};
 
 /// A trainable (or stateless) layer.
 ///
@@ -26,13 +31,14 @@ use swt_tensor::Tensor;
 /// returns one gradient per input, in the same order.
 pub trait Layer: Send {
     /// Run the layer. `training` toggles batch-statistics / dropout
-    /// behaviour exactly like Keras' `training=True`.
-    fn forward(&mut self, inputs: &[&Tensor], training: bool) -> Tensor;
+    /// behaviour exactly like Keras' `training=True`. Scratch and output
+    /// buffers come from `ws`.
+    fn forward(&mut self, inputs: &[&Tensor], training: bool, ws: &mut Workspace) -> Tensor;
 
     /// Backpropagate; must be preceded by a `forward` call whose
     /// intermediate state is still cached. Parameter gradients accumulate
     /// into the layer.
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor>;
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor>;
 
     /// Visit trainable parameters as `(local_name, value)`.
     fn visit_params(&self, _f: &mut dyn FnMut(&str, &Tensor)) {}
@@ -61,6 +67,32 @@ pub trait Layer: Send {
 /// Glorot-uniform initialisation limit for the given fan-in/fan-out.
 pub(crate) fn glorot_limit(fan_in: usize, fan_out: usize) -> f32 {
     (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// Store a copy of `src` in a layer's cache slot, reusing the slot's previous
+/// storage when the element count matches and drawing from / recycling into
+/// `ws` otherwise. This is how layer caches stay allocation-free at steady
+/// state: batch after batch the same buffer is overwritten in place.
+pub(crate) fn cache_from(slot: &mut Option<Tensor>, src: &Tensor, ws: &mut Workspace) {
+    let mut t = match slot.take() {
+        Some(old) if old.numel() == src.numel() => old.reshape(src.shape().dims().to_vec()),
+        other => {
+            if let Some(old) = other {
+                ws.recycle(old);
+            }
+            ws.take_tensor(src.shape().dims().to_vec())
+        }
+    };
+    t.data_mut().copy_from_slice(src.data());
+    *slot = Some(t);
+}
+
+/// Copy `src` into a fresh workspace tensor (the allocation-free analogue of
+/// `src.clone()`).
+pub(crate) fn ws_copy(src: &Tensor, ws: &mut Workspace) -> Tensor {
+    let mut t = ws.take_tensor(src.shape().dims().to_vec());
+    t.data_mut().copy_from_slice(src.data());
+    t
 }
 
 #[cfg(test)]

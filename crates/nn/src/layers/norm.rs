@@ -7,7 +7,7 @@
 //! non-trainable checkpoint state.
 
 use super::Layer;
-use swt_tensor::Tensor;
+use swt_tensor::{Tensor, Workspace};
 
 const EPS: f32 = 1e-5;
 const MOMENTUM: f32 = 0.9;
@@ -20,10 +20,13 @@ pub struct BatchNormLayer {
     d_beta: Tensor,
     running_mean: Tensor,
     running_var: Tensor,
-    // Backward caches.
+    // Backward caches. The per-channel vectors are members so steady-state
+    // batches reuse their storage.
     cached_xhat: Option<Tensor>,
     cached_inv_std: Vec<f32>,
     cached_rows: usize,
+    scratch_mean: Vec<f32>,
+    scratch_var: Vec<f32>,
 }
 
 impl BatchNormLayer {
@@ -38,6 +41,8 @@ impl BatchNormLayer {
             cached_xhat: None,
             cached_inv_std: Vec::new(),
             cached_rows: 0,
+            scratch_mean: Vec::new(),
+            scratch_var: Vec::new(),
         }
     }
 
@@ -47,76 +52,93 @@ impl BatchNormLayer {
 }
 
 impl Layer for BatchNormLayer {
-    fn forward(&mut self, inputs: &[&Tensor], training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], training: bool, ws: &mut Workspace) -> Tensor {
         let x = inputs[0];
         let c = self.channels();
-        assert_eq!(
-            x.shape().dim(x.shape().rank() - 1),
-            c,
-            "batchnorm channel mismatch"
-        );
+        assert_eq!(x.shape().dim(x.shape().rank() - 1), c, "batchnorm channel mismatch");
         let rows = x.numel() / c;
-        let (mean, var): (Vec<f32>, Vec<f32>) = if training {
-            let mut mean = vec![0.0f32; c];
+        let mean = &mut self.scratch_mean;
+        let var = &mut self.scratch_var;
+        if training {
+            mean.clear();
+            mean.resize(c, 0.0);
             for chunk in x.data().chunks(c) {
                 for (m, &v) in mean.iter_mut().zip(chunk) {
                     *m += v;
                 }
             }
-            for m in &mut mean {
+            for m in mean.iter_mut() {
                 *m /= rows as f32;
             }
-            let mut var = vec![0.0f32; c];
+            var.clear();
+            var.resize(c, 0.0);
             for chunk in x.data().chunks(c) {
-                for ((vv, &v), &m) in var.iter_mut().zip(chunk).zip(&mean) {
+                for ((vv, &v), &m) in var.iter_mut().zip(chunk).zip(mean.iter()) {
                     let d = v - m;
                     *vv += d * d;
                 }
             }
-            for v in &mut var {
+            for v in var.iter_mut() {
                 *v /= rows as f32;
             }
             // Update running statistics.
-            for (r, &m) in self.running_mean.data_mut().iter_mut().zip(&mean) {
+            for (r, &m) in self.running_mean.data_mut().iter_mut().zip(mean.iter()) {
                 *r = MOMENTUM * *r + (1.0 - MOMENTUM) * m;
             }
-            for (r, &v) in self.running_var.data_mut().iter_mut().zip(&var) {
+            for (r, &v) in self.running_var.data_mut().iter_mut().zip(var.iter()) {
                 *r = MOMENTUM * *r + (1.0 - MOMENTUM) * v;
             }
-            (mean, var)
         } else {
-            (self.running_mean.data().to_vec(), self.running_var.data().to_vec())
-        };
+            mean.clear();
+            mean.extend_from_slice(self.running_mean.data());
+            var.clear();
+            var.extend_from_slice(self.running_var.data());
+        }
 
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
-        let mut xhat = x.clone();
-        for chunk in xhat.data_mut().chunks_mut(c) {
-            for ((v, &m), &is) in chunk.iter_mut().zip(&mean).zip(&inv_std) {
-                *v = (*v - m) * is;
+        self.cached_inv_std.clear();
+        self.cached_inv_std.extend(var.iter().map(|&v| 1.0 / (v + EPS).sqrt()));
+        let inv_std = &self.cached_inv_std;
+
+        let mut xhat = ws.take_tensor(x.shape().dims().to_vec());
+        for (dst, src) in xhat.data_mut().chunks_mut(c).zip(x.data().chunks(c)) {
+            for (((o, &v), &m), &is) in dst.iter_mut().zip(src).zip(mean.iter()).zip(inv_std) {
+                *o = (v - m) * is;
             }
         }
-        let mut y = xhat.clone();
-        for chunk in y.data_mut().chunks_mut(c) {
-            for ((v, &g), &b) in chunk.iter_mut().zip(self.gamma.data()).zip(self.beta.data()) {
-                *v = *v * g + b;
+        let mut y = ws.take_tensor(x.shape().dims().to_vec());
+        for (dst, src) in y.data_mut().chunks_mut(c).zip(xhat.data().chunks(c)) {
+            for (((o, &v), &g), &b) in
+                dst.iter_mut().zip(src).zip(self.gamma.data()).zip(self.beta.data())
+            {
+                *o = v * g + b;
             }
+        }
+        if let Some(old) = self.cached_xhat.take() {
+            ws.recycle(old);
         }
         if training {
             self.cached_xhat = Some(xhat);
-            self.cached_inv_std = inv_std;
             self.cached_rows = rows;
+        } else {
+            ws.recycle(xhat);
         }
         y
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
         let xhat = self.cached_xhat.as_ref().expect("backward before training forward");
         let c = self.channels();
         let n = self.cached_rows as f32;
 
-        // Per-channel reductions: dbeta = Σ dout, dgamma = Σ dout·xhat.
-        let mut dbeta = vec![0.0f32; c];
-        let mut dgamma = vec![0.0f32; c];
+        // Per-channel reductions: dbeta = Σ dout, dgamma = Σ dout·xhat,
+        // built in the reusable scratch vectors (the dx formula needs this
+        // batch's sums alone, separate from the accumulated gradients).
+        let dbeta = &mut self.scratch_mean;
+        dbeta.clear();
+        dbeta.resize(c, 0.0);
+        let dgamma = &mut self.scratch_var;
+        dgamma.clear();
+        dgamma.resize(c, 0.0);
         for (dchunk, xchunk) in dout.data().chunks(c).zip(xhat.data().chunks(c)) {
             for i in 0..c {
                 dbeta[i] += dchunk[i];
@@ -125,18 +147,23 @@ impl Layer for BatchNormLayer {
         }
 
         // dx = (gamma · inv_std / n) · (n·dout − Σdout − xhat·Σ(dout·xhat))
-        let mut dx = dout.clone();
-        for (dchunk, xchunk) in dx.data_mut().chunks_mut(c).zip(xhat.data().chunks(c)) {
+        let mut dx = ws.take_tensor(dout.shape().dims().to_vec());
+        for ((dst, dchunk), xchunk) in
+            dx.data_mut().chunks_mut(c).zip(dout.data().chunks(c)).zip(xhat.data().chunks(c))
+        {
             for i in 0..c {
                 let g = self.gamma.data()[i];
                 let is = self.cached_inv_std[i];
-                dchunk[i] =
-                    g * is / n * (n * dchunk[i] - dbeta[i] - xchunk[i] * dgamma[i]);
+                dst[i] = g * is / n * (n * dchunk[i] - dbeta[i] - xchunk[i] * dgamma[i]);
             }
         }
 
-        self.d_gamma.axpy(1.0, &Tensor::from_vec([c], dgamma));
-        self.d_beta.axpy(1.0, &Tensor::from_vec([c], dbeta));
+        for (o, &v) in self.d_beta.data_mut().iter_mut().zip(dbeta.iter()) {
+            *o += v;
+        }
+        for (o, &v) in self.d_gamma.data_mut().iter_mut().zip(dgamma.iter()) {
+            *o += v;
+        }
         vec![dx]
     }
 
@@ -188,9 +215,10 @@ mod tests {
     #[test]
     fn training_output_is_normalised() {
         let mut rng = Rng::seed(1);
+        let mut ws = Workspace::new();
         let mut bn = BatchNormLayer::new(3);
         let x = Tensor::rand_normal([64, 3], 5.0, 2.0, &mut rng);
-        let y = bn.forward(&[&x], true);
+        let y = bn.forward(&[&x], true, &mut ws);
         // Per-channel mean ~0, var ~1.
         for ch in 0..3 {
             let vals: Vec<f32> = y.data().iter().skip(ch).step_by(3).copied().collect();
@@ -204,33 +232,37 @@ mod tests {
     #[test]
     fn inference_uses_running_stats() {
         let mut rng = Rng::seed(2);
+        let mut ws = Workspace::new();
         let mut bn = BatchNormLayer::new(2);
         // Warm the running stats with many training batches.
         for _ in 0..200 {
             let x = Tensor::rand_normal([32, 2], 3.0, 1.5, &mut rng);
-            let _ = bn.forward(&[&x], true);
+            let y = bn.forward(&[&x], true, &mut ws);
+            ws.recycle(y);
         }
         // At inference, an input equal to the running mean maps to ~beta.
         let x = bn.running_mean.clone().reshape([1, 2]);
-        let y = bn.forward(&[&x], false);
+        let y = bn.forward(&[&x], false, &mut ws);
         assert!(y.max_abs() < 0.05, "expected ~0 output, got {:?}", y.data());
     }
 
     #[test]
     fn gradient_check_gamma_beta_and_input() {
         let mut rng = Rng::seed(3);
+        let mut ws = Workspace::new();
         let x = Tensor::rand_normal([8, 2], 1.0, 2.0, &mut rng);
         // Use a weighted loss so gradients are non-trivial (sum of BN output
         // is ~constant by construction).
         let w = Tensor::rand_normal([8, 2], 0.0, 1.0, &mut rng);
         let loss_of = |bn: &mut BatchNormLayer, x: &Tensor| -> f32 {
-            bn.forward(&[x], true).zip_map(&w, |a, b| a * b).sum()
+            let mut ws = Workspace::new();
+            bn.forward(&[x], true, &mut ws).zip_map(&w, |a, b| a * b).sum()
         };
         let mut bn = BatchNormLayer::new(2);
-        let y = bn.forward(&[&x], true);
+        let y = bn.forward(&[&x], true, &mut ws);
         let _ = y;
         let dout = w.clone();
-        let dx = bn.backward(&dout).remove(0);
+        let dx = bn.backward(&dout, &mut ws).remove(0);
         let eps = 1e-2f32;
         for i in 0..x.numel() {
             let mut plus = x.clone();

@@ -2,7 +2,7 @@
 
 use super::Layer;
 use swt_tensor::{
-    maxpool1d_backward, maxpool1d_forward, maxpool2d_backward, maxpool2d_forward, Tensor,
+    maxpool1d_backward, maxpool1d_forward, maxpool2d_backward, maxpool2d_forward, Tensor, Workspace,
 };
 
 /// 2-D max pooling over `(batch, h, w, c)`.
@@ -20,15 +20,16 @@ impl MaxPool2DLayer {
 }
 
 impl Layer for MaxPool2DLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, _ws: &mut Workspace) -> Tensor {
         let x = inputs[0];
         let (y, arg) = maxpool2d_forward(x, self.size, self.stride);
         self.cached_argmax = arg;
-        self.cached_input_shape = x.shape().dims().to_vec();
+        self.cached_input_shape.clear();
+        self.cached_input_shape.extend_from_slice(x.shape().dims());
         y
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, _ws: &mut Workspace) -> Vec<Tensor> {
         vec![maxpool2d_backward(&self.cached_input_shape, dout, &self.cached_argmax)]
     }
 }
@@ -48,15 +49,16 @@ impl MaxPool1DLayer {
 }
 
 impl Layer for MaxPool1DLayer {
-    fn forward(&mut self, inputs: &[&Tensor], _training: bool) -> Tensor {
+    fn forward(&mut self, inputs: &[&Tensor], _training: bool, _ws: &mut Workspace) -> Tensor {
         let x = inputs[0];
         let (y, arg) = maxpool1d_forward(x, self.size, self.stride);
         self.cached_argmax = arg;
-        self.cached_input_shape = x.shape().dims().to_vec();
+        self.cached_input_shape.clear();
+        self.cached_input_shape.extend_from_slice(x.shape().dims());
         y
     }
 
-    fn backward(&mut self, dout: &Tensor) -> Vec<Tensor> {
+    fn backward(&mut self, dout: &Tensor, _ws: &mut Workspace) -> Vec<Tensor> {
         vec![maxpool1d_backward(&self.cached_input_shape, dout, &self.cached_argmax)]
     }
 }
@@ -68,25 +70,27 @@ mod tests {
     #[test]
     fn pool_layer_round_trip() {
         let mut layer = MaxPool2DLayer::new(2, 2);
+        let mut ws = Workspace::new();
         #[rustfmt::skip]
         let x = Tensor::from_vec([1, 2, 4, 1], vec![
             1., 2., 3., 4.,
             8., 7., 6., 5.,
         ]);
-        let y = layer.forward(&[&x], true);
+        let y = layer.forward(&[&x], true, &mut ws);
         assert_eq!(y.data(), &[8., 6.]);
-        let dx = layer.backward(&Tensor::from_vec([1, 1, 2, 1], vec![1.0, 2.0])).remove(0);
+        let dx = layer.backward(&Tensor::from_vec([1, 1, 2, 1], vec![1.0, 2.0]), &mut ws).remove(0);
         assert_eq!(dx.data(), &[0., 0., 0., 0., 1., 0., 2., 0.]);
     }
 
     #[test]
     fn pool1d_layer_has_no_params() {
         let mut layer = MaxPool1DLayer::new(2, 2);
+        let mut ws = Workspace::new();
         let mut count = 0;
         layer.visit_params(&mut |_, _| count += 1);
         layer.visit_updates(&mut |_, _, _| count += 1);
         assert_eq!(count, 0);
         let x = Tensor::from_vec([1, 4, 1], vec![1., 3., 2., 4.]);
-        assert_eq!(layer.forward(&[&x], false).data(), &[3., 4.]);
+        assert_eq!(layer.forward(&[&x], false, &mut ws).data(), &[3., 4.]);
     }
 }

@@ -3,7 +3,7 @@
 //! Table I: CIFAR-10, MNIST and NT3 train with categorical cross-entropy and
 //! report accuracy; Uno trains with mean absolute error and reports `R²`.
 
-use swt_tensor::{softmax_rows, Tensor};
+use swt_tensor::{softmax_rows, Tensor, Workspace};
 
 /// Training loss functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +21,19 @@ impl Loss {
     ///   same shape.
     /// * MAE: `pred` and `target` are `(batch, outputs)`.
     pub fn forward_backward(&self, pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+        let mut ws = Workspace::new();
+        self.forward_backward_ws(pred, target, &mut ws)
+    }
+
+    /// Workspace-drawing variant of [`Loss::forward_backward`]: the gradient
+    /// tensor comes from `ws`, so the training loop can recycle it after
+    /// the backward pass.
+    pub fn forward_backward_ws(
+        &self,
+        pred: &Tensor,
+        target: &Tensor,
+        ws: &mut Workspace,
+    ) -> (f64, Tensor) {
         assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
         match self {
             Loss::CategoricalCrossEntropy => {
@@ -34,7 +47,11 @@ impl Loss {
                 }
                 loss /= batch;
                 // dL/dlogits = (softmax - onehot) / batch
-                let grad = probs.zip_map(target, |p, t| (p - t) / batch as f32);
+                let mut grad = ws.take_tensor(pred.shape().dims().to_vec());
+                for ((o, &p), &t) in grad.data_mut().iter_mut().zip(probs.data()).zip(target.data())
+                {
+                    *o = (p - t) / batch as f32;
+                }
                 (loss, grad)
             }
             Loss::MeanAbsoluteError => {
@@ -44,16 +61,18 @@ impl Loss {
                     loss += f64::from((p - t).abs());
                 }
                 loss /= n;
-                let grad = pred.zip_map(target, |p, t| {
+                let mut grad = ws.take_tensor(pred.shape().dims().to_vec());
+                for ((o, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data())
+                {
                     let d = p - t;
-                    if d > 0.0 {
+                    *o = if d > 0.0 {
                         1.0 / n as f32
                     } else if d < 0.0 {
                         -1.0 / n as f32
                     } else {
                         0.0
-                    }
-                });
+                    };
+                }
                 (loss, grad)
             }
         }

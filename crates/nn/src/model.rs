@@ -5,7 +5,7 @@ use crate::layers::{
     DropoutLayer, FlattenLayer, IdentityLayer, Layer, MaxPool1DLayer, MaxPool2DLayer,
 };
 use crate::spec::{LayerSpec, ModelSpec, NodeSpec, SpecError};
-use swt_tensor::{Rng, Shape, Tensor};
+use swt_tensor::{Rng, Shape, Tensor, Workspace};
 
 /// A built model: DAG of layer instances plus the spec it came from.
 ///
@@ -13,12 +13,19 @@ use swt_tensor::{Rng, Shape, Tensor};
 /// randomness derives from the `seed` passed to [`Model::build`], with one
 /// forked stream per node, so two builds from the same `(spec, seed)` are
 /// identical — the property the baseline-vs-transfer experiments rely on.
+///
+/// The model owns a [`Workspace`] scratch arena that every forward/backward
+/// pass draws from: node outputs, layer caches and GEMM pack buffers are
+/// recycled batch over batch, so steady-state training allocates no tensor
+/// storage. The NAS evaluator moves one arena from candidate to candidate
+/// via [`Model::take_workspace`]/[`Model::set_workspace`].
 pub struct Model {
     spec: ModelSpec,
     layers: Vec<Option<Box<dyn Layer>>>,
     input_nodes: Vec<usize>,
     /// Per-node forward outputs, kept for the backward pass.
     outputs: Vec<Option<Tensor>>,
+    ws: Workspace,
 }
 
 impl Model {
@@ -44,12 +51,35 @@ impl Model {
             input_nodes: spec.input_nodes(),
             outputs: vec![None; spec.nodes().len()],
             layers,
+            ws: Workspace::new(),
         })
     }
 
     /// The spec this model was built from.
     pub fn spec(&self) -> &ModelSpec {
         &self.spec
+    }
+
+    /// Move the scratch arena out of the model (leaving an empty one). The
+    /// evaluator uses this to carry one warmed-up pool across candidates.
+    pub fn take_workspace(&mut self) -> Workspace {
+        std::mem::take(&mut self.ws)
+    }
+
+    /// Install a scratch arena (typically one taken from a previous model).
+    pub fn set_workspace(&mut self, ws: Workspace) {
+        self.ws = ws;
+    }
+
+    /// Borrow the model's scratch arena (e.g. for building batches out of
+    /// pooled buffers).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+
+    /// Return a tensor's storage to the model's scratch arena.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.ws.recycle(t);
     }
 
     /// Forward pass. `inputs` must match [`ModelSpec::input_nodes`] in count
@@ -59,6 +89,12 @@ impl Model {
         let batch = inputs[0].shape().dim(0);
         for t in inputs {
             assert_eq!(t.shape().dim(0), batch, "inconsistent batch sizes");
+        }
+        // Recycle last batch's node outputs before producing this batch's.
+        for slot in self.outputs.iter_mut() {
+            if let Some(old) = slot.take() {
+                self.ws.recycle(old);
+            }
         }
         let mut next_input = 0;
         for i in 0..self.spec.nodes().len() {
@@ -71,17 +107,24 @@ impl Model {
                         "input {next_input} per-sample shape mismatch"
                     );
                     next_input += 1;
-                    t.clone()
+                    let mut copy = self.ws.take_tensor(t.shape().dims().to_vec());
+                    copy.data_mut().copy_from_slice(t.data());
+                    copy
                 }
                 NodeSpec::Layer { inputs: in_ids, .. } => {
-                    let gathered: Vec<&Tensor> =
-                        in_ids.iter().map(|&j| self.outputs[j].as_ref().expect("topo order")).collect();
-                    self.layers[i].as_mut().unwrap().forward(&gathered, training)
+                    let gathered: Vec<&Tensor> = in_ids
+                        .iter()
+                        .map(|&j| self.outputs[j].as_ref().expect("topo order"))
+                        .collect();
+                    self.layers[i].as_mut().unwrap().forward(&gathered, training, &mut self.ws)
                 }
             };
             self.outputs[i] = Some(out);
         }
-        self.outputs[self.spec.output()].clone().unwrap()
+        let out = self.outputs[self.spec.output()].as_ref().unwrap();
+        let mut ret = self.ws.take_tensor(out.shape().dims().to_vec());
+        ret.data_mut().copy_from_slice(out.data());
+        ret
     }
 
     /// Backward pass from the loss gradient of the output. Parameter
@@ -90,17 +133,24 @@ impl Model {
     pub fn backward(&mut self, dout: &Tensor) {
         let n = self.spec.nodes().len();
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
-        grads[self.spec.output()] = Some(dout.clone());
+        let mut dcopy = self.ws.take_tensor(dout.shape().dims().to_vec());
+        dcopy.data_mut().copy_from_slice(dout.data());
+        grads[self.spec.output()] = Some(dcopy);
         for i in (0..n).rev() {
             let Some(grad) = grads[i].take() else { continue };
             let NodeSpec::Layer { inputs: in_ids, .. } = &self.spec.nodes()[i] else {
+                self.ws.recycle(grad);
                 continue; // input node: gradient terminates
             };
-            let input_grads = self.layers[i].as_mut().unwrap().backward(&grad);
+            let input_grads = self.layers[i].as_mut().unwrap().backward(&grad, &mut self.ws);
+            self.ws.recycle(grad);
             debug_assert_eq!(input_grads.len(), in_ids.len());
             for (j, g) in in_ids.iter().zip(input_grads) {
                 match &mut grads[*j] {
-                    Some(acc) => acc.axpy(1.0, &g),
+                    Some(acc) => {
+                        acc.axpy(1.0, &g);
+                        self.ws.recycle(g);
+                    }
                     slot => *slot = Some(g),
                 }
             }
@@ -121,6 +171,15 @@ impl Model {
             let Some(layer) = layer else { continue };
             let prefix = self.spec.node_name(i);
             layer.visit_updates(&mut |local, p, g| f(&format!("{prefix}/{local}"), p, g));
+        }
+    }
+
+    /// Name-free variant of [`Model::visit_updates`] for the per-step
+    /// optimizer hot path: same deterministic enumeration order, but without
+    /// formatting a `String` per parameter per step.
+    pub fn visit_updates_fast(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        for layer in self.layers.iter_mut().flatten() {
+            layer.visit_updates(&mut |_local, p, g| f(p, g));
         }
     }
 
@@ -214,22 +273,12 @@ fn build_layer(op: &LayerSpec, input_shape: &Shape, rng: &mut Rng) -> Box<dyn La
             Box::new(DenseLayer::new(input_shape.dim(0), *units, *activation, rng))
         }
         LayerSpec::Activation(a) => Box::new(ActivationLayer::new(*a)),
-        LayerSpec::Conv2D { filters, kernel, padding, l2 } => Box::new(Conv2DLayer::new(
-            input_shape.dim(2),
-            *filters,
-            *kernel,
-            *padding,
-            *l2,
-            rng,
-        )),
-        LayerSpec::Conv1D { filters, kernel, padding, l2 } => Box::new(Conv1DLayer::new(
-            input_shape.dim(1),
-            *filters,
-            *kernel,
-            *padding,
-            *l2,
-            rng,
-        )),
+        LayerSpec::Conv2D { filters, kernel, padding, l2 } => {
+            Box::new(Conv2DLayer::new(input_shape.dim(2), *filters, *kernel, *padding, *l2, rng))
+        }
+        LayerSpec::Conv1D { filters, kernel, padding, l2 } => {
+            Box::new(Conv1DLayer::new(input_shape.dim(1), *filters, *kernel, *padding, *l2, rng))
+        }
         LayerSpec::MaxPool2D { size, stride } => Box::new(MaxPool2DLayer::new(*size, *stride)),
         LayerSpec::MaxPool1D { size, stride } => Box::new(MaxPool1DLayer::new(*size, *stride)),
         LayerSpec::BatchNorm => {
@@ -371,7 +420,11 @@ mod tests {
     fn state_dict_round_trip() {
         let spec = ModelSpec::chain(
             vec![4, 4, 2],
-            vec![LayerSpec::BatchNorm, LayerSpec::Flatten, LayerSpec::Dense { units: 2, activation: None }],
+            vec![
+                LayerSpec::BatchNorm,
+                LayerSpec::Flatten,
+                LayerSpec::Dense { units: 2, activation: None },
+            ],
         )
         .unwrap();
         let mut a = Model::build(&spec, 1).unwrap();
@@ -405,7 +458,10 @@ mod tests {
                 inputs: vec![0],
             },
             NodeSpec::Layer { op: LayerSpec::Concat, inputs: vec![2, 1] },
-            NodeSpec::Layer { op: LayerSpec::Dense { units: 1, activation: None }, inputs: vec![3] },
+            NodeSpec::Layer {
+                op: LayerSpec::Dense { units: 1, activation: None },
+                inputs: vec![3],
+            },
         ];
         let spec = ModelSpec::new(nodes, 4).unwrap();
         let mut model = Model::build(&spec, 4).unwrap();

@@ -1,7 +1,6 @@
 //! Optimizers: Adam (the paper's configuration) and plain SGD.
 
 use crate::model::Model;
-use std::collections::HashMap;
 use swt_tensor::Tensor;
 
 /// Adam hyperparameters. [`AdamConfig::default`] matches the paper exactly:
@@ -20,17 +19,21 @@ impl Default for AdamConfig {
     }
 }
 
-/// Adam optimizer with per-parameter first/second-moment state keyed by the
-/// parameter's full name.
+/// Adam optimizer with per-parameter first/second-moment state.
+///
+/// Moments are keyed by the parameter's position in the model's
+/// deterministic [`Model::visit_updates_fast`] enumeration, so the per-step
+/// hot path never formats or hashes parameter names. One `Adam` instance
+/// must therefore only ever be stepped against one model.
 pub struct Adam {
     cfg: AdamConfig,
     t: u64,
-    moments: HashMap<String, (Tensor, Tensor)>,
+    moments: Vec<(Tensor, Tensor)>,
 }
 
 impl Adam {
     pub fn new(cfg: AdamConfig) -> Self {
-        Adam { cfg, t: 0, moments: HashMap::new() }
+        Adam { cfg, t: 0, moments: Vec::new() }
     }
 
     /// Apply one update step from the gradients currently accumulated in the
@@ -42,10 +45,17 @@ impl Adam {
         let bc1 = 1.0 - cfg.beta1.powi(t);
         let bc2 = 1.0 - cfg.beta2.powi(t);
         let moments = &mut self.moments;
-        model.visit_updates(&mut |name, param, grad| {
-            let (m, v) = moments.entry(name.to_string()).or_insert_with(|| {
-                (Tensor::zeros(param.shape().dims().to_vec()), Tensor::zeros(param.shape().dims().to_vec()))
-            });
+        let mut idx = 0usize;
+        model.visit_updates_fast(&mut |param, grad| {
+            if idx == moments.len() {
+                moments.push((
+                    Tensor::zeros(param.shape().dims().to_vec()),
+                    Tensor::zeros(param.shape().dims().to_vec()),
+                ));
+            }
+            let (m, v) = &mut moments[idx];
+            idx += 1;
+            debug_assert_eq!(m.numel(), param.numel(), "Adam stepped against a different model");
             let (md, vd, pd, gd) = (m.data_mut(), v.data_mut(), param.data_mut(), grad.data());
             for i in 0..pd.len() {
                 md[i] = cfg.beta1 * md[i] + (1.0 - cfg.beta1) * gd[i];
@@ -76,7 +86,7 @@ impl Sgd {
     /// `param -= lr * grad` for every parameter.
     pub fn step(&mut self, model: &mut Model) {
         let lr = self.lr;
-        model.visit_updates(&mut |_name, param, grad| {
+        model.visit_updates_fast(&mut |param, grad| {
             param.axpy(-lr, grad);
         });
     }
@@ -89,9 +99,8 @@ mod tests {
     use swt_tensor::Rng;
 
     fn linear_model() -> Model {
-        let spec =
-            ModelSpec::chain(vec![2], vec![LayerSpec::Dense { units: 1, activation: None }])
-                .unwrap();
+        let spec = ModelSpec::chain(vec![2], vec![LayerSpec::Dense { units: 1, activation: None }])
+            .unwrap();
         Model::build(&spec, 1).unwrap()
     }
 
@@ -137,9 +146,8 @@ mod tests {
         let mut rng = Rng::seed(5);
         for _ in 0..500 {
             let x = Tensor::rand_normal([16, 2], 0.0, 1.0, &mut rng);
-            let target: Vec<f32> = (0..16)
-                .map(|r| 2.0 * x.at(&[r, 0]) - 3.0 * x.at(&[r, 1]) + 0.5)
-                .collect();
+            let target: Vec<f32> =
+                (0..16).map(|r| 2.0 * x.at(&[r, 0]) - 3.0 * x.at(&[r, 1]) + 0.5).collect();
             let y = model.forward(&[&x], true);
             let grad = Tensor::from_vec(
                 [16, 1],

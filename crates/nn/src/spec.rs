@@ -171,10 +171,18 @@ impl ModelSpec {
                 let want_multi = matches!(op, LayerSpec::Concat);
                 if want_multi {
                     if inputs.len() < 2 {
-                        return Err(SpecError::Arity { node: i, expected: ">= 2", got: inputs.len() });
+                        return Err(SpecError::Arity {
+                            node: i,
+                            expected: ">= 2",
+                            got: inputs.len(),
+                        });
                     }
                 } else if inputs.len() != 1 {
-                    return Err(SpecError::Arity { node: i, expected: "exactly 1", got: inputs.len() });
+                    return Err(SpecError::Arity {
+                        node: i,
+                        expected: "exactly 1",
+                        got: inputs.len(),
+                    });
                 }
             }
         }
@@ -222,7 +230,8 @@ impl ModelSpec {
                 NodeSpec::Input { shape } => Shape::new(shape.clone()),
                 NodeSpec::Layer { op, inputs } => {
                     let ins: Vec<&Shape> = inputs.iter().map(|&j| &shapes[j]).collect();
-                    infer_layer_shape(op, &ins).map_err(|message| SpecError::Shape { node: i, message })?
+                    infer_layer_shape(op, &ins)
+                        .map_err(|message| SpecError::Shape { node: i, message })?
                 }
             };
             shapes.push(shape);
@@ -293,10 +302,7 @@ impl ModelSpec {
         let shapes = self.infer_shapes()?;
         let params = self.param_shapes()?;
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<16} {:<28} {:<16} {:>10}\n",
-            "node", "op", "output", "params"
-        ));
+        out.push_str(&format!("{:<16} {:<28} {:<16} {:>10}\n", "node", "op", "output", "params"));
         out.push_str(&"-".repeat(72));
         out.push('\n');
         for (i, node) in self.nodes.iter().enumerate() {
@@ -351,11 +357,7 @@ fn infer_layer_shape(op: &LayerSpec, inputs: &[&Shape]) -> Result<Shape, String>
             if matches!(padding, Padding::Valid) && (h < *kernel || w < *kernel) {
                 return Err(format!("valid conv kernel {kernel} exceeds input {s}"));
             }
-            Ok(Shape::new([
-                padding.out_size(h, *kernel),
-                padding.out_size(w, *kernel),
-                *filters,
-            ]))
+            Ok(Shape::new([padding.out_size(h, *kernel), padding.out_size(w, *kernel), *filters]))
         }
         LayerSpec::Conv1D { filters, kernel, padding, .. } => {
             let s = one(Some(2))?;
@@ -497,21 +499,15 @@ mod tests {
 
     #[test]
     fn dense_on_unflattened_input_is_error() {
-        let err = ModelSpec::chain(
-            vec![4, 4, 2],
-            vec![LayerSpec::Dense { units: 3, activation: None }],
-        )
-        .unwrap_err();
+        let err =
+            ModelSpec::chain(vec![4, 4, 2], vec![LayerSpec::Dense { units: 3, activation: None }])
+                .unwrap_err();
         assert!(matches!(err, SpecError::Shape { .. }));
     }
 
     #[test]
     fn batchnorm_params_follow_channels() {
-        let spec = ModelSpec::chain(
-            vec![6, 6, 5],
-            vec![LayerSpec::BatchNorm],
-        )
-        .unwrap();
+        let spec = ModelSpec::chain(vec![6, 6, 5], vec![LayerSpec::BatchNorm]).unwrap();
         let params = spec.param_shapes().unwrap();
         assert_eq!(params.len(), 2);
         assert_eq!(params[0].1.dims(), &[5]);

@@ -99,13 +99,23 @@ impl Trainer {
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for idx in train.batch_indices(cfg.batch_size, Some(&mut rng)) {
-                let (inputs, targets) = train.batch(&idx);
+                // Batch tensors, prediction and loss gradient all come from
+                // the model's workspace and go back to it after the step, so
+                // steady-state epochs reuse the same storage every batch.
+                let (inputs, targets) = train.batch_ws(&idx, model.workspace_mut());
                 let input_refs: Vec<&Tensor> = inputs.iter().collect();
                 let pred = model.forward(&input_refs, true);
-                let (loss, grad) = self.loss.forward_backward(&pred, &targets);
+                let (loss, grad) =
+                    self.loss.forward_backward_ws(&pred, &targets, model.workspace_mut());
                 model.zero_grads();
                 model.backward(&grad);
                 adam.step(model);
+                for t in inputs {
+                    model.recycle(t);
+                }
+                model.recycle(targets);
+                model.recycle(pred);
+                model.recycle(grad);
                 loss_sum += loss;
                 batches += 1;
             }
@@ -144,11 +154,16 @@ impl Trainer {
         let mut preds: Option<Vec<f32>> = None;
         let mut pred_cols = 0usize;
         for idx in data.batch_indices(batch_size, None) {
-            let (inputs, _) = data.batch(&idx);
+            let (inputs, targets) = data.batch_ws(&idx, model.workspace_mut());
             let input_refs: Vec<&Tensor> = inputs.iter().collect();
             let out = model.forward(&input_refs, false);
             pred_cols = out.numel() / idx.len();
             preds.get_or_insert_with(Vec::new).extend_from_slice(out.data());
+            for t in inputs {
+                model.recycle(t);
+            }
+            model.recycle(targets);
+            model.recycle(out);
         }
         let preds = Tensor::from_vec([data.len(), pred_cols], preds.unwrap());
         self.metric.evaluate(&preds, data.targets())
@@ -264,18 +279,12 @@ mod tests {
         let make = |n: usize, rng: &mut Rng| {
             let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
             let ys: Vec<f32> = xs.iter().map(|&x| 3.0 * x - 1.0 + 0.05 * rng.normal()).collect();
-            Dataset::new(
-                vec![Tensor::from_vec([n, 1], xs)],
-                Tensor::from_vec([n, 1], ys),
-            )
+            Dataset::new(vec![Tensor::from_vec([n, 1], xs)], Tensor::from_vec([n, 1], ys))
         };
         let train = make(256, &mut rng);
         let val = make(64, &mut rng);
-        let spec = ModelSpec::chain(
-            vec![1],
-            vec![LayerSpec::Dense { units: 1, activation: None }],
-        )
-        .unwrap();
+        let spec = ModelSpec::chain(vec![1], vec![LayerSpec::Dense { units: 1, activation: None }])
+            .unwrap();
         let mut model = Model::build(&spec, 9).unwrap();
         let trainer = Trainer::new(Loss::MeanAbsoluteError, Metric::RSquared);
         let before = trainer.evaluate(&mut model, &val, 32);

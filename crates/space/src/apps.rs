@@ -340,7 +340,8 @@ fn assemble_nt3(ops: &[&LayerSpec]) -> Result<ModelSpec, SpecError> {
 fn assemble_uno(ops: &[&LayerSpec]) -> Result<ModelSpec, SpecError> {
     expect_ops(ops, 13, "Uno");
     let shapes = AppKind::Uno.input_shapes();
-    let mut nodes: Vec<NodeSpec> = shapes.iter().map(|s| NodeSpec::Input { shape: s.clone() }).collect();
+    let mut nodes: Vec<NodeSpec> =
+        shapes.iter().map(|s| NodeSpec::Input { shape: s.clone() }).collect();
     // Towers over the three wide sources (inputs 1..=3); input 0 is the raw
     // scalar source concatenated at the fusion point.
     let mut tower_outputs = Vec::with_capacity(3);
@@ -412,9 +413,9 @@ mod tests {
             let seq = ArchSeq::new(vec![0; space.num_nodes()]);
             // Choice 0 is Identity/smallest everywhere except conv nodes,
             // which have no identity; all-zeros must still be a valid model.
-            let spec = space.materialize(&seq).unwrap_or_else(|e| {
-                panic!("{}: all-zero candidate invalid: {e}", kind.name())
-            });
+            let spec = space
+                .materialize(&seq)
+                .unwrap_or_else(|e| panic!("{}: all-zero candidate invalid: {e}", kind.name()));
             let shape = spec.output_shape().unwrap();
             assert_eq!(shape.dims(), &[kind.output_width()], "{}", kind.name());
         }
@@ -447,7 +448,7 @@ mod tests {
     }
 
     #[test]
-    fn space_sizes_are_large(){
+    fn space_sizes_are_large() {
         // Table I analog: sizes must be search-worthy (way beyond what a
         // 400-candidate run can enumerate).
         for kind in AppKind::all() {

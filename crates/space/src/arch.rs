@@ -50,10 +50,7 @@ impl ArchSeq {
         if s.is_empty() {
             return Some(ArchSeq(Vec::new()));
         }
-        s.split('-')
-            .map(|part| part.parse::<u16>().ok())
-            .collect::<Option<Vec<_>>>()
-            .map(ArchSeq)
+        s.split('-').map(|part| part.parse::<u16>().ok()).collect::<Option<Vec<_>>>().map(ArchSeq)
     }
 }
 

@@ -143,10 +143,7 @@ impl SearchSpace {
     /// Panics if every node is single-choice (no mutation possible).
     pub fn mutate(&self, parent: &ArchSeq, rng: &mut Rng) -> ArchSeq {
         assert_eq!(parent.len(), self.nodes.len());
-        assert!(
-            self.nodes.iter().any(|n| n.arity() > 1),
-            "space has no mutable node"
-        );
+        assert!(self.nodes.iter().any(|n| n.arity() > 1), "space has no mutable node");
         for _ in 0..MAX_ATTEMPTS {
             let node = rng.below(self.nodes.len());
             let arity = self.nodes[node].arity();

@@ -1,80 +1,95 @@
-//! Property-based tests over the search spaces.
+//! Property-style tests over the search spaces, as seeded randomized sweeps
+//! (the container builds fully offline, so no proptest).
 
-use proptest::prelude::*;
 use swt_data::AppKind;
 use swt_space::{distance, ArchSeq, SearchSpace};
 use swt_tensor::Rng;
 
-fn any_app() -> impl Strategy<Value = AppKind> {
-    prop::sample::select(vec![AppKind::Cifar10, AppKind::Mnist, AppKind::Nt3, AppKind::Uno])
-}
+const APPS: [AppKind; 4] = [AppKind::Cifar10, AppKind::Mnist, AppKind::Nt3, AppKind::Uno];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn sampled_candidates_always_materialise(app in any_app(), seed in any::<u64>()) {
+#[test]
+fn sampled_candidates_always_materialise() {
+    let mut rng = Rng::seed(0x5A3);
+    for case in 0..32 {
+        let app = APPS[rng.below(APPS.len())];
         let space = SearchSpace::for_app(app);
-        let mut rng = Rng::seed(seed);
-        let seq = space.sample(&mut rng);
-        prop_assert_eq!(seq.len(), space.num_nodes());
+        let mut sample_rng = Rng::seed(rng.next_u64());
+        let seq = space.sample(&mut sample_rng);
+        assert_eq!(seq.len(), space.num_nodes(), "case {case} ({app:?})");
         let spec = space.materialize(&seq);
-        prop_assert!(spec.is_ok());
+        assert!(spec.is_ok(), "case {case} ({app:?})");
         // Output head is the task head.
         let spec = spec.unwrap();
         let out_shape = spec.output_shape().unwrap();
-        prop_assert_eq!(out_shape.dims(), &[app.output_width()][..]);
+        assert_eq!(out_shape.dims(), &[app.output_width()][..], "case {case} ({app:?})");
     }
+}
 
-    #[test]
-    fn mutation_is_always_distance_one_and_valid(app in any_app(), seed in any::<u64>()) {
+#[test]
+fn mutation_is_always_distance_one_and_valid() {
+    let mut rng = Rng::seed(0x307);
+    for case in 0..32 {
+        let app = APPS[rng.below(APPS.len())];
         let space = SearchSpace::for_app(app);
-        let mut rng = Rng::seed(seed);
-        let parent = space.sample(&mut rng);
-        let child = space.mutate(&parent, &mut rng);
-        prop_assert_eq!(distance(&parent, &child), 1);
-        prop_assert!(space.is_valid(&child));
+        let mut walk_rng = Rng::seed(rng.next_u64());
+        let parent = space.sample(&mut walk_rng);
+        let child = space.mutate(&parent, &mut walk_rng);
+        assert_eq!(distance(&parent, &child), 1, "case {case} ({app:?})");
+        assert!(space.is_valid(&child), "case {case} ({app:?})");
         // The changed node's new choice is within its arity.
         for (i, (p, c)) in parent.choices().iter().zip(child.choices()).enumerate() {
             if p != c {
-                prop_assert!((*c as usize) < space.nodes()[i].arity());
+                assert!((*c as usize) < space.nodes()[i].arity(), "case {case} node {i}");
             }
         }
     }
+}
 
-    #[test]
-    fn distance_is_a_metric_on_samples(app in any_app(), seed in any::<u64>()) {
+#[test]
+fn distance_is_a_metric_on_samples() {
+    let mut rng = Rng::seed(0xD15);
+    for case in 0..32 {
+        let app = APPS[rng.below(APPS.len())];
         let space = SearchSpace::for_app(app);
-        let mut rng = Rng::seed(seed);
-        let a = space.sample(&mut rng);
-        let b = space.sample(&mut rng);
-        let c = space.sample(&mut rng);
-        prop_assert_eq!(distance(&a, &a), 0);
-        prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+        let mut sample_rng = Rng::seed(rng.next_u64());
+        let a = space.sample(&mut sample_rng);
+        let b = space.sample(&mut sample_rng);
+        let c = space.sample(&mut sample_rng);
+        assert_eq!(distance(&a, &a), 0, "case {case}");
+        assert_eq!(distance(&a, &b), distance(&b, &a), "case {case}");
         // Triangle inequality for Hamming distance.
-        prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+        assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c), "case {case}");
     }
+}
 
-    #[test]
-    fn arch_seq_codec_round_trips(choices in prop::collection::vec(0u16..32, 0..24)) {
+#[test]
+fn arch_seq_codec_round_trips() {
+    let mut rng = Rng::seed(0xC0D);
+    for case in 0..100 {
+        let len = rng.below(24);
+        let choices: Vec<u16> = (0..len).map(|_| rng.below(32) as u16).collect();
         let seq = ArchSeq::new(choices);
-        prop_assert_eq!(ArchSeq::decode(&seq.encode()), Some(seq));
+        assert_eq!(ArchSeq::decode(&seq.encode()), Some(seq), "case {case}");
     }
+}
 
-    #[test]
-    fn param_shapes_align_with_built_models(app in any_app(), seed in any::<u64>()) {
-        // The load-bearing invariant of the whole transfer pipeline: the
-        // declarative shape sequence matches the built model's parameters.
+#[test]
+fn param_shapes_align_with_built_models() {
+    // The load-bearing invariant of the whole transfer pipeline: the
+    // declarative shape sequence matches the built model's parameters.
+    let mut rng = Rng::seed(0xA11);
+    for case in 0..32 {
+        let app = APPS[rng.below(APPS.len())];
         let space = SearchSpace::for_app(app);
-        let mut rng = Rng::seed(seed);
-        let spec = space.materialize(&space.sample(&mut rng)).unwrap();
+        let mut sample_rng = Rng::seed(rng.next_u64());
+        let spec = space.materialize(&space.sample(&mut sample_rng)).unwrap();
         let declared = spec.param_shapes().unwrap();
         let model = swt_nn::Model::build(&spec, 1).unwrap();
         let built = model.named_params();
-        prop_assert_eq!(declared.len(), built.len());
+        assert_eq!(declared.len(), built.len(), "case {case} ({app:?})");
         for ((dn, ds), (bn, bt)) in declared.iter().zip(built.iter()) {
-            prop_assert_eq!(dn, bn);
-            prop_assert_eq!(ds, bt.shape());
+            assert_eq!(dn, bn, "case {case} ({app:?})");
+            assert_eq!(ds, bt.shape(), "case {case} ({app:?})");
         }
     }
 }

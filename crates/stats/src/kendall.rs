@@ -215,8 +215,8 @@ mod tests {
     fn ties_count_as_discordant_in_paper_variant() {
         let x = [1.0, 2.0, 3.0];
         let y = [1.0, 1.0, 2.0]; // pair (0,1) tied in y
-        // concordant: (0,2), (1,2); tied-in-y: (0,1) -> Nd' = 1
-        // tau = 2 * (2 - 1) / (3 * 2) = 1/3
+                                 // concordant: (0,2), (1,2); tied-in-y: (0,1) -> Nd' = 1
+                                 // tau = 2 * (2 - 1) / (3 * 2) = 1/3
         assert!((kendall_tau(&x, &y) - 1.0 / 3.0).abs() < 1e-12);
         // tau-b excludes the tied pair from the denominator instead.
         let n0: f64 = 3.0;

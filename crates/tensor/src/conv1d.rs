@@ -4,10 +4,15 @@
 //! convolutions over very wide inputs (Section VII-A); this is the kernel
 //! backing the NT3-like search space. Implemented directly rather than as a
 //! degenerate conv2d so the hot path stays branch-light.
+//!
+//! Like the 2-D path, `im2col`/`col2im` parallelise over the batch and the
+//! `_ws` variants draw all scratch from a caller-owned [`Workspace`].
 
 use crate::conv2d::Padding;
-use crate::matmul::{matmul, matmul_at, matmul_bt};
+use crate::matmul::{gemm_at_rowmajor, gemm_bt_rowmajor, gemm_rowmajor};
+use crate::parallel;
 use crate::tensor::Tensor;
+use crate::workspace::{with_thread_workspace, Workspace};
 
 fn check_conv1d(input: &Tensor, kernel: &Tensor) -> (usize, usize, usize, usize, usize) {
     assert_eq!(input.shape().rank(), 3, "conv1d input must be (n, w, c) rank 3");
@@ -18,53 +23,61 @@ fn check_conv1d(input: &Tensor, kernel: &Tensor) -> (usize, usize, usize, usize,
     (n, w, c, k, f)
 }
 
-fn im2col1d(input: &Tensor, k: usize, padding: Padding) -> (Tensor, usize) {
+fn im2col1d(input: &Tensor, k: usize, padding: Padding, ws: &mut Workspace) -> (Vec<f32>, usize) {
     let (n, w, c) = (input.shape().dim(0), input.shape().dim(1), input.shape().dim(2));
     let ow = padding.out_size(w, k);
     let (pl, _) = padding.pads(k);
     let cols = k * c;
-    let mut m = vec![0.0f32; n * ow * cols];
+    let mut m = ws.take_zeroed(n * ow * cols);
     let src = input.data();
-    for ni in 0..n {
+    parallel::par_chunks_mut(&mut m, ow * cols, |ni, chunk| {
+        let sample = &src[ni * w * c..(ni + 1) * w * c];
         for ox in 0..ow {
-            let row = (ni * ow + ox) * cols;
+            let row = ox * cols;
             for kx in 0..k {
                 let ix = ox as isize + kx as isize - pl as isize;
                 if ix < 0 || ix >= w as isize {
                     continue;
                 }
                 let dst = row + kx * c;
-                let s = (ni * w + ix as usize) * c;
-                m[dst..dst + c].copy_from_slice(&src[s..s + c]);
+                let s = ix as usize * c;
+                chunk[dst..dst + c].copy_from_slice(&sample[s..s + c]);
             }
         }
-    }
-    (Tensor::from_vec([n * ow, cols], m), ow)
+    });
+    (m, ow)
 }
 
-fn col2im1d(dcol: &Tensor, n: usize, w: usize, c: usize, k: usize, padding: Padding) -> Tensor {
+fn col2im1d(
+    dcol: &[f32],
+    n: usize,
+    w: usize,
+    c: usize,
+    k: usize,
+    padding: Padding,
+    ws: &mut Workspace,
+) -> Tensor {
     let ow = padding.out_size(w, k);
     let (pl, _) = padding.pads(k);
     let cols = k * c;
-    let mut out = Tensor::zeros([n, w, c]);
-    let dst = out.data_mut();
-    let src = dcol.data();
-    for ni in 0..n {
+    let mut out = ws.take_tensor_zeroed([n, w, c]);
+    parallel::par_chunks_mut(out.data_mut(), w * c, |ni, dst| {
+        let sample = &dcol[ni * ow * cols..(ni + 1) * ow * cols];
         for ox in 0..ow {
-            let row = (ni * ow + ox) * cols;
+            let row = ox * cols;
             for kx in 0..k {
                 let ix = ox as isize + kx as isize - pl as isize;
                 if ix < 0 || ix >= w as isize {
                     continue;
                 }
                 let s = row + kx * c;
-                let d = (ni * w + ix as usize) * c;
+                let d = ix as usize * c;
                 for ci in 0..c {
-                    dst[d + ci] += src[s + ci];
+                    dst[d + ci] += sample[s + ci];
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -75,10 +88,23 @@ fn col2im1d(dcol: &Tensor, n: usize, w: usize, c: usize, k: usize, padding: Padd
 ///
 /// Returns `(n, ow, f)`.
 pub fn conv1d_forward(input: &Tensor, kernel: &Tensor, padding: Padding) -> Tensor {
+    with_thread_workspace(|ws| conv1d_forward_ws(input, kernel, padding, ws))
+}
+
+/// [`conv1d_forward`] with caller-owned scratch (zero steady-state allocs).
+pub fn conv1d_forward_ws(
+    input: &Tensor,
+    kernel: &Tensor,
+    padding: Padding,
+    ws: &mut Workspace,
+) -> Tensor {
     let (n, _w, c, k, f) = check_conv1d(input, kernel);
-    let (col, ow) = im2col1d(input, k, padding);
-    let w2 = kernel.clone().reshape([k * c, f]);
-    matmul(&col, &w2).reshape([n, ow, f])
+    let (col, ow) = im2col1d(input, k, padding, ws);
+    let rows = n * ow;
+    let mut out = ws.take(rows * f);
+    gemm_rowmajor(rows, f, k * c, &col, kernel.data(), &mut out, ws);
+    ws.give(col);
+    Tensor::from_vec([n, ow, f], out)
 }
 
 /// Backward 1-D convolution: `(d_input, d_kernel)` for upstream `dout (n, ow, f)`.
@@ -88,14 +114,30 @@ pub fn conv1d_backward(
     dout: &Tensor,
     padding: Padding,
 ) -> (Tensor, Tensor) {
+    with_thread_workspace(|ws| conv1d_backward_ws(input, kernel, dout, padding, ws))
+}
+
+/// [`conv1d_backward`] with caller-owned scratch (zero steady-state allocs).
+pub fn conv1d_backward_ws(
+    input: &Tensor,
+    kernel: &Tensor,
+    dout: &Tensor,
+    padding: Padding,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor) {
     let (n, w, c, k, f) = check_conv1d(input, kernel);
-    let (col, ow) = im2col1d(input, k, padding);
+    let (col, ow) = im2col1d(input, k, padding, ws);
     assert_eq!(dout.shape().dims(), &[n, ow, f], "conv1d_backward: bad dout {}", dout.shape());
-    let dout2 = dout.clone().reshape([n * ow, f]);
-    let dkernel = matmul_at(&col, &dout2).reshape([k, c, f]);
-    let w2 = kernel.clone().reshape([k * c, f]);
-    let dcol = matmul_bt(&dout2, &w2);
-    let dinput = col2im1d(&dcol, n, w, c, k, padding);
+    let rows = n * ow;
+    let cols = k * c;
+    let mut dk = ws.take(cols * f);
+    gemm_at_rowmajor(rows, cols, f, &col, dout.data(), &mut dk, ws);
+    let dkernel = Tensor::from_vec([k, c, f], dk);
+    let mut dcol = ws.take(rows * cols);
+    gemm_bt_rowmajor(rows, cols, f, dout.data(), kernel.data(), &mut dcol, ws);
+    ws.give(col);
+    let dinput = col2im1d(&dcol, n, w, c, k, padding, ws);
+    ws.give(dcol);
     (dinput, dkernel)
 }
 
@@ -149,6 +191,31 @@ mod tests {
                 let slow = naive_conv1d(&input, &kernel, padding);
                 assert!(fast.approx_eq(&slow, 1e-4), "{padding:?} ({w},{c},{k},{f})");
             }
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_on_wide_nt3_like_input() {
+        // Wide enough that the blocked GEMM path carries the product.
+        let mut rng = Rng::seed(12);
+        let input = Tensor::rand_normal([2, 180, 4], 0.0, 1.0, &mut rng);
+        let kernel = Tensor::rand_normal([5, 4, 20], 0.0, 0.3, &mut rng);
+        let fast = conv1d_forward(&input, &kernel, Padding::Same);
+        let slow = naive_conv1d(&input, &kernel, Padding::Same);
+        assert!(fast.approx_eq(&slow, 1e-3));
+    }
+
+    #[test]
+    fn ws_variant_matches_and_reuses() {
+        let mut rng = Rng::seed(13);
+        let mut ws = Workspace::new();
+        let input = Tensor::rand_normal([3, 14, 2], 0.0, 1.0, &mut rng);
+        let kernel = Tensor::rand_normal([3, 2, 5], 0.0, 1.0, &mut rng);
+        let base = conv1d_forward(&input, &kernel, Padding::Same);
+        for _ in 0..3 {
+            let out = conv1d_forward_ws(&input, &kernel, Padding::Same, &mut ws);
+            assert!(out.approx_eq(&base, 1e-6));
+            ws.recycle(out);
         }
     }
 

@@ -5,9 +5,16 @@
 //! provides the kernel. Stride is fixed at 1 — exactly like the paper's
 //! search spaces, where spatial reduction comes from the pooling variable
 //! nodes, not from strided convolutions.
+//!
+//! `im2col`/`col2im` run parallel over the batch dimension (each sample's
+//! rows are a disjoint slice), the GEMM is the blocked kernel from
+//! [`crate::matmul`], and the `_ws` variants draw every scratch buffer from a
+//! caller-owned [`Workspace`] so steady-state training allocates nothing.
 
-use crate::matmul::{matmul, matmul_at, matmul_bt};
+use crate::matmul::{gemm_at_rowmajor, gemm_bt_rowmajor, gemm_rowmajor};
+use crate::parallel;
 use crate::tensor::Tensor;
+use crate::workspace::{with_thread_workspace, Workspace};
 
 /// Convolution padding mode, mirroring the Keras/TensorFlow vocabulary used
 /// by the paper's search spaces.
@@ -45,15 +52,14 @@ impl Padding {
     }
 }
 
-fn check_conv2d(input: &Tensor, kernel: &Tensor) -> (usize, usize, usize, usize, usize, usize, usize) {
+fn check_conv2d(
+    input: &Tensor,
+    kernel: &Tensor,
+) -> (usize, usize, usize, usize, usize, usize, usize) {
     assert_eq!(input.shape().rank(), 4, "conv2d input must be NHWC rank 4");
     assert_eq!(kernel.shape().rank(), 4, "conv2d kernel must be (kh, kw, c, f)");
-    let (n, h, w, c) = (
-        input.shape().dim(0),
-        input.shape().dim(1),
-        input.shape().dim(2),
-        input.shape().dim(3),
-    );
+    let (n, h, w, c) =
+        (input.shape().dim(0), input.shape().dim(1), input.shape().dim(2), input.shape().dim(3));
     let (kh, kw, kc, f) = (
         kernel.shape().dim(0),
         kernel.shape().dim(1),
@@ -64,30 +70,31 @@ fn check_conv2d(input: &Tensor, kernel: &Tensor) -> (usize, usize, usize, usize,
     (n, h, w, c, kh, kw, f)
 }
 
-/// Lower the input into the im2col matrix `(n·oh·ow, kh·kw·c)`.
+/// Lower the input into the im2col matrix `(n·oh·ow, kh·kw·c)`, parallel
+/// over the batch (one sample = one disjoint row range). Returns the matrix
+/// buffer plus `(oh, ow)`.
 fn im2col(
     input: &Tensor,
     kh: usize,
     kw: usize,
     padding: Padding,
-) -> (Tensor, usize, usize) {
-    let (n, h, w, c) = (
-        input.shape().dim(0),
-        input.shape().dim(1),
-        input.shape().dim(2),
-        input.shape().dim(3),
-    );
+    ws: &mut Workspace,
+) -> (Vec<f32>, usize, usize) {
+    let (n, h, w, c) =
+        (input.shape().dim(0), input.shape().dim(1), input.shape().dim(2), input.shape().dim(3));
     let oh = padding.out_size(h, kh);
     let ow = padding.out_size(w, kw);
     let (pt, _) = padding.pads(kh);
     let (pl, _) = padding.pads(kw);
     let cols = kh * kw * c;
-    let mut m = vec![0.0f32; n * oh * ow * cols];
+    // Zeroed: padding taps are simply never written.
+    let mut m = ws.take_zeroed(n * oh * ow * cols);
     let src = input.data();
-    for ni in 0..n {
+    parallel::par_chunks_mut(&mut m, oh * ow * cols, |ni, chunk| {
+        let sample = &src[ni * h * w * c..(ni + 1) * h * w * c];
         for oy in 0..oh {
             for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * cols;
+                let row = (oy * ow + ox) * cols;
                 for ky in 0..kh {
                     let iy = oy as isize + ky as isize - pt as isize;
                     if iy < 0 || iy >= h as isize {
@@ -99,20 +106,21 @@ fn im2col(
                             continue;
                         }
                         let dst = row + (ky * kw + kx) * c;
-                        let s = ((ni * h + iy as usize) * w + ix as usize) * c;
-                        m[dst..dst + c].copy_from_slice(&src[s..s + c]);
+                        let s = (iy as usize * w + ix as usize) * c;
+                        chunk[dst..dst + c].copy_from_slice(&sample[s..s + c]);
                     }
                 }
             }
         }
-    }
-    (Tensor::from_vec([n * oh * ow, cols], m), oh, ow)
+    });
+    (m, oh, ow)
 }
 
-/// Scatter-add the im2col-shaped gradient back onto the input layout.
+/// Scatter-add the im2col-shaped gradient back onto the input layout,
+/// parallel over the batch.
 #[allow(clippy::too_many_arguments)]
 fn col2im(
-    dcol: &Tensor,
+    dcol: &[f32],
     n: usize,
     h: usize,
     w: usize,
@@ -120,19 +128,19 @@ fn col2im(
     kh: usize,
     kw: usize,
     padding: Padding,
+    ws: &mut Workspace,
 ) -> Tensor {
     let oh = padding.out_size(h, kh);
     let ow = padding.out_size(w, kw);
     let (pt, _) = padding.pads(kh);
     let (pl, _) = padding.pads(kw);
     let cols = kh * kw * c;
-    let mut out = Tensor::zeros([n, h, w, c]);
-    let dst = out.data_mut();
-    let src = dcol.data();
-    for ni in 0..n {
+    let mut out = ws.take_tensor_zeroed([n, h, w, c]);
+    parallel::par_chunks_mut(out.data_mut(), h * w * c, |ni, dst| {
+        let sample = &dcol[ni * oh * ow * cols..(ni + 1) * oh * ow * cols];
         for oy in 0..oh {
             for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * cols;
+                let row = (oy * ow + ox) * cols;
                 for ky in 0..kh {
                     let iy = oy as isize + ky as isize - pt as isize;
                     if iy < 0 || iy >= h as isize {
@@ -144,15 +152,15 @@ fn col2im(
                             continue;
                         }
                         let s = row + (ky * kw + kx) * c;
-                        let d = ((ni * h + iy as usize) * w + ix as usize) * c;
+                        let d = (iy as usize * w + ix as usize) * c;
                         for ci in 0..c {
-                            dst[d + ci] += src[s + ci];
+                            dst[d + ci] += sample[s + ci];
                         }
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -163,10 +171,23 @@ fn col2im(
 ///
 /// Returns `(n, oh, ow, f)`.
 pub fn conv2d_forward(input: &Tensor, kernel: &Tensor, padding: Padding) -> Tensor {
+    with_thread_workspace(|ws| conv2d_forward_ws(input, kernel, padding, ws))
+}
+
+/// [`conv2d_forward`] with caller-owned scratch (zero steady-state allocs).
+pub fn conv2d_forward_ws(
+    input: &Tensor,
+    kernel: &Tensor,
+    padding: Padding,
+    ws: &mut Workspace,
+) -> Tensor {
     let (n, _h, _w, c, kh, kw, f) = check_conv2d(input, kernel);
-    let (col, oh, ow) = im2col(input, kh, kw, padding);
-    let w2 = kernel.clone().reshape([kh * kw * c, f]);
-    matmul(&col, &w2).reshape([n, oh, ow, f])
+    let (col, oh, ow) = im2col(input, kh, kw, padding, ws);
+    let rows = n * oh * ow;
+    let mut out = ws.take(rows * f);
+    gemm_rowmajor(rows, f, kh * kw * c, &col, kernel.data(), &mut out, ws);
+    ws.give(col);
+    Tensor::from_vec([n, oh, ow, f], out)
 }
 
 /// Backward 2-D convolution: given upstream gradient `dout (n, oh, ow, f)`,
@@ -177,21 +198,37 @@ pub fn conv2d_backward(
     dout: &Tensor,
     padding: Padding,
 ) -> (Tensor, Tensor) {
+    with_thread_workspace(|ws| conv2d_backward_ws(input, kernel, dout, padding, ws))
+}
+
+/// [`conv2d_backward`] with caller-owned scratch (zero steady-state allocs).
+pub fn conv2d_backward_ws(
+    input: &Tensor,
+    kernel: &Tensor,
+    dout: &Tensor,
+    padding: Padding,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor) {
     let (n, h, w, c, kh, kw, f) = check_conv2d(input, kernel);
-    let (col, oh, ow) = im2col(input, kh, kw, padding);
+    let (col, oh, ow) = im2col(input, kh, kw, padding, ws);
     assert_eq!(
         dout.shape().dims(),
         &[n, oh, ow, f],
         "conv2d_backward: dout shape {} unexpected",
         dout.shape()
     );
-    let dout2 = dout.clone().reshape([n * oh * ow, f]);
+    let rows = n * oh * ow;
+    let cols = kh * kw * c;
     // dW = colᵀ · dOut
-    let dkernel = matmul_at(&col, &dout2).reshape([kh, kw, c, f]);
+    let mut dk = ws.take(cols * f);
+    gemm_at_rowmajor(rows, cols, f, &col, dout.data(), &mut dk, ws);
+    let dkernel = Tensor::from_vec([kh, kw, c, f], dk);
     // dCol = dOut · Wᵀ
-    let w2 = kernel.clone().reshape([kh * kw * c, f]);
-    let dcol = matmul_bt(&dout2, &w2);
-    let dinput = col2im(&dcol, n, h, w, c, kh, kw, padding);
+    let mut dcol = ws.take(rows * cols);
+    gemm_bt_rowmajor(rows, cols, f, dout.data(), kernel.data(), &mut dcol, ws);
+    ws.give(col);
+    let dinput = col2im(&dcol, n, h, w, c, kh, kw, padding, ws);
+    ws.give(dcol);
     (dinput, dkernel)
 }
 
@@ -265,14 +302,44 @@ mod tests {
     fn forward_matches_naive() {
         let mut rng = Rng::seed(1);
         for &padding in &[Padding::Valid, Padding::Same] {
-            for &(h, w, c, kh, kw, f) in &[(5, 5, 1, 3, 3, 2), (6, 4, 3, 2, 3, 4), (4, 4, 2, 1, 1, 3)]
+            for &(h, w, c, kh, kw, f) in
+                &[(5, 5, 1, 3, 3, 2), (6, 4, 3, 2, 3, 4), (4, 4, 2, 1, 1, 3)]
             {
                 let input = Tensor::rand_normal([2, h, w, c], 0.0, 1.0, &mut rng);
                 let kernel = Tensor::rand_normal([kh, kw, c, f], 0.0, 1.0, &mut rng);
                 let fast = conv2d_forward(&input, &kernel, padding);
                 let slow = naive_conv2d(&input, &kernel, padding);
-                assert!(fast.approx_eq(&slow, 1e-4), "padding {padding:?} ({h},{w},{c},{kh},{kw},{f})");
+                assert!(
+                    fast.approx_eq(&slow, 1e-4),
+                    "padding {padding:?} ({h},{w},{c},{kh},{kw},{f})"
+                );
             }
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_at_gemm_blocking_sizes() {
+        // Big enough that the blocked GEMM path (not the small-size fallback)
+        // carries the im2col product.
+        let mut rng = Rng::seed(4);
+        let input = Tensor::rand_normal([2, 12, 12, 8], 0.0, 1.0, &mut rng);
+        let kernel = Tensor::rand_normal([3, 3, 8, 24], 0.0, 0.3, &mut rng);
+        let fast = conv2d_forward(&input, &kernel, Padding::Same);
+        let slow = naive_conv2d(&input, &kernel, Padding::Same);
+        assert!(fast.approx_eq(&slow, 1e-3));
+    }
+
+    #[test]
+    fn ws_variant_matches_and_reuses() {
+        let mut rng = Rng::seed(5);
+        let mut ws = Workspace::new();
+        let input = Tensor::rand_normal([2, 6, 6, 3], 0.0, 1.0, &mut rng);
+        let kernel = Tensor::rand_normal([3, 3, 3, 4], 0.0, 1.0, &mut rng);
+        let base = conv2d_forward(&input, &kernel, Padding::Same);
+        for _ in 0..3 {
+            let out = conv2d_forward_ws(&input, &kernel, Padding::Same, &mut ws);
+            assert!(out.approx_eq(&base, 1e-6));
+            ws.recycle(out);
         }
     }
 

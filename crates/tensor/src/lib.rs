@@ -4,29 +4,40 @@
 //! from-scratch substitute: dense row-major `f32` tensors with exactly the
 //! kernels the four application search spaces need —
 //!
-//! * parallel blocked [`matmul`](matmul::matmul) (rayon over output rows),
+//! * a cache-blocked, register-tiled, packed [`matmul`](matmul::matmul)
+//!   (BLIS-style; see the module docs) with transpose variants for the
+//!   backward passes,
 //! * im2col [`conv2d`](conv2d) / [`conv1d`](conv1d) forward *and* backward,
+//!   batch-parallel,
 //! * max-pooling with argmax-based backward,
 //! * row-wise softmax and elementwise activations,
+//! * a reusable scratch arena ([`Workspace`](workspace::Workspace)) so the
+//!   training hot path is allocation-free at steady state,
+//! * scoped-thread data-parallel helpers ([`parallel`]) with one
+//!   process-wide thread budget,
 //! * a seeded, splittable [`Rng`](rng::Rng) so every experiment is
 //!   reproducible from a single `u64` seed.
 //!
-//! Everything is safe Rust; hot loops are written over slices so bounds
-//! checks vectorise away (see the Rust Performance Book guidance this repo
-//! follows).
+//! Everything is safe Rust with zero external dependencies; hot loops are
+//! written over slices and fixed-size tiles so bounds checks vectorise away.
 
 pub mod conv1d;
 pub mod conv2d;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
-pub use conv1d::{conv1d_backward, conv1d_forward};
-pub use conv2d::{conv2d_backward, conv2d_forward, Padding};
-pub use matmul::{matmul, matmul_at, matmul_bt};
+pub use conv1d::{conv1d_backward, conv1d_backward_ws, conv1d_forward, conv1d_forward_ws};
+pub use conv2d::{conv2d_backward, conv2d_backward_ws, conv2d_forward, conv2d_forward_ws, Padding};
+pub use matmul::{
+    force_naive_gemm, matmul, matmul_at, matmul_at_ws, matmul_bt, matmul_bt_ws, matmul_naive,
+    matmul_ws,
+};
 pub use ops::{
     relu, relu_grad_from_output, sigmoid, sigmoid_grad_from_output, softmax_rows, tanh_act,
     tanh_grad_from_output,
@@ -35,3 +46,4 @@ pub use pool::{maxpool1d_backward, maxpool1d_forward, maxpool2d_backward, maxpoo
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -1,18 +1,93 @@
-//! Parallel dense matrix multiplication.
+//! Cache-blocked, register-tiled dense matrix multiplication.
 //!
 //! Dense layers and the im2col convolution lowering reduce everything to
 //! GEMM, so this is the hottest kernel in the repository. The implementation
-//! follows the session's HPC guidance: rayon `par_chunks_mut` over output
-//! rows (data-race free by construction), `k`-outer loops over slices so
-//! bounds checks hoist, and an fma-friendly inner axpy.
+//! follows the classic BLIS/GotoBLAS decomposition:
+//!
+//! * the K dimension is split into `KC`-deep panels; for each panel, `B` is
+//!   packed once into contiguous `NR`-wide strips and **reused across all row
+//!   blocks** of that panel;
+//! * the M dimension is split into `MC`-row blocks; each block of `A` is
+//!   packed into `MR`-tall strips laid out `[k][MR]` so the micro-kernel
+//!   streams both operands linearly;
+//! * an `MR×NR` register micro-kernel with fixed trip counts accumulates into
+//!   a column-major `[[f32; MR]; NR]` tile, which the compiler keeps in
+//!   vector registers and turns into broadcast-FMA sequences (build with
+//!   `-C target-cpu=native`; see `.cargo/config.toml`);
+//! * parallel dispatch (see [`crate::parallel`]) is over `MC`-row *blocks*
+//!   of `C`, not single rows, so each task amortises its packing work.
+//!
+//! Edges are zero-padded inside the packed buffers, so the micro-kernel is
+//! branch-free; write-back masks the padding off. The first K panel
+//! overwrites `C` and later panels accumulate, so `C` needs no pre-zeroing.
+//!
+//! One stride-generic driver serves all three entry points — [`matmul`]
+//! (`A·B`), [`matmul_at`] (`Aᵀ·B`, the weight gradient) and [`matmul_bt`]
+//! (`A·Bᵀ`, the input gradient) — transposition is just a different pair of
+//! packing strides, never a materialised transpose. [`matmul_naive`] keeps
+//! the textbook triple loop as the correctness reference.
 
+use crate::parallel;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+use crate::workspace::{with_thread_workspace, Workspace};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Below this many output elements the parallel dispatch overhead dominates
-/// and we run single-threaded. (Candidate models here are small; many GEMMs
-/// are tiny.)
-const PAR_THRESHOLD: usize = 16 * 1024;
+/// Benchmark-only escape hatch: when set, every GEMM entry point (including
+/// the conv lowering) runs the textbook triple loop instead of the blocked
+/// kernel. This exists so `bench_gemm` can measure an honest end-to-end
+/// before/after on the same build; it is not meant for production use.
+static FORCE_NAIVE: AtomicBool = AtomicBool::new(false);
+
+/// Route all GEMMs through the naive reference kernel (`on = true`) or the
+/// blocked kernel (`on = false`, the default). See [`FORCE_NAIVE`].
+pub fn force_naive_gemm(on: bool) {
+    FORCE_NAIVE.store(on, Ordering::Relaxed);
+}
+
+/// Micro-kernel tile height (rows of `C` per register tile). Rows are the
+/// vectorised dimension: packed `A` strips are `MR`-contiguous, so one tile
+/// row-vector is a plain wide load.
+pub const MR: usize = 16;
+/// Micro-kernel tile width (columns of `C` per register tile); each column
+/// holds an independent FMA chain, hiding FMA latency.
+pub const NR: usize = 8;
+/// K-panel depth: one packed `B` panel is `KC×N`.
+pub const KC: usize = 256;
+/// Row-block height: one packed `A` block is `MC×KC` (~64 KiB, L2-resident).
+pub const MC: usize = 64;
+
+/// Below this many multiply-adds (`m·n·k`) the packing overhead dominates and
+/// a direct loop wins; candidate models here produce many tiny GEMMs.
+const SMALL_FLOPS: usize = 32 * 1024;
+
+/// Minimum output elements before parallel dispatch is worth its overhead.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+/// A strided read-only view of a logical `rows×cols` matrix.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl View<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
+
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    // `mul_add` is only profitable when the target actually has FMA;
+    // otherwise it calls into libm and is drastically slower.
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
     assert_eq!(t.shape().rank(), 2, "{what} must be rank 2, got {}", t.shape());
@@ -24,33 +99,25 @@ fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
 /// # Panics
 /// Panics if the inner dimensions disagree or inputs are not rank 2.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    with_thread_workspace(|ws| matmul_ws(a, b, ws))
+}
+
+/// [`matmul`] with caller-owned scratch: pack buffers and the output tensor
+/// come from `ws`, so steady-state callers allocate nothing.
+pub fn matmul_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-
-    let row_kernel = |row_i: usize, out_row: &mut [f32]| {
-        let a_row = &ad[row_i * k..(row_i + 1) * k];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bv;
-            }
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_kernel(i, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, row);
-        }
-    }
+    let mut out = ws.take(m * n);
+    gemm(
+        m,
+        n,
+        k,
+        View { data: a.data(), rs: k, cs: 1 },
+        View { data: b.data(), rs: n, cs: 1 },
+        &mut out,
+        ws,
+    );
     Tensor::from_vec([m, n], out)
 }
 
@@ -60,34 +127,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// This is the dense-layer weight gradient `dW = Xᵀ · dY` without
 /// materialising the transpose.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    with_thread_workspace(|ws| matmul_at_ws(a, b, ws))
+}
+
+/// [`matmul_at`] with caller-owned scratch.
+pub fn matmul_at_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Tensor {
     let (k, m) = dims2(a, "matmul_at lhs");
     let (k2, n) = dims2(b, "matmul_at rhs");
     assert_eq!(k, k2, "matmul_at inner dimension mismatch: {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
-    // Accumulate rank-1 updates row-by-row of A/B; each k contributes
-    // outer(A[k,:], B[k,:]). Parallelise over output rows instead to stay
-    // race-free: C[m] = Σ_k A[k][m] * B[k].
-    let row_kernel = |mi: usize, out_row: &mut [f32]| {
-        for kk in 0..k {
-            let amk = ad[kk * m + mi];
-            if amk == 0.0 {
-                continue;
-            }
-            let b_row = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += amk * bv;
-            }
-        }
-    };
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_kernel(i, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, row);
-        }
-    }
+    let mut out = ws.take(m * n);
+    gemm(
+        m,
+        n,
+        k,
+        // Logical Aᵀ (M×K): element (i, k) lives at A[k][i].
+        View { data: a.data(), rs: 1, cs: m },
+        View { data: b.data(), rs: n, cs: 1 },
+        &mut out,
+        ws,
+    );
     Tensor::from_vec([m, n], out)
 }
 
@@ -95,34 +153,274 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
 /// `C[m][n] = Σ_k A[m][k] · B[n][k]`.
 ///
 /// This is the dense-layer input gradient `dX = dY · Wᵀ` without
-/// materialising the transpose; the dot-product form is cache-friendly since
-/// both operands stream row-major.
+/// materialising the transpose.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    with_thread_workspace(|ws| matmul_bt_ws(a, b, ws))
+}
+
+/// [`matmul_bt`] with caller-owned scratch.
+pub fn matmul_bt_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Tensor {
     let (m, k) = dims2(a, "matmul_bt lhs");
     let (n, k2) = dims2(b, "matmul_bt rhs");
     assert_eq!(k, k2, "matmul_bt inner dimension mismatch: {k} vs {k2}");
+    let mut out = ws.take(m * n);
+    gemm(
+        m,
+        n,
+        k,
+        View { data: a.data(), rs: k, cs: 1 },
+        // Logical Bᵀ (K×N): element (k, j) lives at B[j][k].
+        View { data: b.data(), rs: 1, cs: k },
+        &mut out,
+        ws,
+    );
+    Tensor::from_vec([m, n], out)
+}
+
+/// Textbook triple-loop reference (`C = A·B`). Kept public as the
+/// correctness oracle for tests and the baseline for `BENCH_gemm.json`.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     let ad = a.data();
     let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-    let row_kernel = |mi: usize, out_row: &mut [f32]| {
-        let a_row = &ad[mi * k..(mi + 1) * k];
-        for (ni, o) in out_row.iter_mut().enumerate() {
-            let b_row = &bd[ni * k..(ni + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            for j in 0..n {
+                out[i * n + j] += aik * bd[kk * n + j];
             }
-            *o = acc;
-        }
-    };
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_kernel(i, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, row);
         }
     }
     Tensor::from_vec([m, n], out)
+}
+
+/// `out (m×n) = a (m×k) · b (k×n)`, all row-major slices. Conv's im2col
+/// lowering calls this directly so reshapes stay logical (no tensor clones).
+pub(crate) fn gemm_rowmajor(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    gemm(m, n, k, View { data: a, rs: k, cs: 1 }, View { data: b, rs: n, cs: 1 }, out, ws);
+}
+
+/// `out (m×n) = aᵀ · b` for `a (kdim×m)` and `b (kdim×n)`, row-major slices.
+pub(crate) fn gemm_at_rowmajor(
+    kdim: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    gemm(m, n, kdim, View { data: a, rs: 1, cs: m }, View { data: b, rs: n, cs: 1 }, out, ws);
+}
+
+/// `out (m×n) = a · bᵀ` for `a (m×k)` and `b (n×k)`, row-major slices.
+pub(crate) fn gemm_bt_rowmajor(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    gemm(m, n, k, View { data: a, rs: k, cs: 1 }, View { data: b, rs: 1, cs: k }, out, ws);
+}
+
+/// Blocked driver: `C (m×n, row-major, fully overwritten) = A · B` for
+/// strided views `a` and `b`.
+fn gemm(m: usize, n: usize, k: usize, a: View, b: View, c: &mut [f32], ws: &mut Workspace) {
+    debug_assert_eq!(c.len(), m * n);
+    if FORCE_NAIVE.load(Ordering::Relaxed) {
+        return gemm_naive_view(m, n, k, a, b, c);
+    }
+    if m * n * k <= SMALL_FLOPS {
+        return gemm_small(m, n, k, a, b, c);
+    }
+
+    let n_strips = n.div_ceil(NR);
+    let kc_max = KC.min(k);
+    let mut pb = ws.take(kc_max * n_strips * NR);
+    let mut pa = ws.take(MC.min(m).div_ceil(MR) * MR * kc_max);
+    let row_blocks = m.div_ceil(MC);
+    let go_parallel = parallel::max_threads() > 1 && row_blocks > 1 && m * n >= PAR_THRESHOLD;
+
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        pack_b(b, k0, kc, n, &mut pb);
+        let first = k0 == 0;
+        if go_parallel {
+            // Row blocks are disjoint `MC×n` chunks of C; each task packs its
+            // own A block (a fresh buffer — rare path, amortised by size).
+            let pb_ref = &pb[..];
+            parallel::par_chunks_mut(c, MC * n, |ib, c_chunk| {
+                let m0 = ib * MC;
+                let mc = MC.min(m - m0);
+                let mut pa_local = vec![0.0f32; mc.div_ceil(MR) * MR * kc];
+                pack_a(a, m0, mc, k0, kc, &mut pa_local);
+                block_kernel(c_chunk, n, mc, kc, &pa_local, pb_ref, first);
+            });
+        } else {
+            for ib in 0..row_blocks {
+                let m0 = ib * MC;
+                let mc = MC.min(m - m0);
+                let pa_len = mc.div_ceil(MR) * MR * kc;
+                pack_a(a, m0, mc, k0, kc, &mut pa[..pa_len]);
+                block_kernel(&mut c[m0 * n..(m0 + mc) * n], n, mc, kc, &pa[..pa_len], &pb, first);
+            }
+        }
+        k0 += kc;
+    }
+    ws.give(pa);
+    ws.give(pb);
+}
+
+/// Naive triple loop over strided views, used when [`force_naive_gemm`] is
+/// active. Mirrors [`matmul_naive`]'s loop order (no FMA, no blocking) so the
+/// benchmark baseline reflects the pre-optimisation kernel.
+fn gemm_naive_view(m: usize, n: usize, k: usize, a: View, b: View, c: &mut [f32]) {
+    c.fill(0.0);
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a.at(i, kk);
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (j, o) in crow.iter_mut().enumerate() {
+                *o += aik * b.at(kk, j);
+            }
+        }
+    }
+}
+
+/// Direct loop for tiny problems (also covers `k == 0`, where `C` is zero).
+fn gemm_small(m: usize, n: usize, k: usize, a: View, b: View, c: &mut [f32]) {
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        crow.fill(0.0);
+        for kk in 0..k {
+            let aik = a.at(i, kk);
+            for (j, o) in crow.iter_mut().enumerate() {
+                *o = fmadd(aik, b.at(kk, j), *o);
+            }
+        }
+    }
+}
+
+/// Pack rows `[m0, m0+mc)` × k-range `[k0, k0+kc)` of `a` into `MR`-tall
+/// strips, each laid out `[kc][MR]`, zero-padding the ragged last strip.
+fn pack_a(a: View, m0: usize, mc: usize, k0: usize, kc: usize, dst: &mut [f32]) {
+    let mut off = 0;
+    let mut i = 0;
+    while i < mc {
+        let rows = MR.min(mc - i);
+        for kk in 0..kc {
+            for r in 0..MR {
+                dst[off] = if r < rows { a.at(m0 + i + r, k0 + kk) } else { 0.0 };
+                off += 1;
+            }
+        }
+        i += MR;
+    }
+}
+
+/// Pack k-range `[k0, k0+kc)` × all `n` columns of `b` into `NR`-wide
+/// strips, each laid out `[kc][NR]`, zero-padding the ragged last strip.
+fn pack_b(b: View, k0: usize, kc: usize, n: usize, dst: &mut [f32]) {
+    let mut off = 0;
+    let mut j = 0;
+    while j < n {
+        let cols = NR.min(n - j);
+        for kk in 0..kc {
+            for q in 0..NR {
+                dst[off] = if q < cols { b.at(k0 + kk, j + q) } else { 0.0 };
+                off += 1;
+            }
+        }
+        j += NR;
+    }
+}
+
+/// Multiply one packed `mc×kc` A block by the packed `kc×n` B panel into the
+/// `mc×n` C block (`c` is row-major with row stride `n`).
+fn block_kernel(
+    c: &mut [f32],
+    n: usize,
+    mc: usize,
+    kc: usize,
+    pa: &[f32],
+    pb: &[f32],
+    first: bool,
+) {
+    let n_strips = n.div_ceil(NR);
+    for (is, i) in (0..mc).step_by(MR).enumerate() {
+        let rows = MR.min(mc - i);
+        let pa_strip = &pa[is * MR * kc..(is + 1) * MR * kc];
+        for js in 0..n_strips {
+            let j = js * NR;
+            let cols = NR.min(n - j);
+            let pb_strip = &pb[js * NR * kc..(js + 1) * NR * kc];
+            // Column-major tile: acc[q][r] is C[i+r][j+q]. The vectorised
+            // row dimension is then contiguous per column, so the tile stays
+            // in registers instead of decaying to gather/scatter.
+            let mut acc = [[0.0f32; MR]; NR];
+            micro_kernel(kc, pa_strip, pb_strip, &mut acc);
+            for r in 0..rows {
+                let crow = &mut c[(i + r) * n + j..(i + r) * n + j + cols];
+                if first {
+                    for (q, o) in crow.iter_mut().enumerate() {
+                        *o = acc[q][r];
+                    }
+                } else {
+                    for (q, o) in crow.iter_mut().enumerate() {
+                        *o += acc[q][r];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One tile column: `acc[r] += a[r] * b` for all `MR` rows — a contiguous
+/// fixed-trip loop, i.e. exactly one (or two) wide broadcast-FMAs.
+#[inline(always)]
+fn fma_col(acc: &mut [f32; MR], a: &[f32; MR], b: f32) {
+    for (o, &ai) in acc.iter_mut().zip(a) {
+        *o = fmadd(ai, b, *o);
+    }
+}
+
+/// The `MR×NR` register tile: per k step, one contiguous `MR`-wide load of
+/// the packed `A` strip and `NR` broadcast-FMAs into the column-major tile.
+///
+/// The columns are unrolled *in source*: with a `for j` loop here LLVM's
+/// loop vectorizer picks the column dimension (stride `MR`) and lowers the
+/// tile to gather/scatter; with named columns only the contiguous row loops
+/// remain, which vectorise to register-resident FMAs.
+#[inline(always)]
+fn micro_kernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    let [c0, c1, c2, c3, c4, c5, c6, c7] = acc;
+    for kk in 0..kc {
+        let a: &[f32; MR] = pa[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b: &[f32; NR] = pb[kk * NR..kk * NR + NR].try_into().unwrap();
+        fma_col(c0, a, b[0]);
+        fma_col(c1, a, b[1]);
+        fma_col(c2, a, b[2]);
+        fma_col(c3, a, b[3]);
+        fma_col(c4, a, b[4]);
+        fma_col(c5, a, b[5]);
+        fma_col(c6, a, b[6]);
+        fma_col(c7, a, b[7]);
+    }
 }
 
 #[cfg(test)]
@@ -131,19 +429,7 @@ mod tests {
     use crate::rng::Rng;
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
-        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
-        let n = b.shape().dim(1);
-        let mut out = Tensor::zeros([m, n]);
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
-                }
-                out.set(&[i, j], acc);
-            }
-        }
-        out
+        matmul_naive(a, b)
     }
 
     #[test]
@@ -177,30 +463,74 @@ mod tests {
     }
 
     #[test]
-    fn large_parallel_path_matches_naive() {
+    fn blocked_path_matches_naive_across_block_edges() {
+        // Sizes straddling MR/NR/MC/KC boundaries, including multiple K
+        // panels (k > KC) so the accumulate path is exercised.
         let mut rng = Rng::seed(3);
-        let a = Tensor::rand_normal([96, 40], 0.0, 1.0, &mut rng);
-        let b = Tensor::rand_normal([40, 200], 0.0, 1.0, &mut rng);
-        // 96 * 200 = 19200 > threshold -> exercises the rayon path.
-        assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-3));
+        for &(m, k, n) in &[
+            (MR, KC, NR),
+            (MR + 1, KC + 1, NR + 1),
+            (MC - 1, 40, 200),
+            (MC + 3, 2 * KC + 5, 33),
+            (96, 300, 17),
+            (1, 512, 64),
+            (64, 512, 1),
+        ] {
+            let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+            assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-3), "({m},{k},{n})");
+        }
     }
 
     #[test]
     fn at_variant_equals_explicit_transpose() {
         let mut rng = Rng::seed(4);
-        let a = Tensor::rand_normal([7, 3], 0.0, 1.0, &mut rng);
-        let b = Tensor::rand_normal([7, 5], 0.0, 1.0, &mut rng);
-        let expect = matmul(&a.transpose2(), &b);
-        assert!(matmul_at(&a, &b).approx_eq(&expect, 1e-4));
+        for &(k, m, n) in &[(7, 3, 5), (130, 70, 90)] {
+            let a = Tensor::rand_normal([k, m], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+            let expect = matmul(&a.transpose2(), &b);
+            assert!(matmul_at(&a, &b).approx_eq(&expect, 1e-3), "({k},{m},{n})");
+        }
     }
 
     #[test]
     fn bt_variant_equals_explicit_transpose() {
         let mut rng = Rng::seed(5);
-        let a = Tensor::rand_normal([6, 4], 0.0, 1.0, &mut rng);
-        let b = Tensor::rand_normal([9, 4], 0.0, 1.0, &mut rng);
-        let expect = matmul(&a, &b.transpose2());
-        assert!(matmul_bt(&a, &b).approx_eq(&expect, 1e-4));
+        for &(m, n, k) in &[(6, 9, 4), (80, 120, 66)] {
+            let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal([n, k], 0.0, 1.0, &mut rng);
+            let expect = matmul(&a, &b.transpose2());
+            assert!(matmul_bt(&a, &b).approx_eq(&expect, 1e-3), "({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn ws_variants_reuse_buffers() {
+        let mut ws = Workspace::new();
+        let mut rng = Rng::seed(6);
+        let a = Tensor::rand_normal([48, 96], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([96, 32], 0.0, 1.0, &mut rng);
+        let c1 = matmul_ws(&a, &b, &mut ws);
+        let expect = naive(&a, &b);
+        assert!(c1.approx_eq(&expect, 1e-4));
+        ws.recycle(c1);
+        let pooled_before = ws.pooled();
+        let c2 = matmul_ws(&a, &b, &mut ws);
+        assert!(c2.approx_eq(&expect, 1e-4));
+        // The output buffer came back out of the pool.
+        assert!(ws.pooled() < pooled_before + 1);
+    }
+
+    #[test]
+    fn forced_naive_path_matches_blocked() {
+        let mut rng = Rng::seed(7);
+        let a = Tensor::rand_normal([33, 70], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([70, 21], 0.0, 1.0, &mut rng);
+        let blocked = matmul(&a, &b);
+        force_naive_gemm(true);
+        let forced = matmul(&a, &b);
+        force_naive_gemm(false);
+        assert!(forced.approx_eq(&blocked, 1e-4));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Minimal data-parallel helpers on std scoped threads.
+//!
+//! The repository used to route CPU parallelism through a global rayon pool;
+//! that pool multiplied with the NAS evaluator's own worker threads
+//! (`workers × rayon_threads` runnable threads) and cannot be built offline.
+//! This module replaces it with two primitives on `std::thread::scope` plus a
+//! process-wide thread *budget* that the NAS runner sizes from
+//! `NasConfig.workers`, so kernel parallelism and evaluator parallelism share
+//! one explicit cap instead of multiplying.
+//!
+//! Work items are handed out through a shared cursor, so uneven items (the
+//! last short chunk, variable-cost candidates) balance automatically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `0` means "auto": use `std::thread::available_parallelism`.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of threads any parallel helper in this process may use.
+/// `0` restores the default (hardware parallelism). The NAS runner calls this
+/// with `hardware / workers` so evaluator workers and kernel parallelism do
+/// not multiply.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current effective thread budget (always ≥ 1).
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+fn threads_for(items: usize) -> usize {
+    max_threads().min(items).max(1)
+}
+
+/// Apply `f(chunk_index, chunk)` to every `chunk_len`-sized chunk of `data`
+/// (last chunk may be short), in parallel when the thread budget allows.
+///
+/// Chunks are disjoint `&mut` slices, so this is race-free by construction.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = threads_for(n_chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().next();
+                match next {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Map `f(index, item)` over `items`, preserving order, in parallel when the
+/// thread budget allows.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads_for(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    {
+        let queue = Mutex::new(out.iter_mut().zip(items).enumerate());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let next = queue.lock().unwrap().next();
+                    match next {
+                        Some((i, (slot, item))) => *slot = Some(f(i, item)),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter().map(|r| r.expect("par_map slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let items: Vec<u32> = Vec::new();
+        assert!(par_map(&items, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(&mut data, 10, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (pos, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (pos / 10) as u32, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn budget_is_clamped_to_at_least_one() {
+        set_max_threads(1);
+        assert_eq!(max_threads(), 1);
+        let items = vec![1u32, 2, 3];
+        assert_eq!(par_map(&items, |_, &x| x + 1), vec![2, 3, 4]);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

@@ -20,12 +20,8 @@ fn pooled_size(s: usize, k: usize, stride: usize) -> usize {
 /// produced `output.data()[i]`.
 pub fn maxpool2d_forward(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<u32>) {
     assert_eq!(input.shape().rank(), 4, "maxpool2d input must be NHWC");
-    let (n, h, w, c) = (
-        input.shape().dim(0),
-        input.shape().dim(1),
-        input.shape().dim(2),
-        input.shape().dim(3),
-    );
+    let (n, h, w, c) =
+        (input.shape().dim(0), input.shape().dim(1), input.shape().dim(2), input.shape().dim(3));
     let oh = pooled_size(h, k, stride);
     let ow = pooled_size(w, k, stride);
     let mut out = vec![f32::NEG_INFINITY; n * oh * ow * c];

@@ -7,20 +7,32 @@
 //! sampling, dataset synthesis) derives from one root `u64` through
 //! [`Rng::fork`], so independent components never share a stream and runs
 //! replay bit-for-bit.
-
-use rand::rngs::StdRng;
-use rand::{Rng as _, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna) seeded through splitmix64, so the crate carries no
+//! external RNG dependency and builds offline.
 
 /// A seeded RNG with normal/uniform sampling and deterministic forking.
+///
+/// Internally xoshiro256++: 256 bits of state, 64-bit output, period
+/// `2^256 - 1`. Plenty for simulation workloads; not cryptographic.
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl Rng {
     /// Construct from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        Rng { inner: StdRng::seed_from_u64(seed) }
+        // Expand the seed through splitmix64 as the xoshiro authors
+        // recommend; the chain never produces the all-zero state.
+        let mut x = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            *s = splitmix64(x);
+        }
+        Rng { state }
     }
 
     /// Derive an independent stream for a named sub-component.
@@ -28,21 +40,21 @@ impl Rng {
     /// Mixing is done with splitmix64 over `(seed-draw, stream)` so forks with
     /// different `stream` values are decorrelated even for adjacent ids.
     pub fn fork(&mut self, stream: u64) -> Rng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         Rng::seed(splitmix64(base ^ splitmix64(stream)))
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         debug_assert!(hi > lo);
-        self.inner.gen::<f32>() * (hi - lo) + lo
+        self.next_f32() * (hi - lo) + lo
     }
 
-    /// Standard normal sample (Box–Muller; avoids a rand_distr dependency).
+    /// Standard normal sample (Box–Muller; avoids a distribution dependency).
     pub fn normal(&mut self) -> f32 {
         loop {
-            let u1: f64 = self.inner.gen::<f64>();
-            let u2: f64 = self.inner.gen::<f64>();
+            let u1 = self.next_f64();
+            let u2 = self.next_f64();
             if u1 > f64::MIN_POSITIVE {
                 let r = (-2.0 * u1.ln()).sqrt();
                 return (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
@@ -50,24 +62,32 @@ impl Rng {
         }
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's unbiased bounded sampling).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (n as u128);
+            let low = wide as u64;
+            if low >= n.wrapping_neg() % n {
+                return (wide >> 64) as usize;
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.next_f64() < p
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             xs.swap(i, j);
         }
     }
@@ -82,7 +102,7 @@ impl Rng {
         assert!(k <= n, "cannot sample {k} of {n}");
         let mut idx: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = self.inner.gen_range(i..n);
+            let j = i + self.below(n - i);
             idx.swap(i, j);
         }
         idx.truncate(k);
@@ -91,7 +111,28 @@ impl Rng {
 
     /// Raw u64 draw (for deriving child seeds).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the high 24 bits.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the high 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -153,6 +194,17 @@ mod tests {
     }
 
     #[test]
+    fn uniform_fills_range() {
+        // The [0,1) mantissa construction must reach both tails.
+        let mut rng = Rng::seed(17);
+        let xs: Vec<f32> = (0..4000).map(|_| rng.uniform(0.0, 1.0)).collect();
+        assert!(xs.iter().any(|&x| x < 0.05));
+        assert!(xs.iter().any(|&x| x > 0.95));
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
     fn below_covers_support() {
         let mut rng = Rng::seed(5);
         let mut seen = [false; 7];
@@ -160,6 +212,22 @@ mod tests {
             seen[rng.below(7)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = Rng::seed(21);
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        let draws = 64_000;
+        for _ in 0..draws {
+            counts[rng.below(n)] += 1;
+        }
+        let expect = draws / n;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect as f64).abs() / expect as f64;
+            assert!(dev < 0.05, "bucket {i}: {c} vs {expect}");
+        }
     }
 
     #[test]

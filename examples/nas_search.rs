@@ -38,10 +38,11 @@ fn main() {
                 best
             })
             .collect();
-        let quartiles: Vec<String> = [candidates / 4, candidates / 2, 3 * candidates / 4, candidates - 1]
-            .iter()
-            .map(|&i| format!("{:.3}", curve[i]))
-            .collect();
+        let quartiles: Vec<String> =
+            [candidates / 4, candidates / 2, 3 * candidates / 4, candidates - 1]
+                .iter()
+                .map(|&i| format!("{:.3}", curve[i]))
+                .collect();
         println!(
             "{:<8} best-so-far at 25/50/75/100% of budget: {}",
             scheme.name(),
@@ -49,15 +50,8 @@ fn main() {
         );
 
         // Phase two on the top-5.
-        let report = full_train_top_k(
-            &problem,
-            Arc::clone(&space),
-            store,
-            &trace,
-            5,
-            20,
-            f64::INFINITY,
-        );
+        let report =
+            full_train_top_k(&problem, Arc::clone(&space), store, &trace, 5, 20, f64::INFINITY);
         let metrics: Vec<f64> = report.metrics_early();
         results.push((scheme, report.mean_epochs(), Summary::of(&metrics)));
     }

@@ -22,10 +22,7 @@ fn cnn(extra_conv: bool) -> ModelSpec {
         ops.push(LayerSpec::Conv2D { filters: 8, kernel: 3, padding: Padding::Same, l2: 0.0 });
         ops.push(LayerSpec::Activation(Activation::Relu));
     }
-    ops.extend([
-        LayerSpec::Flatten,
-        LayerSpec::Dense { units: 10, activation: None },
-    ]);
+    ops.extend([LayerSpec::Flatten, LayerSpec::Dense { units: 10, activation: None }]);
     ModelSpec::chain(vec![10, 10, 1], ops).unwrap()
 }
 

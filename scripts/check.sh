@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build and the full test suite.
+#
+# Usage: scripts/check.sh
+# Runs everything offline (the workspace has no external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build (all targets)"
+cargo build --workspace --all-targets
+
+echo "==> cargo test"
+cargo test --workspace
+
+echo "OK"

@@ -1,0 +1,119 @@
+//! Integration: failure and edge paths — corrupt checkpoints, missing ids,
+//! empty transfer plans, filesystem-backed stores, and degenerate NAS
+//! budgets. Nothing here may panic; errors must surface as `Result`s or
+//! empty statistics.
+
+use std::sync::Arc;
+use swt::checkpoint::{decode, encode, FormatError};
+use swt::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swt_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn missing_checkpoint_is_an_error_not_a_panic() {
+    let store = MemStore::new();
+    assert!(store.load("nope").is_err());
+    assert!(!store.exists("nope"));
+    assert_eq!(store.size_bytes("nope"), None);
+    assert!(!store.delete("nope"));
+}
+
+#[test]
+fn corrupt_checkpoint_bytes_fail_to_decode() {
+    // Truncations and flipped header bytes of a valid checkpoint must all
+    // surface as FormatError.
+    let mut rng = Rng::seed(1);
+    let entries = vec![("w".to_string(), Tensor::rand_normal([3, 4], 0.0, 1.0, &mut rng))];
+    let good = encode(&entries);
+    assert_eq!(decode(&good).unwrap().len(), 1);
+
+    let _: FormatError = decode(&[]).unwrap_err();
+    for cut in [1, good.len() / 2, good.len() - 1] {
+        assert!(decode(&good[..cut]).is_err(), "truncation at {cut} must fail");
+    }
+    let mut flipped = good.clone();
+    flipped[0] ^= 0xFF;
+    assert!(decode(&flipped).is_err(), "bad magic must fail");
+}
+
+#[test]
+fn dir_store_round_trips_and_survives_deletes() {
+    let dir = temp_dir("dirstore");
+    let store = DirStore::new(&dir).unwrap();
+    let mut rng = Rng::seed(2);
+    let entries = vec![
+        ("a/kernel".to_string(), Tensor::rand_normal([5, 2], 0.0, 1.0, &mut rng)),
+        ("a/bias".to_string(), Tensor::rand_normal([2], 0.0, 1.0, &mut rng)),
+    ];
+    let bytes = store.save("c0", &entries).unwrap();
+    assert!(bytes > 0);
+    assert_eq!(store.size_bytes("c0"), Some(bytes));
+
+    let back = store.load("c0").unwrap();
+    assert_eq!(back.len(), entries.len());
+    for ((n0, t0), (n1, t1)) in entries.iter().zip(&back) {
+        assert_eq!(n0, n1);
+        assert!(t0.approx_eq(t1, 0.0));
+    }
+    assert!(store.delete("c0"));
+    assert!(store.load("c0").is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_transfer_plan_is_a_harmless_noop() {
+    // A receiver with no shapes in common with the provider: the plan is
+    // empty and applying it changes nothing.
+    let provider = ShapeSeq::from_params(vec![("p0/kernel".to_string(), Shape::new([7, 7]))]);
+    let receiver = ShapeSeq::from_params(vec![("r0/kernel".to_string(), Shape::new([3, 5]))]);
+    let plan = TransferPlan::build(Matcher::Lcs, &provider, &receiver);
+    assert!(plan.is_empty());
+    assert_eq!(plan.coverage(), 0.0);
+
+    let space = SearchSpace::for_app(AppKind::Uno);
+    let mut rng = Rng::seed(3);
+    let spec = space.materialize(&space.sample(&mut rng)).unwrap();
+    let mut model = Model::build(&spec, 4).unwrap();
+    let before = model.state_dict();
+    let stats = apply_transfer(&plan, &[], &mut model);
+    assert_eq!((stats.tensors, stats.bytes), (0, 0));
+    let after = model.state_dict();
+    for ((_, t0), (_, t1)) in before.iter().zip(&after) {
+        assert!(t0.approx_eq(t1, 0.0));
+    }
+}
+
+#[test]
+fn transfer_plan_skips_pairs_whose_checkpoint_is_missing() {
+    // A plan whose provider tensors are absent from the checkpoint must
+    // count skips rather than fail.
+    let space = SearchSpace::for_app(AppKind::Uno);
+    let mut rng = Rng::seed(5);
+    let spec = space.materialize(&space.sample(&mut rng)).unwrap();
+    let seq = ShapeSeq::of(&spec).unwrap();
+    let plan = TransferPlan::build(Matcher::Lcs, &seq, &seq);
+    assert!(!plan.is_empty());
+
+    let mut model = Model::build(&spec, 6).unwrap();
+    let stats = apply_transfer(&plan, &[], &mut model);
+    assert_eq!(stats.tensors, 0);
+    assert_eq!(stats.skipped, plan.tensors());
+}
+
+#[test]
+fn one_candidate_budget_still_completes() {
+    let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
+    let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+    let cfg = NasConfig::quick(TransferScheme::Lcs, 1, 2, 9);
+    let trace = run_nas(problem, space, store, &cfg);
+    assert_eq!(trace.events.len(), 1);
+    let e = &trace.events[0];
+    assert!(e.parent.is_none(), "a lone first candidate has no parent");
+    assert_eq!(e.transfer_tensors, 0);
+    assert!(e.score.is_finite());
+}

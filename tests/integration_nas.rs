@@ -1,0 +1,94 @@
+//! Integration: the NAS runner across transfer schemes — trace invariants,
+//! checkpointing of every candidate, and single-worker determinism.
+
+use std::sync::Arc;
+use swt::prelude::*;
+
+fn quick_run(scheme: TransferScheme, workers: usize, seed: u64) -> (NasTrace, Arc<MemStore>) {
+    let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
+    let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+    let store = Arc::new(MemStore::new());
+    let cfg = NasConfig::quick(scheme, 8, workers, seed);
+    let trace = run_nas(problem, space, Arc::clone(&store) as Arc<dyn CheckpointStore>, &cfg);
+    (trace, store)
+}
+
+#[test]
+fn every_scheme_produces_a_complete_valid_trace() {
+    for scheme in TransferScheme::all() {
+        let (trace, store) = quick_run(scheme, 2, 7);
+        assert_eq!(trace.events.len(), 8, "{scheme:?}");
+        assert_eq!(trace.scheme, scheme);
+
+        let mut ids: Vec<u64> = trace.events.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "{scheme:?}: candidate ids must be unique");
+
+        for e in &trace.events {
+            assert!(e.score.is_finite(), "{scheme:?} c{}", e.id);
+            assert!(e.t_end >= e.t_start, "{scheme:?} c{}", e.id);
+            assert!(e.checkpoint_bytes > 0, "{scheme:?} c{}", e.id);
+            // Every candidate's checkpoint is retrievable for later transfer.
+            assert!(store.exists(&format!("c{}", e.id)), "{scheme:?} c{}", e.id);
+        }
+
+        let transferred = trace.events.iter().filter(|e| e.transfer_tensors > 0).count();
+        if scheme == TransferScheme::Baseline {
+            assert_eq!(transferred, 0, "baseline must never transfer");
+        }
+    }
+}
+
+#[test]
+fn lcs_scheme_actually_transfers_weights() {
+    // The quick config's warmup population is 16 random candidates; a
+    // 24-candidate budget guarantees 8 mutated children, and Uno is the
+    // paper's most shareable app — transfer must fire.
+    let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
+    let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+    let cfg = NasConfig::quick(TransferScheme::Lcs, 24, 2, 7);
+    let trace = run_nas(problem, space, store, &cfg);
+    let transferred: Vec<_> = trace.events.iter().filter(|e| e.transfer_tensors > 0).collect();
+    assert!(!transferred.is_empty(), "no candidate received weights");
+    for e in transferred {
+        assert!(e.parent.is_some(), "c{} transferred without a parent", e.id);
+        assert!(e.transfer_bytes > 0, "c{}", e.id);
+    }
+}
+
+#[test]
+fn single_worker_runs_are_deterministic() {
+    let (a, _) = quick_run(TransferScheme::Lcs, 1, 13);
+    let (b, _) = quick_run(TransferScheme::Lcs, 1, 13);
+    let key = |t: &NasTrace| {
+        let mut v: Vec<(u64, String, u64)> = t
+            .events
+            .iter()
+            .map(|e| (e.id, format!("{:.9}", e.score), e.checkpoint_bytes))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(key(&a), key(&b), "same seed + 1 worker must reproduce scores");
+}
+
+#[test]
+fn trace_csv_round_trip_preserves_events() {
+    let (trace, _) = quick_run(TransferScheme::Lp, 1, 3);
+    let dir = std::env::temp_dir().join(format!("swt_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.csv");
+    trace.write_csv(&path).unwrap();
+    let back = NasTrace::read_csv(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(back.events.len(), trace.events.len());
+    for (x, y) in trace.events.iter().zip(&back.events) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.parent, y.parent);
+        assert!((x.score - y.score).abs() < 1e-9, "c{}", x.id);
+        assert_eq!(x.transfer_tensors, y.transfer_tensors);
+    }
+}
