@@ -56,6 +56,7 @@ impl AsyncStore {
                             // Persist, then clear the pending mark and wake
                             // any blocked readers.
                             let _ = writer_inner.save(&id, &entries);
+                            swt_obs::gauge!("ckpt.async.queue_depth").dec();
                             let mut ids = writer_pending.ids.lock().unwrap();
                             if let Some(count) = ids.get_mut(&id) {
                                 *count -= 1;
@@ -95,9 +96,14 @@ impl CheckpointStore for AsyncStore {
         // the byte count while the actual I/O happens in the background.
         let bytes = crate::format::encode(entries).len() as u64;
         *self.pending.ids.lock().unwrap().entry(id.to_string()).or_insert(0) += 1;
-        self.tx
-            .send(Job::Save { id: id.to_string(), entries: entries.to_vec() })
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "writer thread gone"))?;
+        // Gauge up before the handoff so the writer's matching `dec` can
+        // never observe the queue at a negative depth.
+        swt_obs::gauge!("ckpt.async.queue_depth").inc();
+        swt_obs::counter!("ckpt.async.enqueued").inc();
+        if self.tx.send(Job::Save { id: id.to_string(), entries: entries.to_vec() }).is_err() {
+            swt_obs::gauge!("ckpt.async.queue_depth").dec();
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "writer thread gone"));
+        }
         Ok(bytes)
     }
 

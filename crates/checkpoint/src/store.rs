@@ -77,18 +77,24 @@ impl DirStore {
 
 impl CheckpointStore for DirStore {
     fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
+        let t0 = std::time::Instant::now();
         let dst = self.path(id); // validates the id up front
         let buf = encode(entries);
         // Write-then-rename so concurrent readers never observe a torn file.
         let tmp = self.root.join(format!(".{id}.tmp"));
         std::fs::write(&tmp, &buf)?;
         std::fs::rename(&tmp, dst)?;
+        swt_obs::histogram!("ckpt.dir.save_ns").observe(t0.elapsed().as_nanos() as u64);
+        swt_obs::counter!("ckpt.dir.saved_bytes").add(buf.len() as u64);
         Ok(buf.len() as u64)
     }
 
     fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
+        let t0 = std::time::Instant::now();
         let buf = std::fs::read(self.path(id))?;
-        decode(&buf).map_err(format_err)
+        let entries = decode(&buf).map_err(format_err)?;
+        swt_obs::histogram!("ckpt.dir.load_ns").observe(t0.elapsed().as_nanos() as u64);
+        Ok(entries)
     }
 
     fn exists(&self, id: &str) -> bool {
@@ -132,18 +138,24 @@ impl MemStore {
 
 impl CheckpointStore for MemStore {
     fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
+        let t0 = std::time::Instant::now();
         let buf = encode(entries);
         let len = buf.len() as u64;
         self.map.write().unwrap().insert(id.to_string(), buf);
+        swt_obs::histogram!("ckpt.mem.save_ns").observe(t0.elapsed().as_nanos() as u64);
+        swt_obs::counter!("ckpt.mem.saved_bytes").add(len);
         Ok(len)
     }
 
     fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
+        let t0 = std::time::Instant::now();
         let guard = self.map.read().unwrap();
         let buf = guard.get(id).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("no checkpoint {id}"))
         })?;
-        decode(buf).map_err(format_err)
+        let entries = decode(buf).map_err(format_err)?;
+        swt_obs::histogram!("ckpt.mem.load_ns").observe(t0.elapsed().as_nanos() as u64);
+        Ok(entries)
     }
 
     fn exists(&self, id: &str) -> bool {

@@ -91,7 +91,7 @@ pub fn collect(ctx: &ExpCtx) -> Vec<ModelRow> {
     for &app in &ctx.apps {
         let path = csv_path(ctx, app);
         if let Some(cached) = load_rows(&path) {
-            eprintln!("[cache] {}", path.display());
+            swt_obs::info!("swt_experiments", "cache {}", path.display());
             rows.extend(cached);
             continue;
         }
@@ -117,7 +117,12 @@ fn collect_app(ctx: &ExpCtx, app: AppKind) -> Vec<ModelRow> {
     let cutoff = traces.iter().map(|(_, _, t, _)| t.wall_secs).fold(f64::INFINITY, f64::min);
     let mut rows = Vec::new();
     for (scheme, seed, trace, store) in &traces {
-        eprintln!("[full ] {} {} seed {seed}", app.name(), scheme.name());
+        swt_obs::info!(
+            "swt_experiments",
+            "full-train {} {} seed {seed}",
+            app.name(),
+            scheme.name()
+        );
         let report = full_train_top_k(
             &problem,
             Arc::clone(&space),

@@ -128,6 +128,15 @@ impl ExpCtx {
         }
         std::fs::create_dir_all(ctx.out.join("traces")).expect("create results dir");
         std::fs::create_dir_all(ctx.out.join("ckpts")).expect("create results dir");
+        // Observability: record spans/counters for every run this context
+        // launches; `SWT_LOG_JSON=<path>` additionally mirrors log records
+        // to a JSONL file. Reports land next to each trace CSV.
+        swt_obs::enable();
+        if let Ok(path) = std::env::var("SWT_LOG_JSON") {
+            if let Err(e) = swt_obs::log::set_jsonl_path(Path::new(&path)) {
+                swt_obs::warn!("swt_experiments", "cannot open SWT_LOG_JSON={path}: {e}");
+            }
+        }
         ctx
     }
 
@@ -188,12 +197,17 @@ impl ExpCtx {
                 if trace.events.len() == self.candidates
                     && trace.events.iter().all(|e| store.exists(&format!("c{}", e.id)))
                 {
-                    eprintln!("[cache] {name}");
+                    swt_obs::info!("swt_experiments", "cache {name}");
                     return (trace, store);
                 }
             }
         }
-        eprintln!("[run  ] {name} ({} candidates, {} workers)", self.candidates, self.workers);
+        swt_obs::info!(
+            "swt_experiments",
+            "run {name} ({} candidates, {} workers)",
+            self.candidates,
+            self.workers
+        );
         let problem = self.problem(app);
         let space = Arc::new(SearchSpace::for_app(app));
         let cfg = NasConfig {
@@ -207,8 +221,26 @@ impl ExpCtx {
             population_size: self.population.min(self.candidates),
             sample_size: self.sample.min(self.population.min(self.candidates)),
         };
+        swt_obs::reset();
         let trace = run_nas(problem, space, Arc::clone(&store), &cfg);
         trace.write_csv(&trace_path).expect("write trace");
+        // Per-run observability report (span/counter breakdown per worker)
+        // next to the trace CSV — the time-attribution data behind the
+        // paper's Figs. 7–11.
+        let report = swt_obs::RunReport::capture()
+            .with_meta("app", app.name())
+            .with_meta("scheme", scheme.name())
+            .with_meta("seed", seed)
+            .with_meta("workers", self.workers)
+            .with_meta("candidates", self.candidates)
+            .with_meta("wall_secs", trace.wall_secs);
+        let report_path = self.out.join("traces").join(format!("{name}.report.json"));
+        match report.write_json(&report_path) {
+            Ok(()) => swt_obs::info!("swt_experiments", "report {}", report_path.display()),
+            Err(e) => {
+                swt_obs::warn!("swt_experiments", "cannot write {}: {e}", report_path.display())
+            }
+        }
         (trace, store)
     }
 }
@@ -250,7 +282,7 @@ pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) {
         let _ = std::fs::create_dir_all(parent);
     }
     std::fs::write(path, s).expect("write csv");
-    eprintln!("[csv  ] {}", path.display());
+    swt_obs::info!("swt_experiments", "csv {}", path.display());
 }
 
 /// Percentage formatting used by the figure tables.

@@ -83,6 +83,7 @@ impl Evaluator {
     /// Panics if the candidate's architecture fails to materialise (the
     /// strategy only emits valid candidates).
     pub fn evaluate(&mut self, cand: &Candidate) -> EvalOutcome {
+        let _eval_span = swt_obs::span!("nas.eval");
         let spec = self.space.materialize(&cand.arch).expect("strategy emitted invalid candidate");
         let seed = self.seed_for(cand.id);
         let mut model = Model::build(&spec, seed).expect("spec validated at materialise time");
@@ -92,6 +93,7 @@ impl Evaluator {
         let mut transfer = TransferStats::default();
         let mut transfer_secs = 0.0;
         if let (Some(matcher), Some(parent)) = (self.scheme.matcher(), cand.parent) {
+            let _transfer_span = swt_obs::span!("transfer");
             let t0 = Instant::now();
             let parent_ckpt_id = format!("c{parent}");
             if let Ok(provider_ckpt) = self.store.load(&parent_ckpt_id) {
@@ -125,17 +127,28 @@ impl Evaluator {
             early_stop: None,
         };
         let t0 = Instant::now();
-        let report = trainer.fit(&mut model, &self.problem.train, &self.problem.val, &cfg);
+        let report = {
+            let _train_span = swt_obs::span!("train");
+            trainer.fit(&mut model, &self.problem.train, &self.problem.val, &cfg)
+        };
         let train_secs = t0.elapsed().as_secs_f64();
 
         // Checkpoint the scored candidate (Fig. 6 step ③).
         let t0 = Instant::now();
-        let checkpoint_bytes = self
-            .store
-            .save(&cand.checkpoint_id(), &model.state_dict())
-            .expect("checkpoint save failed");
+        let checkpoint_bytes = {
+            let _save_span = swt_obs::span!("save");
+            self.store
+                .save(&cand.checkpoint_id(), &model.state_dict())
+                .expect("checkpoint save failed")
+        };
         let save_secs = t0.elapsed().as_secs_f64();
         self.ws = model.take_workspace();
+
+        swt_obs::counter!("nas.candidates_evaluated").inc();
+        swt_obs::counter!("nas.transfer.tensors").add(transfer.tensors as u64);
+        swt_obs::counter!("nas.transfer.bytes").add(transfer.bytes as u64);
+        swt_obs::counter!("nas.checkpoint.bytes").add(checkpoint_bytes);
+        swt_obs::histogram!("nas.checkpoint.size_bytes").observe(checkpoint_bytes);
 
         EvalOutcome {
             id: cand.id,

@@ -124,7 +124,7 @@ pub fn run_nas(
 
     let mut events: Vec<TraceEvent> = Vec::with_capacity(cfg.total_candidates);
     std::thread::scope(|scope| {
-        for _ in 0..cfg.workers {
+        for worker in 0..cfg.workers {
             let task_rx = Arc::clone(&task_rx);
             let result_tx = result_tx.clone();
             let mut evaluator = Evaluator::new(
@@ -135,16 +135,34 @@ pub fn run_nas(
                 cfg.epochs,
                 cfg.seed,
             );
-            scope.spawn(move || loop {
-                // Hold the lock only for the blocking recv handoff, never
-                // while evaluating.
-                let next = task_rx.lock().expect("task queue poisoned").recv();
-                let Ok(cand) = next else { break };
-                let t_start = start.elapsed().as_secs_f64();
-                let outcome = evaluator.evaluate(&cand);
-                let t_end = start.elapsed().as_secs_f64();
-                if result_tx.send((cand, t_start, t_end, outcome)).is_err() {
-                    break;
+            scope.spawn(move || {
+                // Attribute this thread's spans (queue wait, evaluation and
+                // everything beneath) to its worker slot in run reports.
+                swt_obs::span::set_worker(worker);
+                loop {
+                    // Hold the lock only for the blocking recv handoff, never
+                    // while evaluating. The span separates time spent starved
+                    // for work from time spent evaluating (the per-worker
+                    // breakdown behind the paper's Fig. 10-style attribution).
+                    let next = {
+                        let _wait_span = swt_obs::span!("nas.queue_wait");
+                        task_rx.lock().expect("task queue poisoned").recv()
+                    };
+                    let Ok(cand) = next else { break };
+                    let t_start = start.elapsed().as_secs_f64();
+                    let outcome = evaluator.evaluate(&cand);
+                    let t_end = start.elapsed().as_secs_f64();
+                    // The send itself is cheap, but it wakes the scheduler
+                    // and the OS often deschedules this thread right at the
+                    // futex wake — milliseconds a per-worker report would
+                    // otherwise fail to attribute.
+                    let sent = {
+                        let _send_span = swt_obs::span!("nas.result_send");
+                        result_tx.send((cand, t_start, t_end, outcome))
+                    };
+                    if sent.is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -155,8 +173,12 @@ pub fn run_nas(
         let mut inflight = 0usize;
         while completed < cfg.total_candidates {
             while inflight < cfg.workers && dispatched < cfg.total_candidates {
-                let cand = strategy.next(&mut rng);
+                let cand = {
+                    let _span = swt_obs::span!("nas.strategy_next");
+                    strategy.next(&mut rng)
+                };
                 task_tx.send(cand).expect("workers alive");
+                swt_obs::counter!("nas.candidates_dispatched").inc();
                 inflight += 1;
                 dispatched += 1;
             }

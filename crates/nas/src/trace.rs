@@ -38,18 +38,28 @@ pub struct NasTrace {
 
 impl NasTrace {
     /// Events sorted by completion time (the scheduler may record them in a
-    /// different order under concurrency).
+    /// different order under concurrency). NaN completion times sort last.
     pub fn by_completion(&self) -> Vec<&TraceEvent> {
         let mut v: Vec<&TraceEvent> = self.events.iter().collect();
-        v.sort_by(|a, b| a.t_end.partial_cmp(&b.t_end).unwrap());
+        v.sort_by(|a, b| a.t_end.total_cmp(&b.t_end));
         v
     }
 
     /// The `k` best events by score (ties broken by earlier completion).
+    /// NaN scores (a diverged loss can produce one) rank below every real
+    /// score instead of panicking the sort.
     pub fn top_k(&self, k: usize) -> Vec<&TraceEvent> {
+        let nan_last = |x: f64| {
+            // Collapse every NaN bit pattern below -inf in the total order.
+            if x.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                x
+            }
+        };
         let mut v: Vec<&TraceEvent> = self.events.iter().collect();
         v.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap().then(a.t_end.partial_cmp(&b.t_end).unwrap())
+            nan_last(b.score).total_cmp(&nan_last(a.score)).then(a.t_end.total_cmp(&b.t_end))
         });
         v.truncate(k);
         v
@@ -66,20 +76,38 @@ impl NasTrace {
             .iter()
             .map(|e| (e.id, if e.transfer_tensors > 0 { e.parent } else { None }))
             .collect();
-        let mut depths: std::collections::HashMap<CandidateId, usize> = Default::default();
+        // Depths are memoized as chains are walked, so each candidate is
+        // visited O(1) times amortized and deep lineages stay linear (the
+        // naive per-event re-walk is O(n²) on a single long chain).
+        let mut depths: std::collections::HashMap<CandidateId, usize> =
+            std::collections::HashMap::with_capacity(self.events.len());
+        let mut chain: Vec<CandidateId> = Vec::new();
         for e in &self.events {
-            let mut depth = 0;
             let mut cursor = e.id;
-            // Parents always have smaller ids than children, so chains are
-            // finite; the guard caps pathological traces.
-            while let Some(&Some(parent)) = parent_of.get(&cursor) {
-                depth += 1;
-                cursor = parent;
-                if depth > self.events.len() {
-                    break;
+            // Walk up to the first candidate with a known depth (or a chain
+            // root), stacking the unresolved ids. Parents always have
+            // smaller ids than children, so chains are finite; the guard
+            // caps pathological traces.
+            let base = loop {
+                if let Some(&d) = depths.get(&cursor) {
+                    break d;
                 }
+                match parent_of.get(&cursor) {
+                    Some(&Some(parent)) if chain.len() <= self.events.len() => {
+                        chain.push(cursor);
+                        cursor = parent;
+                    }
+                    _ => {
+                        if parent_of.contains_key(&cursor) {
+                            depths.insert(cursor, 0);
+                        }
+                        break 0;
+                    }
+                }
+            };
+            for (above_base, id) in chain.drain(..).rev().enumerate() {
+                depths.insert(id, base + above_base + 1);
             }
-            depths.insert(e.id, depth);
         }
         depths
     }
@@ -279,6 +307,42 @@ mod tests {
     }
 
     #[test]
+    fn nan_scores_sort_without_panicking() {
+        // A diverged candidate reports NaN; ordering helpers must stay
+        // total (this used to panic in partial_cmp().unwrap()).
+        let mut t = trace();
+        t.events.push(event(3, f64::NAN, 4.0));
+        t.events.push(event(4, 0.8, f64::NAN));
+        let top: Vec<CandidateId> = t.top_k(5).iter().map(|e| e.id).collect();
+        assert_eq!(top.len(), 5);
+        assert_eq!(*top.last().unwrap(), 3, "NaN score ranks below every real score");
+        assert_eq!(top[..2], [1, 4], "finite scores keep their order");
+        let order: Vec<CandidateId> = t.by_completion().iter().map(|e| e.id).collect();
+        assert_eq!(*order.last().unwrap(), 4, "NaN completion time sorts last");
+    }
+
+    #[test]
+    fn lineage_depths_linear_on_deep_chains() {
+        // One unbroken 5000-candidate transfer chain: the memoized walk
+        // resolves each id once (the naive O(n²) re-walk would do ~12.5M
+        // hops here and shows up instantly under a debug build).
+        let n: u64 = 5000;
+        let mut t = trace();
+        t.events = (0..n).map(|id| event(id, 0.5, id as f64 + 1.0)).collect();
+        t.events[0].parent = None;
+        t.events[0].transfer_tensors = 0;
+        let depths = t.lineage_depths();
+        assert_eq!(depths.len(), n as usize);
+        for id in 0..n {
+            assert_eq!(depths[&id], id as usize, "depth of c{id}");
+        }
+        assert!((t.mean_lineage_depth() - (n - 1) as f64 / 2.0).abs() < 1e-9);
+        // Events arriving child-before-parent still resolve identically.
+        t.events.reverse();
+        assert_eq!(t.lineage_depths()[&(n - 1)], (n - 1) as usize);
+    }
+
+    #[test]
     fn csv_round_trip() {
         let t = trace();
         let path = std::env::temp_dir().join(format!("swt_trace_{}.csv", std::process::id()));
@@ -286,6 +350,43 @@ mod tests {
         let back = NasTrace::read_csv(&path).unwrap();
         assert_eq!(back, t);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_header_unknown_scheme_falls_back_to_baseline() {
+        let path =
+            std::env::temp_dir().join(format!("swt_trace_scheme_{}.csv", std::process::id()));
+        std::fs::write(&path, "# app=X scheme=FUTURE seed=7 workers=2 wall_secs=1.5\nheader\n")
+            .unwrap();
+        let t = NasTrace::read_csv(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(t.scheme, TransferScheme::Baseline);
+        assert_eq!((t.seed, t.workers), (7, 2));
+        assert_eq!(t.wall_secs, 1.5);
+        assert!(t.events.is_empty());
+    }
+
+    #[test]
+    fn csv_header_missing_wall_secs_defaults_to_zero() {
+        let path = std::env::temp_dir().join(format!("swt_trace_wall_{}.csv", std::process::id()));
+        std::fs::write(&path, "# app=X scheme=LP seed=1 workers=1\nheader\n").unwrap();
+        let t = NasTrace::read_csv(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(t.scheme, TransferScheme::Lp);
+        assert_eq!(t.wall_secs, 0.0);
+    }
+
+    #[test]
+    fn csv_skips_trailing_blank_lines() {
+        let t = trace();
+        let path = std::env::temp_dir().join(format!("swt_trace_blank_{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("\n  \n\n");
+        std::fs::write(&path, text).unwrap();
+        let back = NasTrace::read_csv(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

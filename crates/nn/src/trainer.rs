@@ -96,9 +96,11 @@ impl Trainer {
         let mut early_stopped = false;
 
         for epoch in 0..cfg.epochs {
+            let _epoch_span = swt_obs::span!("epoch");
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for idx in train.batch_indices(cfg.batch_size, Some(&mut rng)) {
+                let _batch_span = swt_obs::span!("batch");
                 // Batch tensors, prediction and loss gradient all come from
                 // the model's workspace and go back to it after the step, so
                 // steady-state epochs reuse the same storage every batch.
@@ -119,6 +121,8 @@ impl Trainer {
                 loss_sum += loss;
                 batches += 1;
             }
+            swt_obs::counter!("nn.batches_trained").add(batches as u64);
+            swt_obs::counter!("nn.epochs_trained").inc();
             let val_metric = self.evaluate(model, val, cfg.batch_size);
             records.push(EpochRecord {
                 epoch,
@@ -149,6 +153,7 @@ impl Trainer {
         if data.is_empty() {
             return 0.0;
         }
+        let _span = swt_obs::span!("val_eval");
         // Run prediction in batches, then evaluate the metric globally (R²
         // is not batch-decomposable).
         let mut preds: Option<Vec<f32>> = None;

@@ -1,0 +1,240 @@
+//! The process-wide metric registry.
+//!
+//! Names are interned on first use behind a mutex; every subsequent access
+//! goes through an `Arc` handle cached either in a call-site `OnceLock`
+//! ([`crate::counter!`] and friends) or in the span layer's thread-local
+//! cache, so the maps here are off the hot path by construction.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Per-worker slots a span keeps: workers `0..WORKER_SLOTS-1` map 1:1,
+/// larger ids fold into the last worker slot, and threads with no worker id
+/// (the scheduler, tests, main) record into the extra trailing slot.
+pub const WORKER_SLOTS: usize = 64;
+
+/// Index of the slot for threads without an assigned worker id.
+pub const UNATTRIBUTED_SLOT: usize = WORKER_SLOTS;
+
+/// One worker's accumulated statistics for one span path.
+#[derive(Debug)]
+pub struct SpanSlot {
+    pub count: AtomicU64,
+    pub total_ns: AtomicU64,
+    pub min_ns: AtomicU64,
+    pub max_ns: AtomicU64,
+}
+
+impl Default for SpanSlot {
+    fn default() -> Self {
+        SpanSlot {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Accumulated wall time of one span path, split per worker slot.
+#[derive(Debug)]
+pub struct SpanStat {
+    slots: [SpanSlot; WORKER_SLOTS + 1],
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        SpanStat { slots: std::array::from_fn(|_| SpanSlot::default()) }
+    }
+}
+
+impl SpanStat {
+    /// Slot index for a worker id (`None` → the unattributed slot).
+    pub fn slot_for(worker: Option<usize>) -> usize {
+        match worker {
+            Some(w) => w.min(WORKER_SLOTS - 1),
+            None => UNATTRIBUTED_SLOT,
+        }
+    }
+
+    /// Record one completed span occurrence.
+    #[inline]
+    pub fn record(&self, worker: Option<usize>, elapsed_ns: u64) {
+        let slot = &self.slots[Self::slot_for(worker)];
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        slot.min_ns.fetch_min(elapsed_ns, Ordering::Relaxed);
+        slot.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot `(count, total_ns, min_ns, max_ns)` of one slot (min is 0
+    /// when the slot is empty).
+    pub fn snapshot(&self, slot: usize) -> (u64, u64, u64, u64) {
+        let s = &self.slots[slot];
+        let count = s.count.load(Ordering::Relaxed);
+        let min = if count == 0 { 0 } else { s.min_ns.load(Ordering::Relaxed) };
+        (count, s.total_ns.load(Ordering::Relaxed), min, s.max_ns.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for s in &self.slots {
+            s.count.store(0, Ordering::Relaxed);
+            s.total_ns.store(0, Ordering::Relaxed);
+            s.min_ns.store(u64::MAX, Ordering::Relaxed);
+            s.max_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Interning registry for all named spans and metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    spans: Mutex<HashMap<String, Arc<SpanStat>>>,
+    counters: Mutex<HashMap<String, Arc<Counter>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+    gauges: Mutex<HashMap<String, Arc<Gauge>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Metric maps hold no invariants across panics; recover the guard.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle for the span stats under `path`, interning it on first use.
+    pub fn span(&self, path: &str) -> Arc<SpanStat> {
+        Arc::clone(lock(&self.spans).entry(path.to_string()).or_default())
+    }
+
+    /// Handle for the counter `name`, interning it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(lock(&self.counters).entry(name.to_string()).or_default())
+    }
+
+    /// Handle for the histogram `name`, interning it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(lock(&self.histograms).entry(name.to_string()).or_default())
+    }
+
+    /// Handle for the gauge `name`, interning it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(lock(&self.gauges).entry(name.to_string()).or_default())
+    }
+
+    /// Visit every span path (sorted) with its stats.
+    pub fn for_each_span(&self, mut f: impl FnMut(&str, &SpanStat)) {
+        let map = lock(&self.spans);
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        for k in keys {
+            f(k, &map[k]);
+        }
+    }
+
+    /// Visit every counter (sorted by name).
+    pub fn for_each_counter(&self, mut f: impl FnMut(&str, &Counter)) {
+        let map = lock(&self.counters);
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        for k in keys {
+            f(k, &map[k]);
+        }
+    }
+
+    /// Visit every histogram (sorted by name).
+    pub fn for_each_histogram(&self, mut f: impl FnMut(&str, &Histogram)) {
+        let map = lock(&self.histograms);
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        for k in keys {
+            f(k, &map[k]);
+        }
+    }
+
+    /// Visit every gauge (sorted by name).
+    pub fn for_each_gauge(&self, mut f: impl FnMut(&str, &Gauge)) {
+        let map = lock(&self.gauges);
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        for k in keys {
+            f(k, &map[k]);
+        }
+    }
+
+    /// Zero all values in place, preserving every interned handle.
+    pub fn reset(&self) {
+        for stat in lock(&self.spans).values() {
+            stat.reset();
+        }
+        for c in lock(&self.counters).values() {
+            c.reset();
+        }
+        for h in lock(&self.histograms).values() {
+            h.reset();
+        }
+        for g in lock(&self.gauges).values() {
+            g.reset();
+        }
+    }
+}
+
+/// The process-global registry all macros record into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_handle() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &reg.counter("y")));
+    }
+
+    #[test]
+    fn span_slots_fold_and_attribute() {
+        assert_eq!(SpanStat::slot_for(Some(0)), 0);
+        assert_eq!(SpanStat::slot_for(Some(WORKER_SLOTS - 1)), WORKER_SLOTS - 1);
+        assert_eq!(SpanStat::slot_for(Some(WORKER_SLOTS + 10)), WORKER_SLOTS - 1);
+        assert_eq!(SpanStat::slot_for(None), UNATTRIBUTED_SLOT);
+
+        let stat = SpanStat::default();
+        stat.record(Some(2), 100);
+        stat.record(Some(2), 300);
+        stat.record(None, 7);
+        let (count, total, min, max) = stat.snapshot(2);
+        assert_eq!((count, total, min, max), (2, 400, 100, 300));
+        let (count, total, ..) = stat.snapshot(UNATTRIBUTED_SLOT);
+        assert_eq!((count, total), (1, 7));
+        let (count, _, min, _) = stat.snapshot(0);
+        assert_eq!((count, min), (0, 0), "empty slot reports min 0");
+    }
+
+    #[test]
+    fn reset_preserves_identity() {
+        let _lock = crate::test_lock();
+        crate::enable();
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        c.add(4);
+        let s = reg.span("p");
+        s.record(Some(0), 50);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(s.snapshot(0).0, 0);
+        assert!(Arc::ptr_eq(&c, &reg.counter("n")), "reset must not re-intern");
+        crate::disable();
+    }
+}

@@ -1,0 +1,170 @@
+//! Hierarchical RAII span timers with per-worker attribution.
+//!
+//! Each thread keeps a stack of active span names; a guard entered while
+//! others are active records under the dotted join of the whole stack
+//! (`"nas.eval"` then `"train"` → `"nas.eval.train"`). Path→stat handles
+//! are cached thread-locally so the registry mutex is touched only the
+//! first time a thread sees a path.
+
+use crate::registry::{self, SpanStat};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Joined-path → stat handle cache (valid across [`crate::reset`]).
+    static CACHE: RefCell<HashMap<String, Arc<SpanStat>>> = RefCell::new(HashMap::new());
+    /// Worker id this thread's spans are attributed to.
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Attribute all subsequent spans on this thread to evaluator `worker`.
+pub fn set_worker(worker: usize) {
+    WORKER.with(|w| w.set(Some(worker)));
+}
+
+/// Stop attributing this thread's spans to a worker.
+pub fn clear_worker() {
+    WORKER.with(|w| w.set(None));
+}
+
+/// The worker id currently attributed to this thread, if any.
+pub fn current_worker() -> Option<usize> {
+    WORKER.with(|w| w.get())
+}
+
+/// RAII guard created by [`crate::span!`]: records the elapsed wall time of
+/// its scope when dropped. A no-op (no allocation, no lock) while
+/// instrumentation is disabled.
+#[must_use = "a span guard records on drop; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    inner: Option<Active>,
+}
+
+struct Active {
+    stat: Arc<SpanStat>,
+    start: Instant,
+    /// Stack depth before this span was pushed; drop truncates back to it
+    /// so an out-of-order drop cannot corrupt sibling paths.
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Open a span named `name` under the current thread's span path.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard { inner: Some(Self::enter_slow(name)) }
+    }
+
+    fn enter_slow(name: &'static str) -> Active {
+        let (path, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let depth = stack.len();
+            stack.push(name);
+            (stack.join("."), depth)
+        });
+        let stat = CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match cache.get(&path) {
+                Some(stat) => Arc::clone(stat),
+                None => {
+                    let stat = registry::global().span(&path);
+                    cache.insert(path, Arc::clone(&stat));
+                    stat
+                }
+            }
+        });
+        Active { stat, start: Instant::now(), depth }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            let elapsed = active.start.elapsed().as_nanos() as u64;
+            active.stat.record(current_worker(), elapsed);
+            STACK.with(|stack| stack.borrow_mut().truncate(active.depth));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{SpanStat, UNATTRIBUTED_SLOT};
+
+    fn total(path: &str, slot: usize) -> (u64, u64) {
+        let stat = registry::global().span(path);
+        let (count, total_ns, ..) = stat.snapshot(slot);
+        (count, total_ns)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = crate::test_lock();
+        crate::disable();
+        crate::reset();
+        {
+            let _g = crate::span!("obs_test.disabled");
+        }
+        assert_eq!(total("obs_test.disabled", UNATTRIBUTED_SLOT).0, 0);
+    }
+
+    #[test]
+    fn nested_spans_build_dotted_paths() {
+        let _lock = crate::test_lock();
+        crate::enable();
+        crate::reset();
+        {
+            let _outer = crate::span!("obs_test.outer");
+            {
+                let _inner = crate::span!("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        {
+            let _sibling = crate::span!("obs_test.sibling");
+        }
+        crate::disable();
+        let (count, ns) = total("obs_test.outer.inner", UNATTRIBUTED_SLOT);
+        assert_eq!(count, 1);
+        assert!(ns >= 1_000_000, "inner span ≥ 1ms, got {ns}");
+        let (outer_count, outer_ns) = total("obs_test.outer", UNATTRIBUTED_SLOT);
+        assert_eq!(outer_count, 1);
+        assert!(outer_ns >= ns, "outer encloses inner");
+        // The sibling opened after `outer` closed must not nest under it.
+        assert_eq!(total("obs_test.sibling", UNATTRIBUTED_SLOT).0, 1);
+        assert_eq!(total("obs_test.outer.obs_test.sibling", UNATTRIBUTED_SLOT).0, 0);
+    }
+
+    #[test]
+    fn worker_attribution_is_per_thread() {
+        let _lock = crate::test_lock();
+        crate::enable();
+        crate::reset();
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    set_worker(w);
+                    let _g = crate::span!("obs_test.worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        crate::disable();
+        let stat = registry::global().span("obs_test.worker");
+        for w in 0..3 {
+            assert_eq!(stat.snapshot(SpanStat::slot_for(Some(w))).0, 1, "worker {w}");
+        }
+        assert_eq!(stat.snapshot(UNATTRIBUTED_SLOT).0, 0);
+    }
+}

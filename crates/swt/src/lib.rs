@@ -25,7 +25,8 @@
 //! [`swt_core`] (LP/LCS transfer), [`swt_nas`] (runtime), [`swt_space`]
 //! (search spaces), [`swt_nn`] / [`swt_tensor`] (training substrate),
 //! [`swt_data`] (synthetic applications), [`swt_checkpoint`],
-//! [`swt_cluster`] (scalability simulator) and [`swt_stats`].
+//! [`swt_cluster`] (scalability simulator), [`swt_stats`] and
+//! [`swt_obs`] (spans, metrics, logging, run reports).
 
 pub use swt_checkpoint as checkpoint;
 pub use swt_cluster as cluster;
@@ -33,6 +34,7 @@ pub use swt_core as core;
 pub use swt_data as data;
 pub use swt_nas as nas;
 pub use swt_nn as nn;
+pub use swt_obs as obs;
 pub use swt_space as space;
 pub use swt_stats as stats;
 pub use swt_tensor as tensor;
@@ -54,6 +56,7 @@ pub mod prelude {
         Activation, Dataset, LayerSpec, Loss, Metric, Model, ModelSpec, NodeSpec, TrainConfig,
         Trainer,
     };
+    pub use swt_obs::RunReport;
     pub use swt_space::{distance, ArchSeq, SearchSpace};
     pub use swt_stats::{geometric_mean, kendall_tau, SlotBinner, Summary};
     pub use swt_tensor::{Rng, Shape, Tensor};

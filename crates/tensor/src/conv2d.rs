@@ -8,7 +8,7 @@
 //!
 //! `im2col`/`col2im` run parallel over the batch dimension (each sample's
 //! rows are a disjoint slice), the GEMM is the blocked kernel from
-//! [`crate::matmul`], and the `_ws` variants draw every scratch buffer from a
+//! [`crate::matmul()`], and the `_ws` variants draw every scratch buffer from a
 //! caller-owned [`Workspace`] so steady-state training allocates nothing.
 
 use crate::matmul::{gemm_at_rowmajor, gemm_bt_rowmajor, gemm_rowmajor};

@@ -7,15 +7,15 @@
 //! * a cache-blocked, register-tiled, packed [`matmul`](matmul::matmul)
 //!   (BLIS-style; see the module docs) with transpose variants for the
 //!   backward passes,
-//! * im2col [`conv2d`](conv2d) / [`conv1d`](conv1d) forward *and* backward,
+//! * im2col [`conv2d`] / [`conv1d`] forward *and* backward,
 //!   batch-parallel,
 //! * max-pooling with argmax-based backward,
 //! * row-wise softmax and elementwise activations,
-//! * a reusable scratch arena ([`Workspace`](workspace::Workspace)) so the
+//! * a reusable scratch arena ([`Workspace`]) so the
 //!   training hot path is allocation-free at steady state,
 //! * scoped-thread data-parallel helpers ([`parallel`]) with one
 //!   process-wide thread budget,
-//! * a seeded, splittable [`Rng`](rng::Rng) so every experiment is
+//! * a seeded, splittable [`Rng`] so every experiment is
 //!   reproducible from a single `u64` seed.
 //!
 //! Everything is safe Rust with zero external dependencies; hot loops are

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 static FORCE_NAIVE: AtomicBool = AtomicBool::new(false);
 
 /// Route all GEMMs through the naive reference kernel (`on = true`) or the
-/// blocked kernel (`on = false`, the default). See [`FORCE_NAIVE`].
+/// blocked kernel (`on = false`, the default).
 pub fn force_naive_gemm(on: bool) {
     FORCE_NAIVE.store(on, Ordering::Relaxed);
 }
@@ -242,11 +242,14 @@ pub(crate) fn gemm_bt_rowmajor(
 fn gemm(m: usize, n: usize, k: usize, a: View, b: View, c: &mut [f32], ws: &mut Workspace) {
     debug_assert_eq!(c.len(), m * n);
     if FORCE_NAIVE.load(Ordering::Relaxed) {
+        swt_obs::counter!("tensor.gemm.naive").inc();
         return gemm_naive_view(m, n, k, a, b, c);
     }
     if m * n * k <= SMALL_FLOPS {
+        swt_obs::counter!("tensor.gemm.small").inc();
         return gemm_small(m, n, k, a, b, c);
     }
+    swt_obs::counter!("tensor.gemm.blocked").inc();
 
     let n_strips = n.div_ceil(NR);
     let kc_max = KC.min(k);

@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// `0` means "auto": use `std::thread::available_parallelism`.
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -50,19 +51,36 @@ where
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = threads_for(n_chunks);
     if threads <= 1 {
+        swt_obs::counter!("tensor.pool.serial_chunks").add(n_chunks as u64);
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
         }
         return;
     }
+    swt_obs::counter!("tensor.pool.dispatches").inc();
+    swt_obs::counter!("tensor.pool.tasks").add(n_chunks as u64);
     let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let next = queue.lock().unwrap().next();
-                match next {
-                    Some((i, chunk)) => f(i, chunk),
-                    None => break,
+            s.spawn(|| {
+                // Idle time = waiting on the shared cursor for the next work
+                // item; per-thread accumulation keeps the measurement out of
+                // the contended region.
+                let measure = swt_obs::enabled();
+                let mut idle_ns = 0u64;
+                loop {
+                    let wait = measure.then(Instant::now);
+                    let next = queue.lock().unwrap().next();
+                    if let Some(t0) = wait {
+                        idle_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    match next {
+                        Some((i, chunk)) => f(i, chunk),
+                        None => break,
+                    }
+                }
+                if measure {
+                    swt_obs::histogram!("tensor.pool.idle_ns").observe(idle_ns);
                 }
             });
         }
@@ -79,18 +97,32 @@ where
 {
     let threads = threads_for(items.len());
     if threads <= 1 {
+        swt_obs::counter!("tensor.pool.serial_tasks").add(items.len() as u64);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    swt_obs::counter!("tensor.pool.dispatches").inc();
+    swt_obs::counter!("tensor.pool.tasks").add(items.len() as u64);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     {
         let queue = Mutex::new(out.iter_mut().zip(items).enumerate());
         std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|| loop {
-                    let next = queue.lock().unwrap().next();
-                    match next {
-                        Some((i, (slot, item))) => *slot = Some(f(i, item)),
-                        None => break,
+                s.spawn(|| {
+                    let measure = swt_obs::enabled();
+                    let mut idle_ns = 0u64;
+                    loop {
+                        let wait = measure.then(Instant::now);
+                        let next = queue.lock().unwrap().next();
+                        if let Some(t0) = wait {
+                            idle_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        match next {
+                            Some((i, (slot, item))) => *slot = Some(f(i, item)),
+                            None => break,
+                        }
+                    }
+                    if measure {
+                        swt_obs::histogram!("tensor.pool.idle_ns").observe(idle_ns);
                     }
                 });
             }

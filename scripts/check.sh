@@ -18,4 +18,27 @@ cargo build --workspace --all-targets
 echo "==> cargo test"
 cargo test --workspace
 
+echo "==> cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> print gate (library crates log via swt-obs, not stdout/stderr)"
+# Binaries own stdout (figures, CSV, bench tables); library code must go
+# through the swt-obs logger. Allowlisted: the logger's own stderr sink,
+# the bench harness console table, and the experiments table/CSV renderer
+# that the figure binaries print through.
+violations=$(grep -rn 'println!\|eprintln!' crates/*/src --include='*.rs' \
+  | grep -v '/src/bin/' \
+  | grep -v '^crates/obs/src/log.rs:' \
+  | grep -v '^crates/bench/src/lib.rs:' \
+  | grep -v '^crates/experiments/src/lib.rs:' \
+  || true)
+if [ -n "$violations" ]; then
+  echo "library code printing outside swt-obs:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+
+echo "==> bench_obs smoke (disabled-instrumentation overhead < 2%)"
+cargo run --release --quiet -p swt-bench --bin bench_obs -- --smoke
+
 echo "OK"

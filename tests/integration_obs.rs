@@ -1,0 +1,74 @@
+//! Integration: the observability layer against a real NAS run.
+//!
+//! One test function on purpose: swt-obs aggregates into a global registry,
+//! and this file's `[[test]]` target gives it a process of its own, so no
+//! other integration test can race the enable/reset/capture sequence.
+
+use std::sync::Arc;
+use swt::prelude::*;
+
+/// A quick NAS run with instrumentation enabled must produce a run report
+/// whose per-worker span breakdown (queue wait / eval, with train, transfer
+/// and save beneath) accounts for the trace's wall time, and the report must
+/// survive a JSON round trip unchanged.
+#[test]
+fn run_report_accounts_for_worker_time() {
+    swt::obs::enable();
+    swt::obs::reset();
+
+    // 24 candidates over a 16-member warm-up population: the last 8 are
+    // evolution children, so LCS transfer is guaranteed to fire.
+    let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
+    let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+    let cfg = NasConfig::quick(TransferScheme::Lcs, 24, 2, 7);
+    let trace = run_nas(problem, space, store, &cfg);
+    let report = RunReport::capture().with_meta("scheme", "LCS");
+    swt::obs::disable();
+    swt::obs::reset();
+
+    // Every worker shows up with its own breakdown.
+    assert_eq!(report.workers(), vec![0, 1]);
+
+    // A worker thread's life is recv (nas.queue_wait), evaluation (nas.eval)
+    // and the result handoff (nas.result_send); together they must cover the
+    // run's wall clock.
+    for &w in &[0usize, 1] {
+        let wait = report.worker_span_secs(Some(w), "nas.queue_wait");
+        let eval = report.worker_span_secs(Some(w), "nas.eval");
+        let send = report.worker_span_secs(Some(w), "nas.result_send");
+        assert!(eval > 0.0, "worker {w} evaluated nothing");
+        let covered = wait + eval + send;
+        let rel = (covered - trace.wall_secs).abs() / trace.wall_secs;
+        assert!(
+            rel < 0.10,
+            "worker {w}: spans cover {covered:.4}s of wall {:.4}s ({:.1}% off)",
+            trace.wall_secs,
+            rel * 100.0
+        );
+    }
+
+    // The evaluation phases nest under nas.eval, and each did real work.
+    for path in
+        ["nas.eval.train", "nas.eval.train.epoch.batch", "nas.eval.transfer", "nas.eval.save"]
+    {
+        assert!(report.span_total_secs(path) > 0.0, "span {path} recorded no time");
+    }
+    // Train time dominates transfer and save on the hot path.
+    assert!(report.span_total_secs("nas.eval.train") > report.span_total_secs("nas.eval.save"));
+
+    // Counters line up with the trace.
+    assert_eq!(report.counter("nas.candidates_evaluated"), 24);
+    assert_eq!(report.counter("nas.candidates_dispatched"), 24);
+    assert!(report.counter("nn.batches_trained") > 0);
+    assert!(report.counter("nas.transfer.tensors") > 0, "LCS children must transfer");
+    let traced_bytes: u64 = trace.events.iter().map(|e| e.checkpoint_bytes).sum();
+    assert_eq!(report.counter("nas.checkpoint.bytes"), traced_bytes);
+
+    // report.json round trip: exact (f64 Display is shortest-round-trip).
+    let path = std::env::temp_dir().join(format!("swt_obs_it_{}.report.json", std::process::id()));
+    report.write_json(&path).unwrap();
+    let back = RunReport::read_json(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(back, report);
+}
