@@ -11,6 +11,7 @@
 //! pending write blocks until that write has been flushed, so the NAS data
 //! flow (children reading parents) is unchanged.
 
+use crate::index::CheckpointIndex;
 use crate::store::CheckpointStore;
 use std::collections::HashMap;
 use std::io;
@@ -92,9 +93,9 @@ impl AsyncStore {
 
 impl CheckpointStore for AsyncStore {
     fn save(&self, id: &str, entries: &[(String, Tensor)]) -> io::Result<u64> {
-        // Size accounting must stay exact (Fig. 11), so encode eagerly for
-        // the byte count while the actual I/O happens in the background.
-        let bytes = crate::format::encode(entries).len() as u64;
+        // Size accounting must stay exact (Fig. 11); the WTC2 size is pure
+        // arithmetic, so no serialisation happens on the caller's thread.
+        let bytes = crate::format::encoded_len(entries);
         *self.pending.ids.lock().unwrap().entry(id.to_string()).or_insert(0) += 1;
         // Gauge up before the handoff so the writer's matching `dec` can
         // never observe the queue at a negative depth.
@@ -110,6 +111,21 @@ impl CheckpointStore for AsyncStore {
     fn load(&self, id: &str) -> io::Result<Vec<(String, Tensor)>> {
         self.wait_for(id);
         self.inner.load(id)
+    }
+
+    fn load_raw(&self, id: &str) -> io::Result<Vec<u8>> {
+        self.wait_for(id);
+        self.inner.load_raw(id)
+    }
+
+    fn load_index(&self, id: &str) -> io::Result<CheckpointIndex> {
+        self.wait_for(id);
+        self.inner.load_index(id)
+    }
+
+    fn load_tensors(&self, id: &str, names: &[String]) -> io::Result<Vec<(String, Tensor)>> {
+        self.wait_for(id);
+        self.inner.load_tensors(id, names)
     }
 
     fn exists(&self, id: &str) -> bool {
@@ -201,6 +217,66 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.list().len(), 40);
+    }
+
+    #[test]
+    fn selective_reads_wait_for_pending_writes() {
+        let store = AsyncStore::new(Arc::new(MemStore::new()));
+        for i in 0..30 {
+            store.save("busy", &entries(i as f32)).unwrap();
+        }
+        // Index and partial loads must observe the newest enqueued write,
+        // exactly like full loads.
+        let index = store.load_index("busy").unwrap();
+        assert_eq!(index.len(), 1);
+        let got = store.load_tensors("busy", &["w/kernel".to_string()]).unwrap();
+        assert!(got[0].1.approx_eq(&Tensor::full([64, 64], 29.0), 0.0));
+        assert_eq!(store.load_raw("busy").unwrap().len() as u64, index.encoded_len());
+    }
+
+    #[test]
+    fn prune_racing_inflight_saves_never_loses_kept_ids() {
+        // Regression: `prune_except` walking `list()` (which flushes) while
+        // another thread keeps enqueueing saves. Kept ids must survive with
+        // intact contents; newly saved non-kept ids may or may not be pruned
+        // depending on arrival order, but nothing may deadlock or tear.
+        use crate::store::prune_except;
+        let store = Arc::new(AsyncStore::new(Arc::new(MemStore::new())));
+        let keep: Vec<String> = (0..4).map(|i| format!("keep{i}")).collect();
+        for (i, id) in keep.iter().enumerate() {
+            store.save(id, &entries(i as f32)).unwrap();
+        }
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..40 {
+                    store.save(&format!("extra{i}"), &entries(100.0 + i as f32)).unwrap();
+                }
+            })
+        };
+        let pruner = {
+            let store = Arc::clone(&store);
+            let keep = keep.clone();
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    prune_except(store.as_ref(), &keep);
+                }
+            })
+        };
+        writer.join().unwrap();
+        pruner.join().unwrap();
+        store.flush();
+        for (i, id) in keep.iter().enumerate() {
+            let loaded = store.load(id).expect("kept checkpoint must survive pruning");
+            assert!(loaded[0].1.approx_eq(&Tensor::full([64, 64], i as f32), 0.0));
+        }
+        // A final prune with no concurrent writers leaves exactly the keeps.
+        prune_except(store.as_ref(), &keep);
+        let mut left = store.list();
+        left.sort();
+        let mut expected = keep;
+        expected.sort();
+        assert_eq!(left, expected);
     }
 
     #[test]

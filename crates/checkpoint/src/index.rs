@@ -1,0 +1,151 @@
+//! Checkpoint table-of-contents: per-tensor metadata recoverable without
+//! touching tensor payloads.
+//!
+//! A [`CheckpointIndex`] is what the WTC2 header (see [`crate::format`])
+//! describes: every tensor's name, shape, payload offset and payload
+//! checksum. It is the unit the selective transfer path operates on — the
+//! NAS evaluator builds its `TransferPlan` from the provider's index alone
+//! and then fetches only the matched payloads, so the dominant cost of
+//! weight transfer (reading whole provider checkpoints, Section VIII-E)
+//! shrinks to the bytes the plan actually moves.
+
+use swt_tensor::Shape;
+
+/// Metadata of one stored tensor, recoverable from the header alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorMeta {
+    /// Full tensor name, e.g. `n3_conv2d/kernel`.
+    pub name: String,
+    /// Tensor dimensions.
+    pub dims: Vec<usize>,
+    /// Absolute byte offset of the f32 payload within the encoded buffer
+    /// (0 for synthesized indices, which carry no layout).
+    pub offset: u64,
+    /// FNV-1a checksum of the payload bytes (0 when the format does not
+    /// store per-tensor checksums: WTC1 and synthesized indices).
+    pub checksum: u64,
+}
+
+impl TensorMeta {
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Payload size in bytes (f32 elements).
+    pub fn size_bytes(&self) -> u64 {
+        4 * self.numel() as u64
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> Shape {
+        Shape::new(self.dims.clone())
+    }
+}
+
+/// A checkpoint's table of contents: enough to reconstruct the provider's
+/// shape sequence, plan a transfer and verify integrity without reading any
+/// tensor payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointIndex {
+    /// Container version the index was read from: 1 (WTC1), 2 (WTC2), or
+    /// 0 for an index synthesized from already-decoded tensors (no layout).
+    version: u8,
+    tensors: Vec<TensorMeta>,
+    /// Total encoded size in bytes (0 when synthesized).
+    encoded_len: u64,
+}
+
+impl CheckpointIndex {
+    pub(crate) fn new(version: u8, tensors: Vec<TensorMeta>, encoded_len: u64) -> Self {
+        CheckpointIndex { version, tensors, encoded_len }
+    }
+
+    /// An index carrying names and shapes only — the fallback produced by
+    /// [`crate::CheckpointStore::load_index`]'s default implementation for
+    /// stores without native header support.
+    pub fn synthesized(shapes: impl IntoIterator<Item = (String, Vec<usize>)>) -> Self {
+        let tensors = shapes
+            .into_iter()
+            .map(|(name, dims)| TensorMeta { name, dims, offset: 0, checksum: 0 })
+            .collect();
+        CheckpointIndex { version: 0, tensors, encoded_len: 0 }
+    }
+
+    /// Container version (0 = synthesized, 1 = WTC1, 2 = WTC2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Per-tensor metadata in storage order.
+    pub fn tensors(&self) -> &[TensorMeta] {
+        &self.tensors
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True for a tensor-free checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Look up one tensor's metadata by full name.
+    pub fn get(&self, name: &str) -> Option<&TensorMeta> {
+        self.tensors.iter().find(|m| m.name == name)
+    }
+
+    /// Total encoded size in bytes (header + payloads + any trailer); 0 for
+    /// synthesized indices.
+    pub fn encoded_len(&self) -> u64 {
+        self.encoded_len
+    }
+
+    /// Total payload bytes across all tensors.
+    pub fn payload_bytes(&self) -> u64 {
+        self.tensors.iter().map(TensorMeta::size_bytes).sum()
+    }
+
+    /// Flat `(full_name, shape)` pairs — the input `ShapeSeq::from_params`
+    /// expects (the caller filters non-trainable state).
+    pub fn param_shapes(&self) -> Vec<(String, Shape)> {
+        self.tensors.iter().map(|m| (m.name.clone(), m.shape())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> CheckpointIndex {
+        CheckpointIndex::synthesized(vec![
+            ("a/kernel".to_string(), vec![3, 4]),
+            ("a/bias".to_string(), vec![4]),
+            ("scalar".to_string(), vec![]),
+        ])
+    }
+
+    #[test]
+    fn meta_accessors() {
+        let idx = index();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.version(), 0);
+        let kernel = idx.get("a/kernel").unwrap();
+        assert_eq!(kernel.numel(), 12);
+        assert_eq!(kernel.size_bytes(), 48);
+        assert_eq!(kernel.shape(), Shape::new([3, 4]));
+        // Rank-0 tensors hold one element (product of an empty dims list).
+        assert_eq!(idx.get("scalar").unwrap().numel(), 1);
+        assert!(idx.get("missing").is_none());
+        assert_eq!(idx.payload_bytes(), 48 + 16 + 4);
+    }
+
+    #[test]
+    fn param_shapes_preserve_order() {
+        let shapes = index().param_shapes();
+        assert_eq!(shapes[0].0, "a/kernel");
+        assert_eq!(shapes[1].1, Shape::new([4]));
+    }
+}

@@ -63,6 +63,19 @@ impl TransferPlan {
         self.pairs.len()
     }
 
+    /// Deduplicated provider-side tensor names — exactly the payloads a
+    /// partial checkpoint read (`CheckpointStore::load_tensors`) must fetch
+    /// to execute the plan.
+    pub fn provider_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::with_capacity(self.pairs.len());
+        for (provider, _) in &self.pairs {
+            if !names.contains(provider) {
+                names.push(provider.clone());
+            }
+        }
+        names
+    }
+
     /// Number of layers matched.
     pub fn matched_layers(&self) -> usize {
         self.layers.len()
@@ -117,6 +130,14 @@ mod tests {
         assert_eq!(plan.bytes(), (4 * 8 + 8) * 4);
         assert!((plan.coverage() - 0.5).abs() < 1e-12);
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn provider_names_are_deduped_in_plan_order() {
+        let provider = seq(&[("a", &[4, 8]), ("b", &[8, 2])]);
+        let receiver = seq(&[("x", &[4, 8]), ("y", &[8, 2])]);
+        let plan = TransferPlan::build(Matcher::Lp, &provider, &receiver);
+        assert_eq!(plan.provider_names(), vec!["a/kernel", "a/bias", "b/kernel", "b/bias"]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! matches too (a bias dimension is determined by its kernel's output
 //! dimension).
 
+use swt_checkpoint::CheckpointIndex;
 use swt_nn::{ModelSpec, SpecError};
 use swt_tensor::Shape;
 
@@ -82,6 +83,19 @@ impl ShapeSeq {
     /// a checkpoint. The caller must exclude non-trainable state.
     pub fn from_params(params: Vec<(String, Shape)>) -> ShapeSeq {
         ShapeSeq { entries: group(params) }
+    }
+
+    /// Build a provider's shape sequence straight from a checkpoint index —
+    /// no tensor payloads needed. Non-trainable running statistics are
+    /// excluded, mirroring what the evaluator transfers.
+    pub fn from_checkpoint_index(index: &CheckpointIndex) -> ShapeSeq {
+        let params = index
+            .tensors()
+            .iter()
+            .filter(|m| !m.name.ends_with("running_mean") && !m.name.ends_with("running_var"))
+            .map(|m| (m.name.clone(), m.shape()))
+            .collect();
+        ShapeSeq::from_params(params)
     }
 
     /// The layer entries in topological order.
@@ -208,6 +222,22 @@ mod tests {
         assert_eq!(seq.entry(0).layer, "n1_conv2d");
         assert_eq!(seq.entry(0).primary.dims(), &[3, 3, 1, 4]);
         assert_eq!(seq.entry(1).tensors.len(), 2);
+    }
+
+    #[test]
+    fn from_checkpoint_index_filters_running_stats() {
+        let index = swt_checkpoint::CheckpointIndex::synthesized(vec![
+            ("n1_conv2d/kernel".to_string(), vec![3, 3, 1, 4]),
+            ("n1_conv2d/bias".to_string(), vec![4]),
+            ("n2_bn/gamma".to_string(), vec![4]),
+            ("n2_bn/beta".to_string(), vec![4]),
+            ("n2_bn/running_mean".to_string(), vec![4]),
+            ("n2_bn/running_var".to_string(), vec![4]),
+        ]);
+        let seq = ShapeSeq::from_checkpoint_index(&index);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.entry(1).tensors.len(), 2); // gamma + beta only
+        assert_eq!(seq.entry(1).primary.dims(), &[4]);
     }
 
     #[test]

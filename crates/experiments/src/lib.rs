@@ -220,6 +220,7 @@ impl ExpCtx {
             seed,
             population_size: self.population.min(self.candidates),
             sample_size: self.sample.min(self.population.min(self.candidates)),
+            cache_bytes: 256 << 20,
         };
         swt_obs::reset();
         let trace = run_nas(problem, space, Arc::clone(&store), &cfg);

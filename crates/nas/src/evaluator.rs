@@ -96,23 +96,28 @@ impl Evaluator {
             let _transfer_span = swt_obs::span!("transfer");
             let t0 = Instant::now();
             let parent_ckpt_id = format!("c{parent}");
-            if let Ok(provider_ckpt) = self.store.load(&parent_ckpt_id) {
-                // Reconstruct the provider's shape sequence from the
-                // checkpoint itself (names+shapes), so no spec lookup is
-                // needed — mirroring the paper, where only the architecture
-                // sequence travels with the task.
-                let provider_seq = ShapeSeq::from_params(
-                    provider_ckpt
-                        .iter()
-                        .filter(|(n, _)| {
-                            !n.ends_with("running_mean") && !n.ends_with("running_var")
-                        })
-                        .map(|(n, t)| (n.clone(), t.shape().clone()))
-                        .collect(),
-                );
+            // Plan from the provider's *index* alone (names + shapes, no
+            // payload bytes), then fetch only the payloads the plan moves —
+            // the paper's Section VIII-E overhead shrinks from "read the
+            // whole parent checkpoint" to "read the matched tensors".
+            if let Ok(index) = self.store.load_index(&parent_ckpt_id) {
+                let provider_seq = ShapeSeq::from_checkpoint_index(&index);
                 let receiver_seq = ShapeSeq::of(&spec).unwrap();
                 let plan = TransferPlan::build(matcher, &provider_seq, &receiver_seq);
-                transfer = apply_transfer(&plan, &provider_ckpt, &mut model);
+                if !plan.is_empty() {
+                    if let Ok(provider_ckpt) =
+                        self.store.load_tensors(&parent_ckpt_id, &plan.provider_names())
+                    {
+                        transfer = apply_transfer(&plan, &provider_ckpt, &mut model);
+                        // Hand the decoded payload buffers back to the
+                        // thread arena for the next partial load.
+                        swt_tensor::with_thread_workspace(|ws| {
+                            for (_, t) in provider_ckpt {
+                                ws.recycle(t);
+                            }
+                        });
+                    }
+                }
             }
             transfer_secs = t0.elapsed().as_secs_f64();
         }

@@ -42,6 +42,11 @@ pub struct NasConfig {
     /// Provider-selection policy (the paper's Algorithm 1 uses the mutation
     /// parent; alternatives exist for ablations).
     pub provider: ProviderPolicy,
+    /// Byte budget of the shared provider cache wrapped around the
+    /// checkpoint store (0 disables caching). Evolution re-reads elite
+    /// parents constantly, so even a small budget turns most provider reads
+    /// into memory hits.
+    pub cache_bytes: u64,
 }
 
 impl NasConfig {
@@ -62,6 +67,7 @@ impl NasConfig {
             population_size: 64,
             sample_size: 32,
             provider: ProviderPolicy::Parent,
+            cache_bytes: 256 << 20,
         }
     }
 
@@ -75,6 +81,7 @@ impl NasConfig {
         NasConfig {
             population_size: 16,
             sample_size: 8,
+            cache_bytes: 32 << 20,
             ..Self::paper(scheme, total_candidates, workers, seed)
         }
     }
@@ -91,6 +98,14 @@ pub fn run_nas(
 ) -> NasTrace {
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.total_candidates > 0, "need at least one candidate");
+
+    // One provider cache shared by every evaluator worker: a parent pulled
+    // in by one worker is a memory hit for all of them.
+    let store: Arc<dyn CheckpointStore> = if cfg.cache_bytes > 0 {
+        Arc::new(swt_checkpoint::CachedStore::new(store, cfg.cache_bytes))
+    } else {
+        store
+    };
 
     let mut strategy: Box<dyn SearchStrategy> = match cfg.strategy {
         StrategyKind::Random => Box::new(RandomSearch::new(Arc::clone(&space))),

@@ -41,7 +41,7 @@ pub use swt_tensor as tensor;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
-    pub use swt_checkpoint::{CheckpointStore, DirStore, MemStore};
+    pub use swt_checkpoint::{CachedStore, CheckpointIndex, CheckpointStore, DirStore, MemStore};
     pub use swt_cluster::{simulate, ClusterConfig, SimReport, TaskCost};
     pub use swt_core::{
         apply_transfer, lcs_match, lp_match, select_nearest, Matcher, ShapeSeq, TransferPlan,

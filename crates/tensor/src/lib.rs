@@ -46,4 +46,4 @@ pub use pool::{maxpool1d_backward, maxpool1d_forward, maxpool2d_backward, maxpoo
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use workspace::Workspace;
+pub use workspace::{with_thread_workspace, Workspace};

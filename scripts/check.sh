@@ -41,4 +41,10 @@ fi
 echo "==> bench_obs smoke (disabled-instrumentation overhead < 2%)"
 cargo run --release --quiet -p swt-bench --bin bench_obs -- --smoke
 
+echo "==> WTC1 -> WTC2 compatibility (legacy checkpoints stay readable)"
+cargo test --release --quiet -p swt-checkpoint wtc1
+
+echo "==> bench_ckpt smoke (transfer-path read >= 3x WTC1 full decode; NAS A/B identical)"
+cargo run --release --quiet -p swt-bench --bin bench_ckpt -- --smoke
+
 echo "OK"
