@@ -63,6 +63,27 @@ impl AppKind {
         }
     }
 
+    /// Lowercase identifier used on command lines and in file names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            AppKind::Cifar10 => "cifar10",
+            AppKind::Mnist => "mnist",
+            AppKind::Nt3 => "nt3",
+            AppKind::Uno => "uno",
+        }
+    }
+
+    /// Parse a [`AppKind::slug`] or paper-table name, case-insensitively.
+    pub fn from_slug(s: &str) -> Option<AppKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "cifar10" | "cifar-10" => Some(AppKind::Cifar10),
+            "mnist" => Some(AppKind::Mnist),
+            "nt3" => Some(AppKind::Nt3),
+            "uno" => Some(AppKind::Uno),
+            _ => None,
+        }
+    }
+
     /// Per-sample input shapes, in model-input order.
     pub fn input_shapes(self) -> Vec<Vec<usize>> {
         match self {

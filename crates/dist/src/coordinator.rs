@@ -1,0 +1,459 @@
+//! The coordinator: spawns workers, speaks the wire protocol, and exposes
+//! the pool to the NAS runner as an [`EvalBackend`].
+//!
+//! Failure model (DESIGN.md §10): a worker is *lost* when its socket dies
+//! (process crash → immediate EOF) or an outstanding heartbeat goes
+//! unanswered past the timeout (hang/partition). A lost worker's in-flight
+//! candidate goes back to the front of the pending queue and is re-evaluated
+//! elsewhere — candidate seeds derive from `(run_seed, id)` and parent
+//! checkpoints are immutable once written, so the re-run reproduces the
+//! original result exactly and the run stays bit-identical to a failure-free
+//! one. The pool degrades gracefully down to a single surviving worker;
+//! only losing *all* workers aborts the run.
+
+use crate::frame::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
+use crate::spawn::{find_worker_exe, spawn_worker};
+use crate::wire::{Msg, RunSpec};
+use crate::DistConfig;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::process::Child;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swt_nas::runner::NasConfig;
+use swt_nas::{BackendResult, Candidate, EvalBackend};
+
+enum Event {
+    Msg { worker: usize, msg: Msg },
+    Gone { worker: usize, reason: String },
+}
+
+struct WorkerSlot {
+    child: Child,
+    /// Write half; `None` once the worker is lost.
+    writer: Option<TcpStream>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    /// Candidate currently evaluating on this worker.
+    current: Option<u64>,
+    alive: bool,
+    /// Ping in flight: `(nonce, send time)`. A worker with an outstanding
+    /// ping older than the timeout is declared lost — liveness is judged on
+    /// unanswered pings, never on mere quietness (an idle worker between
+    /// tasks is silent but healthy).
+    outstanding_ping: Option<(u64, Instant)>,
+    rtt: Arc<swt_obs::metrics::Histogram>,
+}
+
+/// Multi-process evaluation backend: the coordinator side of `swt-dist`.
+pub struct DistBackend {
+    slots: Vec<WorkerSlot>,
+    rx: mpsc::Receiver<Event>,
+    /// Submitted candidates not yet assigned to a worker (grows past 1 only
+    /// while the pool is degraded below the dispatch window).
+    pending: VecDeque<Candidate>,
+    /// Assigned-or-pending candidates by id, with their submit timestamp.
+    inflight: HashMap<u64, (Candidate, f64)>,
+    start: Instant,
+    interval: Duration,
+    timeout: Duration,
+    next_nonce: u64,
+    results_delivered: usize,
+    kill_plan: Option<crate::KillPlan>,
+}
+
+impl DistBackend {
+    /// Bind a localhost listener, spawn `nas.workers` worker processes, and
+    /// complete the handshake with each.
+    pub fn launch(nas: &NasConfig, dist: &DistConfig) -> io::Result<DistBackend> {
+        let n = nas.workers;
+        assert!(n > 0, "need at least one worker");
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?.to_string();
+        let exe = find_worker_exe(dist.worker_exe.as_ref())?;
+        swt_obs::info!("swt_dist", "coordinator on {addr}, spawning {n} × {}", exe.display());
+
+        let hardware = std::thread::available_parallelism().map_or(1, |v| v.get());
+        let run = RunSpec {
+            app: dist.app,
+            scale: dist.scale,
+            data_seed: dist.data_seed,
+            scheme: nas.scheme,
+            epochs: nas.epochs as u32,
+            run_seed: nas.seed,
+            namespace: nas.namespace.clone(),
+            store_dir: dist.store_dir.to_string_lossy().into_owned(),
+            threads: (hardware / n).max(1) as u32,
+        };
+
+        let mut children = Vec::with_capacity(n);
+        for worker_id in 0..n {
+            children.push(Some(spawn_worker(&exe, &addr, worker_id)?));
+        }
+
+        // Accept until every worker has completed its handshake. The
+        // listener polls non-blocking so a child that dies before
+        // connecting (bad exe, immediate crash) turns into a clear error
+        // instead of a hung accept.
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + dist.connect_timeout;
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < n {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    let worker_id = handshake(stream, &run, &mut streams)?;
+                    connected += 1;
+                    swt_obs::info!("swt_dist", "worker {worker_id} connected ({connected}/{n})");
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    for (worker_id, child) in children.iter_mut().enumerate() {
+                        let exited = match child {
+                            Some(c) => c.try_wait()?.map(|status| (worker_id, status)),
+                            None => None,
+                        };
+                        if let Some((worker_id, status)) = exited {
+                            reap_all(&mut children);
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionAborted,
+                                format!("worker {worker_id} exited during startup: {status}"),
+                            ));
+                        }
+                    }
+                    if Instant::now() > deadline {
+                        reap_all(&mut children);
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("only {connected}/{n} workers connected before the deadline"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    reap_all(&mut children);
+                    return Err(e);
+                }
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let mut slots = Vec::with_capacity(n);
+        for (worker, (child, stream)) in children.into_iter().zip(streams).enumerate() {
+            let (Some(child), Some(stream)) = (child, stream) else {
+                return Err(io::Error::other("worker slot not filled"));
+            };
+            let reader_stream = stream.try_clone()?;
+            let tx = tx.clone();
+            let reader = std::thread::spawn(move || reader_loop(worker, reader_stream, tx));
+            slots.push(WorkerSlot {
+                child,
+                writer: Some(stream),
+                reader: Some(reader),
+                current: None,
+                alive: true,
+                outstanding_ping: None,
+                rtt: swt_obs::registry::global().histogram(&format!("dist.rtt_ns.w{worker}")),
+            });
+        }
+
+        Ok(DistBackend {
+            slots,
+            rx,
+            pending: VecDeque::new(),
+            inflight: HashMap::new(),
+            start: Instant::now(),
+            interval: dist.heartbeat_interval,
+            timeout: dist.heartbeat_timeout,
+            next_nonce: 0,
+            results_delivered: 0,
+            kill_plan: dist.kill_worker_after.clone(),
+        })
+    }
+
+    fn send_to(&mut self, worker: usize, msg: &Msg) -> Result<(), WireError> {
+        let payload = msg.encode()?;
+        let stream = self.slots[worker]
+            .writer
+            .as_mut()
+            .ok_or_else(|| WireError::Protocol(format!("worker {worker} already lost")))?;
+        write_frame(stream, msg.frame_type(), &payload)
+    }
+
+    /// Declare `worker` lost: reclaim its candidate for reassignment, close
+    /// its socket and reap the process. Errors only when no worker is left.
+    fn mark_lost(&mut self, worker: usize, reason: &str) -> io::Result<()> {
+        if !self.slots[worker].alive {
+            return Ok(());
+        }
+        swt_obs::warn!("swt_dist", "worker {worker} lost: {reason}");
+        swt_obs::counter!("dist.workers_lost").inc();
+        let slot = &mut self.slots[worker];
+        slot.alive = false;
+        slot.outstanding_ping = None;
+        if let Some(stream) = slot.writer.take() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let _ = slot.child.kill();
+        let _ = slot.child.wait();
+        if let Some(id) = slot.current.take() {
+            if let Some((cand, _)) = self.inflight.get(&id) {
+                swt_obs::counter!("dist.reassigned").inc();
+                swt_obs::info!("swt_dist", "reassigning candidate {id} from dead worker {worker}");
+                self.pending.push_front(cand.clone());
+            }
+        }
+        if self.slots.iter().any(|s| s.alive) {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                format!("all {} workers lost (last: worker {worker}: {reason})", self.slots.len()),
+            ))
+        }
+    }
+
+    /// Hand pending candidates to idle live workers.
+    fn flush(&mut self) -> io::Result<()> {
+        loop {
+            if self.pending.is_empty() {
+                return Ok(());
+            }
+            let Some(worker) = self
+                .slots
+                .iter()
+                .position(|s| s.alive && s.current.is_none() && s.writer.is_some())
+            else {
+                return Ok(()); // every live worker busy; keep queueing
+            };
+            let Some(cand) = self.pending.pop_front() else {
+                return Ok(());
+            };
+            let id = cand.id;
+            match self.send_to(worker, &Msg::Task { cand: cand.clone() }) {
+                Ok(()) => self.slots[worker].current = Some(id),
+                Err(e) => {
+                    self.pending.push_front(cand);
+                    self.mark_lost(worker, &format!("task write failed: {e}"))?;
+                }
+            }
+        }
+    }
+
+    /// One heartbeat round: time out workers with stale outstanding pings,
+    /// ping everyone else.
+    fn heartbeat_tick(&mut self) -> io::Result<()> {
+        for worker in 0..self.slots.len() {
+            if !self.slots[worker].alive {
+                continue;
+            }
+            if let Some((_, sent)) = self.slots[worker].outstanding_ping {
+                if sent.elapsed() > self.timeout {
+                    self.mark_lost(worker, "heartbeat timeout")?;
+                }
+                continue;
+            }
+            let nonce = self.next_nonce;
+            self.next_nonce += 1;
+            match self.send_to(worker, &Msg::Ping { nonce }) {
+                Ok(()) => self.slots[worker].outstanding_ping = Some((nonce, Instant::now())),
+                Err(e) => self.mark_lost(worker, &format!("ping write failed: {e}"))?,
+            }
+        }
+        self.flush()
+    }
+
+    /// Fault injection for benches and the CI smoke gate: SIGKILL a worker
+    /// after the configured number of delivered results, then let the
+    /// ordinary detection/reassignment machinery pick up the pieces. The
+    /// kill waits until the victim is mid-evaluation, so the reassignment
+    /// path (not merely loss detection) is guaranteed to run.
+    fn maybe_inject_kill(&mut self) {
+        let due = match &self.kill_plan {
+            Some(plan) => {
+                self.results_delivered >= plan.after_results
+                    && self.slots.get(plan.worker).is_some_and(|s| s.alive && s.current.is_some())
+            }
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        if let Some(plan) = self.kill_plan.take() {
+            if let Some(slot) = self.slots.get_mut(plan.worker) {
+                if slot.alive {
+                    swt_obs::info!(
+                        "swt_dist",
+                        "fault injection: SIGKILL worker {} after {} results",
+                        plan.worker,
+                        self.results_delivered
+                    );
+                    let _ = slot.child.kill();
+                }
+            }
+        }
+    }
+}
+
+impl EvalBackend for DistBackend {
+    fn capacity(&self) -> usize {
+        // Constant: the dispatch window must not shrink when workers die,
+        // or the canonical schedule (and thus determinism) would change.
+        self.slots.len()
+    }
+
+    fn submit(&mut self, cand: Candidate) -> io::Result<()> {
+        let t_submit = self.start.elapsed().as_secs_f64();
+        self.inflight.insert(cand.id, (cand.clone(), t_submit));
+        self.pending.push_back(cand);
+        self.flush()?;
+        self.maybe_inject_kill();
+        Ok(())
+    }
+
+    fn next_result(&mut self) -> io::Result<BackendResult> {
+        loop {
+            match self.rx.recv_timeout(self.interval) {
+                Ok(Event::Msg { worker, msg }) => match msg {
+                    Msg::Result { id, outcome } => {
+                        if self.slots[worker].current == Some(id) {
+                            self.slots[worker].current = None;
+                        }
+                        let Some((cand, t_start)) = self.inflight.remove(&id) else {
+                            continue; // late duplicate; the runner never sees it
+                        };
+                        self.results_delivered += 1;
+                        self.maybe_inject_kill();
+                        self.flush()?;
+                        let t_end = self.start.elapsed().as_secs_f64();
+                        return Ok(BackendResult { cand, t_start, t_end, outcome });
+                    }
+                    Msg::Pong { nonce } => {
+                        let slot = &mut self.slots[worker];
+                        if let Some((expected, sent)) = slot.outstanding_ping {
+                            if expected == nonce {
+                                slot.outstanding_ping = None;
+                                slot.rtt.observe(sent.elapsed().as_nanos() as u64);
+                                swt_obs::counter!("dist.heartbeats").inc();
+                            }
+                        }
+                    }
+                    Msg::Error { message } => {
+                        self.mark_lost(worker, &format!("worker reported: {message}"))?;
+                        self.flush()?;
+                    }
+                    other => {
+                        let reason = format!("unexpected frame {:#04x}", other.frame_type());
+                        self.mark_lost(worker, &reason)?;
+                        self.flush()?;
+                    }
+                },
+                Ok(Event::Gone { worker, reason }) => {
+                    self.mark_lost(worker, &reason)?;
+                    self.flush()?;
+                }
+                Err(RecvTimeoutError::Timeout) => self.heartbeat_tick()?,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "all worker connections closed with work pending",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for DistBackend {
+    fn drop(&mut self) {
+        // Graceful first: a Shutdown frame lets idle workers exit cleanly.
+        for worker in 0..self.slots.len() {
+            if self.slots[worker].writer.is_some() {
+                let _ = self.send_to(worker, &Msg::Shutdown);
+            }
+        }
+        for slot in &mut self.slots {
+            if let Some(stream) = slot.writer.take() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            // SIGKILL is a no-op for workers that already exited on
+            // Shutdown, and ends stragglers (e.g. mid-evaluation after an
+            // aborted run) without blocking the coordinator.
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+            if let Some(reader) = slot.reader.take() {
+                let _ = reader.join();
+            }
+        }
+    }
+}
+
+fn reap_all(children: &mut [Option<Child>]) {
+    for child in children.iter_mut().flatten() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Server side of the handshake on a fresh connection: read `Hello`,
+/// validate, reply `HelloAck`, and park the stream in its worker slot.
+fn handshake(
+    stream: TcpStream,
+    run: &RunSpec,
+    streams: &mut [Option<TcpStream>],
+) -> io::Result<usize> {
+    let mut stream = stream;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut buf = Vec::new();
+    let ty = read_frame(&mut stream, &mut buf).map_err(io::Error::from)?;
+    let msg = Msg::decode(ty, &buf).map_err(io::Error::from)?;
+    let Msg::Hello { version, worker_id, pid } = msg else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Hello, got frame {ty:#04x}"),
+        ));
+    };
+    if version != PROTOCOL_VERSION {
+        let err = WireError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version };
+        let _ = Msg::Error { message: err.to_string() }
+            .encode()
+            .map(|p| write_frame(&mut stream, 0x08, &p));
+        return Err(err.into());
+    }
+    let slot = worker_id as usize;
+    if slot >= streams.len() || streams[slot].is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bogus or duplicate worker id {worker_id} (pid {pid})"),
+        ));
+    }
+    let ack = Msg::HelloAck { version: PROTOCOL_VERSION, run: run.clone() };
+    let payload = ack.encode().map_err(io::Error::from)?;
+    write_frame(&mut stream, ack.frame_type(), &payload).map_err(io::Error::from)?;
+    stream.set_read_timeout(None)?;
+    streams[slot] = Some(stream);
+    Ok(slot)
+}
+
+fn reader_loop(worker: usize, mut stream: TcpStream, tx: mpsc::Sender<Event>) {
+    let mut buf = Vec::new();
+    loop {
+        let decoded = match read_frame(&mut stream, &mut buf) {
+            Ok(ty) => Msg::decode(ty, &buf),
+            Err(e) => Err(e),
+        };
+        match decoded {
+            Ok(msg) => {
+                if tx.send(Event::Msg { worker, msg }).is_err() {
+                    return; // coordinator gone; nothing to report to
+                }
+            }
+            Err(err) => {
+                let _ = tx.send(Event::Gone { worker, reason: err.to_string() });
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! `swt-dist`: multi-process NAS execution (the paper's §IV cluster shape).
+//!
+//! The paper runs two-phase NAS on a DeepHyper/Ray coordinator–worker
+//! cluster whose evaluators share checkpoints through a parallel file
+//! system. This crate reproduces that topology with std only: a
+//! *coordinator* process runs the search-strategy loop (the generic
+//! `swt_nas::run_nas_with_backend`) and dispatches candidates to *worker*
+//! processes over a length-prefixed binary protocol on localhost TCP;
+//! workers evaluate candidates and share one `DirStore` on disk — the
+//! parallel-file-system stand-in.
+//!
+//! Everything is built for reproducibility under failure (Li & Talwalkar's
+//! requirement for distributed NAS): the runner's deterministic dispatch
+//! window plus per-candidate seeding makes distributed runs — even runs
+//! where workers are SIGKILLed mid-flight — bit-identical to the
+//! single-process thread pool. See DESIGN.md §10 for the protocol and
+//! failure model.
+//!
+//! Modules: [`frame`] (framing + errors), [`wire`] (typed messages),
+//! [`coordinator`] ([`DistBackend`]), [`worker`] (the `swt dist-worker`
+//! loop), [`spawn`] (child-process management).
+
+pub mod coordinator;
+pub mod frame;
+pub mod spawn;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::DistBackend;
+pub use frame::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use wire::{Msg, RunSpec};
+pub use worker::worker_main;
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use swt_data::{AppKind, DataScale};
+use swt_nas::runner::NasConfig;
+use swt_nas::trace::NasTrace;
+use swt_space::SearchSpace;
+
+/// Fault injection: SIGKILL `worker` once `after_results` results have been
+/// delivered to the strategy. Used by `bench_dist` and the CI smoke gate to
+/// exercise the reassignment path deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillPlan {
+    pub worker: usize,
+    pub after_results: usize,
+}
+
+/// Distribution-specific configuration, complementing
+/// [`swt_nas::runner::NasConfig`] (which holds everything the strategy and
+/// evaluators need).
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    pub app: AppKind,
+    pub scale: DataScale,
+    /// Seed of the synthetic dataset; workers rebuild identical data.
+    pub data_seed: u64,
+    /// Root of the shared on-disk checkpoint store.
+    pub store_dir: PathBuf,
+    /// Ping cadence; also the coordinator's event-poll granularity.
+    pub heartbeat_interval: Duration,
+    /// An unanswered ping older than this marks the worker lost.
+    pub heartbeat_timeout: Duration,
+    /// How long workers get to spawn + connect back.
+    pub connect_timeout: Duration,
+    /// Worker binary override (`SWT_DIST_WORKER_EXE` beats this; see
+    /// [`spawn::find_worker_exe`]).
+    pub worker_exe: Option<PathBuf>,
+    /// Optional fault injection for benches/tests.
+    pub kill_worker_after: Option<KillPlan>,
+}
+
+impl DistConfig {
+    /// Defaults tuned for slow shared CI machines: generous timeouts, since
+    /// a loaded single-core host can starve a healthy worker's reader
+    /// thread for whole seconds.
+    pub fn new(app: AppKind, scale: DataScale, data_seed: u64, store_dir: PathBuf) -> Self {
+        DistConfig {
+            app,
+            scale,
+            data_seed,
+            store_dir,
+            heartbeat_interval: Duration::from_millis(200),
+            heartbeat_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(30),
+            worker_exe: None,
+            kill_worker_after: None,
+        }
+    }
+}
+
+/// Run one NAS candidate-estimation phase on worker processes.
+///
+/// The counterpart of `swt_nas::run_nas`: same strategy loop, same
+/// deterministic schedule, but evaluation happens in `nas.workers` child
+/// processes sharing the `DirStore` at `dist.store_dir`. For a given
+/// `NasConfig` the returned trace's scores, architectures, parents and
+/// transfer counts are bit-identical to the in-process run's.
+pub fn run_nas_dist(nas: &NasConfig, dist: &DistConfig) -> io::Result<NasTrace> {
+    let space = Arc::new(SearchSpace::for_app(dist.app));
+    let mut backend = DistBackend::launch(nas, dist)?;
+    let trace = swt_nas::run_nas_with_backend(dist.app.name(), space, nas, &mut backend)?;
+    drop(backend); // joins readers, reaps children
+    Ok(trace)
+}

@@ -1,0 +1,364 @@
+//! Message layer: typed frames and their payload encodings (DESIGN.md §10).
+//!
+//! | type | frame     | direction           | payload                                 |
+//! |------|-----------|---------------------|-----------------------------------------|
+//! | 0x01 | Hello     | worker → coordinator| version, worker_id, pid                 |
+//! | 0x02 | HelloAck  | coordinator → worker| version, [`RunSpec`]                    |
+//! | 0x03 | Task      | coordinator → worker| candidate id, parent, arch sequence     |
+//! | 0x04 | Result    | worker → coordinator| id + full [`EvalOutcome`] fields        |
+//! | 0x05 | Ping      | coordinator → worker| nonce                                   |
+//! | 0x06 | Pong      | worker → coordinator| echoed nonce                            |
+//! | 0x07 | Shutdown  | coordinator → worker| (empty)                                 |
+//! | 0x08 | Error     | either              | utf-8 description                       |
+//!
+//! All integers little-endian; floats as IEEE-754 bit patterns (scores must
+//! round-trip bit-exactly — the A/B identity gate compares them with `==`).
+
+use crate::frame::{put_string, Cursor, WireError};
+use swt_core::{TransferScheme, TransferStats};
+use swt_data::{AppKind, DataScale};
+use swt_nas::{Candidate, EvalOutcome};
+use swt_space::ArchSeq;
+
+/// Everything a worker needs to reproduce the coordinator's evaluation
+/// environment, sent once in `HelloAck`. The worker builds the same
+/// problem/search-space/evaluator from these fields that `run_nas` builds
+/// in-process — that is the whole determinism story: candidate seeds derive
+/// from `(run_seed, id)` and the data from `(app, scale, data_seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    pub app: AppKind,
+    pub scale: DataScale,
+    pub data_seed: u64,
+    pub scheme: TransferScheme,
+    pub epochs: u32,
+    pub run_seed: u64,
+    /// Checkpoint-id namespace (see `NasConfig::namespace`).
+    pub namespace: String,
+    /// Root of the shared `DirStore` (the stand-in for the paper's parallel
+    /// file system).
+    pub store_dir: String,
+    /// Intra-op thread budget this worker must pin
+    /// (`hardware / workers`, floored at 1 — same policy as the in-process
+    /// pool).
+    pub threads: u32,
+}
+
+/// One decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    Hello { version: u32, worker_id: u64, pid: u32 },
+    HelloAck { version: u32, run: RunSpec },
+    Task { cand: Candidate },
+    Result { id: u64, outcome: EvalOutcome },
+    Ping { nonce: u64 },
+    Pong { nonce: u64 },
+    Shutdown,
+    Error { message: String },
+}
+
+fn app_code(app: AppKind) -> u8 {
+    match app {
+        AppKind::Cifar10 => 0,
+        AppKind::Mnist => 1,
+        AppKind::Nt3 => 2,
+        AppKind::Uno => 3,
+    }
+}
+
+fn app_from(code: u8) -> Result<AppKind, WireError> {
+    match code {
+        0 => Ok(AppKind::Cifar10),
+        1 => Ok(AppKind::Mnist),
+        2 => Ok(AppKind::Nt3),
+        3 => Ok(AppKind::Uno),
+        _ => Err(WireError::Malformed("unknown app code")),
+    }
+}
+
+fn scheme_code(s: TransferScheme) -> u8 {
+    match s {
+        TransferScheme::Baseline => 0,
+        TransferScheme::Lp => 1,
+        TransferScheme::Lcs => 2,
+    }
+}
+
+fn scheme_from(code: u8) -> Result<TransferScheme, WireError> {
+    match code {
+        0 => Ok(TransferScheme::Baseline),
+        1 => Ok(TransferScheme::Lp),
+        2 => Ok(TransferScheme::Lcs),
+        _ => Err(WireError::Malformed("unknown scheme code")),
+    }
+}
+
+impl Msg {
+    /// The frame-type byte of this message.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 0x01,
+            Msg::HelloAck { .. } => 0x02,
+            Msg::Task { .. } => 0x03,
+            Msg::Result { .. } => 0x04,
+            Msg::Ping { .. } => 0x05,
+            Msg::Pong { .. } => 0x06,
+            Msg::Shutdown => 0x07,
+            Msg::Error { .. } => 0x08,
+        }
+    }
+
+    /// Encode the payload (without the frame header).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Hello { version, worker_id, pid } => {
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&worker_id.to_le_bytes());
+                out.extend_from_slice(&pid.to_le_bytes());
+            }
+            Msg::HelloAck { version, run } => {
+                out.extend_from_slice(&version.to_le_bytes());
+                out.push(app_code(run.app));
+                out.push(match run.scale {
+                    DataScale::Quick => 0,
+                    DataScale::Full => 1,
+                });
+                out.extend_from_slice(&run.data_seed.to_le_bytes());
+                out.push(scheme_code(run.scheme));
+                out.extend_from_slice(&run.epochs.to_le_bytes());
+                out.extend_from_slice(&run.run_seed.to_le_bytes());
+                put_string(&mut out, &run.namespace)?;
+                put_string(&mut out, &run.store_dir)?;
+                out.extend_from_slice(&run.threads.to_le_bytes());
+            }
+            Msg::Task { cand } => {
+                out.extend_from_slice(&cand.id.to_le_bytes());
+                out.push(u8::from(cand.parent.is_some()));
+                out.extend_from_slice(&cand.parent.unwrap_or(0).to_le_bytes());
+                let choices = cand.arch.choices();
+                let len = u16::try_from(choices.len())
+                    .map_err(|_| WireError::Malformed("architecture too long"))?;
+                out.extend_from_slice(&len.to_le_bytes());
+                for &c in choices {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            Msg::Result { id, outcome } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&outcome.score.to_bits().to_le_bytes());
+                out.extend_from_slice(&outcome.train_secs.to_bits().to_le_bytes());
+                out.extend_from_slice(&outcome.transfer_secs.to_bits().to_le_bytes());
+                out.extend_from_slice(&outcome.save_secs.to_bits().to_le_bytes());
+                out.extend_from_slice(&outcome.checkpoint_bytes.to_le_bytes());
+                out.extend_from_slice(&(outcome.transfer.tensors as u64).to_le_bytes());
+                out.extend_from_slice(&(outcome.transfer.bytes as u64).to_le_bytes());
+                out.extend_from_slice(&(outcome.transfer.skipped as u64).to_le_bytes());
+                out.extend_from_slice(&(outcome.epochs as u32).to_le_bytes());
+            }
+            Msg::Ping { nonce } | Msg::Pong { nonce } => {
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Msg::Shutdown => {}
+            Msg::Error { message } => {
+                put_string(&mut out, message)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode a payload of frame type `ty`. Never panics: every malformed
+    /// input maps to a [`WireError`].
+    pub fn decode(ty: u8, payload: &[u8]) -> Result<Msg, WireError> {
+        let mut c = Cursor::new(payload);
+        let msg = match ty {
+            0x01 => Msg::Hello { version: c.u32()?, worker_id: c.u64()?, pid: c.u32()? },
+            0x02 => {
+                let version = c.u32()?;
+                let app = app_from(c.u8()?)?;
+                let scale = match c.u8()? {
+                    0 => DataScale::Quick,
+                    1 => DataScale::Full,
+                    _ => return Err(WireError::Malformed("unknown scale code")),
+                };
+                let data_seed = c.u64()?;
+                let scheme = scheme_from(c.u8()?)?;
+                let epochs = c.u32()?;
+                let run_seed = c.u64()?;
+                let namespace = c.string()?;
+                let store_dir = c.string()?;
+                let threads = c.u32()?;
+                Msg::HelloAck {
+                    version,
+                    run: RunSpec {
+                        app,
+                        scale,
+                        data_seed,
+                        scheme,
+                        epochs,
+                        run_seed,
+                        namespace,
+                        store_dir,
+                        threads,
+                    },
+                }
+            }
+            0x03 => {
+                let id = c.u64()?;
+                let has_parent = c.u8()?;
+                let parent_raw = c.u64()?;
+                let parent = match has_parent {
+                    0 => None,
+                    1 => Some(parent_raw),
+                    _ => return Err(WireError::Malformed("invalid parent flag")),
+                };
+                let n = c.u16()? as usize;
+                let mut choices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    choices.push(c.u16()?);
+                }
+                Msg::Task { cand: Candidate { id, arch: ArchSeq::new(choices), parent } }
+            }
+            0x04 => {
+                let id = c.u64()?;
+                let score = c.f64()?;
+                let train_secs = c.f64()?;
+                let transfer_secs = c.f64()?;
+                let save_secs = c.f64()?;
+                let checkpoint_bytes = c.u64()?;
+                let tensors = c.u64()? as usize;
+                let bytes = c.u64()? as usize;
+                let skipped = c.u64()? as usize;
+                let epochs = c.u32()? as usize;
+                Msg::Result {
+                    id,
+                    outcome: EvalOutcome {
+                        id,
+                        score,
+                        train_secs,
+                        transfer_secs,
+                        save_secs,
+                        checkpoint_bytes,
+                        transfer: TransferStats { tensors, bytes, skipped },
+                        epochs,
+                    },
+                }
+            }
+            0x05 => Msg::Ping { nonce: c.u64()? },
+            0x06 => Msg::Pong { nonce: c.u64()? },
+            0x07 => Msg::Shutdown,
+            0x08 => Msg::Error { message: c.string()? },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PROTOCOL_VERSION;
+
+    fn round_trip(msg: Msg) -> Result<(), WireError> {
+        let payload = msg.encode()?;
+        let back = Msg::decode(msg.frame_type(), &payload)?;
+        assert_eq!(back, msg);
+        Ok(())
+    }
+
+    #[test]
+    fn all_frames_round_trip() -> Result<(), WireError> {
+        round_trip(Msg::Hello { version: PROTOCOL_VERSION, worker_id: 3, pid: 4242 })?;
+        round_trip(Msg::HelloAck {
+            version: PROTOCOL_VERSION,
+            run: RunSpec {
+                app: AppKind::Uno,
+                scale: DataScale::Quick,
+                data_seed: 11,
+                scheme: TransferScheme::Lcs,
+                epochs: 1,
+                run_seed: 9,
+                namespace: "dist_".into(),
+                store_dir: "/tmp/swt_store".into(),
+                threads: 1,
+            },
+        })?;
+        round_trip(Msg::Task {
+            cand: Candidate { id: 7, arch: ArchSeq::new(vec![1, 0, 4, 2]), parent: Some(3) },
+        })?;
+        round_trip(Msg::Task {
+            cand: Candidate { id: 0, arch: ArchSeq::new(vec![2]), parent: None },
+        })?;
+        round_trip(Msg::Result {
+            id: 7,
+            outcome: EvalOutcome {
+                id: 7,
+                score: 0.12345678901234567,
+                train_secs: 1.5,
+                transfer_secs: 0.25,
+                save_secs: 0.01,
+                checkpoint_bytes: 1 << 20,
+                transfer: TransferStats { tensors: 5, bytes: 4096, skipped: 1 },
+                epochs: 1,
+            },
+        })?;
+        round_trip(Msg::Ping { nonce: u64::MAX })?;
+        round_trip(Msg::Pong { nonce: 0 })?;
+        round_trip(Msg::Shutdown)?;
+        round_trip(Msg::Error { message: "checkpoint store unreachable".into() })?;
+        Ok(())
+    }
+
+    #[test]
+    fn scores_round_trip_bit_exactly() -> Result<(), WireError> {
+        // NaN payloads and signed zeros must survive: identity gates compare
+        // bit patterns, not approximate values.
+        for bits in [f64::to_bits(-0.0), f64::NAN.to_bits() | 1, f64::MIN_POSITIVE.to_bits()] {
+            let msg = Msg::Result {
+                id: 1,
+                outcome: EvalOutcome {
+                    id: 1,
+                    score: f64::from_bits(bits),
+                    train_secs: 0.0,
+                    transfer_secs: 0.0,
+                    save_secs: 0.0,
+                    checkpoint_bytes: 0,
+                    transfer: TransferStats::default(),
+                    epochs: 0,
+                },
+            };
+            let decoded = Msg::decode(0x04, &msg.encode()?)?;
+            let Msg::Result { outcome, .. } = decoded else {
+                return Err(WireError::Malformed("wrong decode variant"));
+            };
+            assert_eq!(outcome.score.to_bits(), bits);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        // Truncated Task.
+        assert!(matches!(Msg::decode(0x03, &[1, 2, 3]), Err(WireError::Malformed(_))));
+        // Unknown frame type.
+        assert!(matches!(Msg::decode(0x7f, &[]), Err(WireError::UnknownType(0x7f))));
+        // Trailing garbage after a valid Ping.
+        let ping = [0u8; 9];
+        assert!(matches!(Msg::decode(0x05, &ping), Err(WireError::Malformed(_))));
+        // Bad parent flag.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.push(9);
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        bad.extend_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(Msg::decode(0x03, &bad), Err(WireError::Malformed(_))));
+        // Arch length that promises more choices than the payload holds.
+        let mut short = Vec::new();
+        short.extend_from_slice(&1u64.to_le_bytes());
+        short.push(0);
+        short.extend_from_slice(&0u64.to_le_bytes());
+        short.extend_from_slice(&500u16.to_le_bytes());
+        assert!(matches!(Msg::decode(0x03, &short), Err(WireError::Malformed(_))));
+    }
+}

@@ -1,0 +1,166 @@
+//! The worker process: one simulated GPU evaluating candidates.
+//!
+//! Lifecycle: connect → `Hello`/`HelloAck` (version check, receive the
+//! [`RunSpec`]) → build the problem, search space and evaluator locally →
+//! evaluate `Task` frames one at a time, answering `Ping`s concurrently
+//! from a reader thread, until `Shutdown` or the socket dies.
+//!
+//! Failure model: the worker is deliberately fragile. An evaluation panic
+//! (e.g. the shared store becomes unwritable mid-save) kills the process;
+//! the coordinator sees the dead socket and reassigns the candidate —
+//! recovery lives in exactly one place, coordinator-side. Protocol
+//! violations are answered with an `Error` frame before exiting, so the
+//! coordinator logs a cause instead of a bare EOF.
+
+use crate::frame::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
+use crate::wire::{Msg, RunSpec};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use swt_checkpoint::{CheckpointStore, DirStore};
+use swt_nas::{Candidate, Evaluator};
+use swt_space::SearchSpace;
+
+fn send(stream: &Mutex<TcpStream>, msg: &Msg) -> Result<(), WireError> {
+    let payload = msg.encode()?;
+    let mut guard = stream.lock().unwrap_or_else(|e| e.into_inner());
+    write_frame(&mut *guard, msg.frame_type(), &payload)
+}
+
+/// Run the worker protocol loop on an established connection. Returns when
+/// the coordinator sends `Shutdown` or the connection fails.
+pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
+    stream.set_nodelay(true)?;
+    let reader_stream = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+
+    send(&writer, &Msg::Hello { version: PROTOCOL_VERSION, worker_id, pid: std::process::id() })?;
+    let mut buf = Vec::new();
+    let run = {
+        let mut guard = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let ty = read_frame(&mut *guard, &mut buf)?;
+        match Msg::decode(ty, &buf)? {
+            Msg::HelloAck { version, run } => {
+                if version != PROTOCOL_VERSION {
+                    let err =
+                        WireError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version };
+                    drop(guard);
+                    let _ = send(&writer, &Msg::Error { message: err.to_string() });
+                    return Err(err);
+                }
+                run
+            }
+            Msg::Error { message } => return Err(WireError::Protocol(message)),
+            other => {
+                let err = WireError::Protocol(format!(
+                    "expected HelloAck, got frame {:#04x}",
+                    other.frame_type()
+                ));
+                drop(guard);
+                let _ = send(&writer, &Msg::Error { message: err.to_string() });
+                return Err(err);
+            }
+        }
+    };
+    swt_obs::info!(
+        "swt_dist",
+        "worker {worker_id} handshake ok: app={} scale={:?} threads={}",
+        run.app.name(),
+        run.scale,
+        run.threads
+    );
+
+    // Pin this process's intra-op thread budget: each worker models one GPU
+    // and must not fan out to the whole machine (same policy as the
+    // in-process pool, but per process instead of per run).
+    let _budget = swt_tensor::parallel::scoped_max_threads(run.threads.max(1) as usize);
+    let mut evaluator = build_evaluator(&run)?;
+
+    // The reader thread owns the receive half: it answers Pings immediately
+    // (heartbeats must flow while the main thread is deep in a long
+    // evaluation) and forwards Tasks over a channel. Dropping the sender —
+    // on Shutdown, a protocol violation, or a dead socket — ends the main
+    // loop below.
+    let (task_tx, task_rx) = mpsc::channel::<Candidate>();
+    let ping_writer = Arc::clone(&writer);
+    let reader = std::thread::spawn(move || -> Result<(), WireError> {
+        let mut reader_stream = reader_stream;
+        let mut buf = Vec::new();
+        loop {
+            let ty = read_frame(&mut reader_stream, &mut buf)?;
+            match Msg::decode(ty, &buf) {
+                Ok(Msg::Ping { nonce }) => send(&ping_writer, &Msg::Pong { nonce })?,
+                Ok(Msg::Task { cand }) => {
+                    if task_tx.send(cand).is_err() {
+                        return Ok(()); // main loop gone; nothing left to do
+                    }
+                }
+                Ok(Msg::Shutdown) => return Ok(()),
+                Ok(Msg::Error { message }) => return Err(WireError::Protocol(message)),
+                Ok(other) => {
+                    let err = format!("unexpected frame {:#04x} at worker", other.frame_type());
+                    let _ = send(&ping_writer, &Msg::Error { message: err.clone() });
+                    return Err(WireError::Protocol(err));
+                }
+                Err(err) => {
+                    let _ = send(&ping_writer, &Msg::Error { message: err.to_string() });
+                    return Err(err);
+                }
+            }
+        }
+    });
+
+    // Main loop: evaluate until the reader closes the channel. A panic in
+    // `evaluate` (store write failure, poisoned state) intentionally kills
+    // the process — the coordinator reassigns.
+    let mut eval_err = None;
+    while let Ok(cand) = task_rx.recv() {
+        let id = cand.id;
+        let outcome = evaluator.evaluate(&cand);
+        if let Err(e) = send(&writer, &Msg::Result { id, outcome }) {
+            eval_err = Some(e);
+            break;
+        }
+    }
+    // Unblock the reader if we exited first (send failure): closing the
+    // socket fails its blocking read.
+    {
+        let guard = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = guard.shutdown(std::net::Shutdown::Both);
+    }
+    let reader_result = match reader.join() {
+        Ok(res) => res,
+        Err(_) => Err(WireError::Protocol("worker reader thread panicked".into())),
+    };
+    match (eval_err, reader_result) {
+        (Some(e), _) => Err(e),
+        (None, Err(e)) => match e {
+            // A dead socket after we stopped sending is the normal
+            // coordinator-initiated teardown, not a failure.
+            WireError::Io(_) => Ok(()),
+            other => Err(other),
+        },
+        (None, Ok(())) => Ok(()),
+    }
+}
+
+fn build_evaluator(run: &RunSpec) -> Result<Evaluator, WireError> {
+    let problem = Arc::new(run.app.problem(run.scale, run.data_seed));
+    let space = Arc::new(SearchSpace::for_app(run.app));
+    let store: Arc<dyn CheckpointStore> = Arc::new(DirStore::new(&run.store_dir)?);
+    Ok(Evaluator::with_namespace(
+        problem,
+        space,
+        store,
+        run.scheme,
+        run.epochs as usize,
+        run.run_seed,
+        run.namespace.clone(),
+    ))
+}
+
+/// Entry point for the `swt dist-worker` bin mode: connect and run.
+pub fn worker_main(connect: &str, worker_id: u64) -> Result<(), WireError> {
+    let stream = TcpStream::connect(connect)?;
+    run_worker(stream, worker_id)
+}

@@ -221,6 +221,7 @@ impl ExpCtx {
             population_size: self.population.min(self.candidates),
             sample_size: self.sample.min(self.population.min(self.candidates)),
             cache_bytes: 256 << 20,
+            namespace: String::new(),
         };
         swt_obs::reset();
         let trace = run_nas(problem, space, Arc::clone(&store), &cfg);

@@ -54,6 +54,10 @@ pub struct Evaluator {
     epochs: usize,
     /// Root seed of the run; candidate seeds derive from it.
     run_seed: u64,
+    /// Checkpoint-id prefix. Distinct namespaces let several runs share one
+    /// store (a run's candidate `i` is stored as `{ns}c{i}`); the default is
+    /// the empty string, preserving the historical bare `c{i}` ids.
+    ns: String,
     /// Scratch arena handed to each candidate's model and reclaimed after
     /// evaluation, so buffers warmed up by one candidate are reused by the
     /// next instead of being reallocated per evaluation.
@@ -69,7 +73,36 @@ impl Evaluator {
         epochs: usize,
         run_seed: u64,
     ) -> Self {
-        Evaluator { problem, space, store, scheme, epochs, run_seed, ws: Workspace::new() }
+        Self::with_namespace(problem, space, store, scheme, epochs, run_seed, "")
+    }
+
+    /// An evaluator whose checkpoint ids carry a run namespace prefix, so
+    /// concurrent runs can share one store without colliding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_namespace(
+        problem: Arc<AppProblem>,
+        space: Arc<SearchSpace>,
+        store: Arc<dyn CheckpointStore>,
+        scheme: TransferScheme,
+        epochs: usize,
+        run_seed: u64,
+        ns: impl Into<String>,
+    ) -> Self {
+        Evaluator {
+            problem,
+            space,
+            store,
+            scheme,
+            epochs,
+            run_seed,
+            ns: ns.into(),
+            ws: Workspace::new(),
+        }
+    }
+
+    /// The namespaced checkpoint id of candidate `id`.
+    fn ckpt_id(&self, id: CandidateId) -> String {
+        format!("{}c{id}", self.ns)
     }
 
     /// Deterministic per-candidate seed.
@@ -95,7 +128,7 @@ impl Evaluator {
         if let (Some(matcher), Some(parent)) = (self.scheme.matcher(), cand.parent) {
             let _transfer_span = swt_obs::span!("transfer");
             let t0 = Instant::now();
-            let parent_ckpt_id = format!("c{parent}");
+            let parent_ckpt_id = self.ckpt_id(parent);
             // Plan from the provider's *index* alone (names + shapes, no
             // payload bytes), then fetch only the payloads the plan moves —
             // the paper's Section VIII-E overhead shrinks from "read the
@@ -143,7 +176,7 @@ impl Evaluator {
         let checkpoint_bytes = {
             let _save_span = swt_obs::span!("save");
             self.store
-                .save(&cand.checkpoint_id(), &model.state_dict())
+                .save(&self.ckpt_id(cand.id), &model.state_dict())
                 .expect("checkpoint save failed")
         };
         let save_secs = t0.elapsed().as_secs_f64();

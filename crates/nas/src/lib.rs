@@ -13,6 +13,7 @@
 //! [`pairs`] reproduces the provider/receiver pair studies (Figs. 2, 4, 5)
 //! and [`topk`] the full-training phase (Fig. 8, Tables III/IV).
 
+pub mod backend;
 pub mod candidate;
 pub mod evaluator;
 pub mod pairs;
@@ -21,12 +22,13 @@ pub mod strategy;
 pub mod topk;
 pub mod trace;
 
+pub use backend::{BackendResult, EvalBackend, ThreadPoolBackend};
 pub use candidate::{Candidate, CandidateId, ScoredCandidate};
 pub use evaluator::{candidate_seed, EvalOutcome, Evaluator};
 pub use pairs::{
     run_distance_experiment, run_pair_experiment, MatchOutcome, PairOutcome, PairSummary,
 };
-pub use runner::{run_nas, NasConfig, StrategyKind};
+pub use runner::{run_nas, run_nas_with_backend, NasConfig, StrategyKind};
 pub use strategy::{ProviderPolicy, RandomSearch, RegularizedEvolution, SearchStrategy};
 pub use topk::{full_train_sample, full_train_top_k, FullTrainOutcome, TopKReport};
 pub use trace::{NasTrace, TraceEvent};

@@ -1,11 +1,25 @@
-//! The NAS scheduler: strategy + parallel evaluator pool (Fig. 6).
+//! The NAS scheduler: strategy loop + pluggable evaluation backend (Fig. 6).
+//!
+//! The strategy/top-K loop is backend-agnostic: it speaks to an
+//! [`EvalBackend`] (in-process thread pool, or the `swt-dist` multi-process
+//! coordinator) and is **deterministic by construction** regardless of the
+//! backend's completion timing. Results are reported to the strategy in
+//! candidate-id order through a reorder buffer, and exactly one new
+//! candidate is dispatched after each report (after an initial burst of
+//! `capacity` candidates). The strategy therefore sees one canonical
+//! next/report interleaving for a given `(config, seed)` — the same
+//! sequence whether candidates run on threads, processes, or a degraded
+//! worker pool after failures — which is what makes the distributed
+//! backend's results bit-identical to the in-process runner's (DESIGN.md
+//! §10).
 
-use crate::candidate::{Candidate, ScoredCandidate};
-use crate::evaluator::{EvalOutcome, Evaluator};
+use crate::backend::{BackendResult, EvalBackend, ThreadPoolBackend};
+use crate::candidate::ScoredCandidate;
 use crate::strategy::{ProviderPolicy, RandomSearch, RegularizedEvolution, SearchStrategy};
 use crate::trace::{NasTrace, TraceEvent};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
 use std::time::Instant;
 use swt_checkpoint::CheckpointStore;
 use swt_core::TransferScheme;
@@ -29,7 +43,10 @@ pub struct NasConfig {
     pub strategy: StrategyKind,
     /// Candidates to evaluate (the paper runs 400 per experiment).
     pub total_candidates: usize,
-    /// Evaluator threads — one per simulated GPU.
+    /// Evaluator workers — one per simulated GPU (threads in-process,
+    /// child processes under `swt-dist`). Also the deterministic dispatch
+    /// window: runs with the same worker count are bit-identical across
+    /// backends.
     pub workers: usize,
     /// Epochs per estimate (paper: 1).
     pub epochs: usize,
@@ -47,6 +64,11 @@ pub struct NasConfig {
     /// parents constantly, so even a small budget turns most provider reads
     /// into memory hits.
     pub cache_bytes: u64,
+    /// Checkpoint-id namespace: candidate `i` is stored as `{namespace}c{i}`.
+    /// Runs sharing one store (e.g. one `DirStore` on a parallel file
+    /// system) must use distinct namespaces; the default empty string keeps
+    /// the historical bare `c{i}` ids.
+    pub namespace: String,
 }
 
 impl NasConfig {
@@ -68,6 +90,7 @@ impl NasConfig {
             sample_size: 32,
             provider: ProviderPolicy::Parent,
             cache_bytes: 256 << 20,
+            namespace: String::new(),
         }
     }
 
@@ -87,18 +110,16 @@ impl NasConfig {
     }
 }
 
-/// Run one NAS candidate-estimation phase: the scheduler thread executes the
-/// strategy and keeps `workers` evaluator threads busy; results stream back
-/// asynchronously, exactly like DeepHyper's Ray evaluators.
+/// Run one NAS candidate-estimation phase on the in-process thread pool:
+/// `workers` evaluator threads stay busy while the strategy loop streams
+/// candidates through the deterministic dispatch window, exactly like
+/// DeepHyper's Ray evaluators against a local pool.
 pub fn run_nas(
     problem: Arc<AppProblem>,
     space: Arc<SearchSpace>,
     store: Arc<dyn CheckpointStore>,
     cfg: &NasConfig,
 ) -> NasTrace {
-    assert!(cfg.workers > 0, "need at least one worker");
-    assert!(cfg.total_candidates > 0, "need at least one candidate");
-
     // One provider cache shared by every evaluator worker: a parent pulled
     // in by one worker is a memory hit for all of them.
     let store: Arc<dyn CheckpointStore> = if cfg.cache_bytes > 0 {
@@ -106,6 +127,32 @@ pub fn run_nas(
     } else {
         store
     };
+    let app = problem.kind.name().to_string();
+    let mut backend = ThreadPoolBackend::new(problem, Arc::clone(&space), store, cfg);
+    // The in-process backend's channels cannot fail while the runner holds
+    // both endpoints' peers; an error here means an evaluator panicked.
+    run_nas_with_backend(&app, space, cfg, &mut backend).expect("in-process evaluation failed")
+}
+
+/// The backend-agnostic strategy loop. Both `run_nas` (thread pool) and
+/// `swt_dist::run_nas_dist` (multi-process) are thin wrappers over this.
+///
+/// Dispatch discipline (the determinism contract): ids are assigned
+/// sequentially by the strategy; the first `capacity` candidates are
+/// submitted up front, completions are reported to the strategy strictly in
+/// id order (out-of-order arrivals wait in a reorder buffer), and each
+/// report is followed by exactly one dispatch while candidates remain. The
+/// strategy's call sequence — and therefore every candidate's architecture,
+/// parent and seed — depends only on `(cfg, seed)`, never on completion
+/// timing, worker count degradation, or result reassignment.
+pub fn run_nas_with_backend<B: EvalBackend>(
+    app: &str,
+    space: Arc<SearchSpace>,
+    cfg: &NasConfig,
+    backend: &mut B,
+) -> io::Result<NasTrace> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.total_candidates > 0, "need at least one candidate");
 
     let mut strategy: Box<dyn SearchStrategy> = match cfg.strategy {
         StrategyKind::Random => Box::new(RandomSearch::new(Arc::clone(&space))),
@@ -118,120 +165,77 @@ pub fn run_nas(
     };
     let mut rng = Rng::seed(cfg.seed ^ 0x57A7E6);
 
-    // Thread-budget policy: every evaluator worker models one GPU, and each
-    // runs its candidate's training mostly single-threaded. The intra-op
-    // pool in swt-tensor must therefore share the machine with the worker
-    // pool — without this cap, `workers` evaluators each fanning out to
-    // `available_parallelism()` intra-op threads oversubscribes the host by
-    // a factor of `workers` and context-switch thrash erases the speedup.
-    // Budget = hardware threads / workers, floored at 1 (i.e. pure
-    // inter-candidate parallelism once workers ≥ cores).
-    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
-    swt_tensor::parallel::set_max_threads((hardware / cfg.workers).max(1));
-
     let start = Instant::now();
-    let (task_tx, task_rx) = mpsc::channel::<Candidate>();
-    // Workers pull tasks from one shared queue; std's Receiver is
-    // single-consumer, so it is wrapped in a mutex (lock contention is
-    // negligible: tasks take seconds, the lock nanoseconds).
-    let task_rx = Arc::new(Mutex::new(task_rx));
-    let (result_tx, result_rx) = mpsc::channel::<(Candidate, f64, f64, EvalOutcome)>();
+    let total = cfg.total_candidates;
+    let window = backend.capacity().max(1).min(total);
+    let mut events: Vec<TraceEvent> = Vec::with_capacity(total);
+    let mut dispatched = 0usize;
+    // Results are reported to the strategy in id order; arrivals beyond the
+    // next expected id wait here. The buffer never holds more than `window`
+    // entries.
+    let mut buffer: BTreeMap<u64, BackendResult> = BTreeMap::new();
+    let mut next_report = 0u64;
 
-    let mut events: Vec<TraceEvent> = Vec::with_capacity(cfg.total_candidates);
-    std::thread::scope(|scope| {
-        for worker in 0..cfg.workers {
-            let task_rx = Arc::clone(&task_rx);
-            let result_tx = result_tx.clone();
-            let mut evaluator = Evaluator::new(
-                Arc::clone(&problem),
-                Arc::clone(&space),
-                Arc::clone(&store),
-                cfg.scheme,
-                cfg.epochs,
-                cfg.seed,
-            );
-            scope.spawn(move || {
-                // Attribute this thread's spans (queue wait, evaluation and
-                // everything beneath) to its worker slot in run reports.
-                swt_obs::span::set_worker(worker);
-                loop {
-                    // Hold the lock only for the blocking recv handoff, never
-                    // while evaluating. The span separates time spent starved
-                    // for work from time spent evaluating (the per-worker
-                    // breakdown behind the paper's Fig. 10-style attribution).
-                    let next = {
-                        let _wait_span = swt_obs::span!("nas.queue_wait");
-                        task_rx.lock().expect("task queue poisoned").recv()
-                    };
-                    let Ok(cand) = next else { break };
-                    let t_start = start.elapsed().as_secs_f64();
-                    let outcome = evaluator.evaluate(&cand);
-                    let t_end = start.elapsed().as_secs_f64();
-                    // The send itself is cheap, but it wakes the scheduler
-                    // and the OS often deschedules this thread right at the
-                    // futex wake — milliseconds a per-worker report would
-                    // otherwise fail to attribute.
-                    let sent = {
-                        let _send_span = swt_obs::span!("nas.result_send");
-                        result_tx.send((cand, t_start, t_end, outcome))
-                    };
-                    if sent.is_err() {
-                        break;
-                    }
-                }
-            });
+    let dispatch_one = |strategy: &mut Box<dyn SearchStrategy>, rng: &mut Rng, backend: &mut B| {
+        let cand = {
+            let _span = swt_obs::span!("nas.strategy_next");
+            strategy.next(rng)
+        };
+        backend.submit(cand)?;
+        swt_obs::counter!("nas.candidates_dispatched").inc();
+        Ok::<(), io::Error>(())
+    };
+
+    while dispatched < window {
+        dispatch_one(&mut strategy, &mut rng, backend)?;
+        dispatched += 1;
+    }
+    while (next_report as usize) < total {
+        let res = backend.next_result()?;
+        let id = res.cand.id;
+        if id < next_report || buffer.contains_key(&id) {
+            // Duplicate delivery (a reassigned candidate whose original
+            // worker completed after all): same seed, same result — drop it.
+            swt_obs::counter!("nas.duplicate_results").inc();
+            continue;
         }
-        drop(result_tx); // the scheduler holds only the receivers
-
-        let mut dispatched = 0usize;
-        let mut completed = 0usize;
-        let mut inflight = 0usize;
-        while completed < cfg.total_candidates {
-            while inflight < cfg.workers && dispatched < cfg.total_candidates {
-                let cand = {
-                    let _span = swt_obs::span!("nas.strategy_next");
-                    strategy.next(&mut rng)
-                };
-                task_tx.send(cand).expect("workers alive");
-                swt_obs::counter!("nas.candidates_dispatched").inc();
-                inflight += 1;
-                dispatched += 1;
-            }
-            let (cand, t_start, t_end, outcome) =
-                result_rx.recv().expect("at least one worker alive");
-            inflight -= 1;
-            completed += 1;
+        buffer.insert(id, res);
+        while let Some(res) = buffer.remove(&next_report) {
             strategy.report(ScoredCandidate {
-                id: cand.id,
-                arch: cand.arch.clone(),
-                score: outcome.score,
+                id: res.cand.id,
+                arch: res.cand.arch.clone(),
+                score: res.outcome.score,
             });
             events.push(TraceEvent {
-                id: cand.id,
-                arch: cand.arch,
-                parent: cand.parent,
-                score: outcome.score,
-                t_start,
-                t_end,
-                train_secs: outcome.train_secs,
-                transfer_secs: outcome.transfer_secs,
-                save_secs: outcome.save_secs,
-                checkpoint_bytes: outcome.checkpoint_bytes,
-                transfer_tensors: outcome.transfer.tensors,
-                transfer_bytes: outcome.transfer.bytes,
+                id: res.cand.id,
+                arch: res.cand.arch,
+                parent: res.cand.parent,
+                score: res.outcome.score,
+                t_start: res.t_start,
+                t_end: res.t_end,
+                train_secs: res.outcome.train_secs,
+                transfer_secs: res.outcome.transfer_secs,
+                save_secs: res.outcome.save_secs,
+                checkpoint_bytes: res.outcome.checkpoint_bytes,
+                transfer_tensors: res.outcome.transfer.tensors,
+                transfer_bytes: res.outcome.transfer.bytes,
             });
+            next_report += 1;
+            if dispatched < total {
+                dispatch_one(&mut strategy, &mut rng, backend)?;
+                dispatched += 1;
+            }
         }
-        drop(task_tx); // lets workers exit
-    });
+    }
 
-    NasTrace {
-        app: problem.kind.name().to_string(),
+    Ok(NasTrace {
+        app: app.to_string(),
         scheme: cfg.scheme,
         seed: cfg.seed,
         workers: cfg.workers,
         events,
         wall_secs: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -257,9 +261,8 @@ mod tests {
     fn completes_requested_candidates() {
         let trace = run(TransferScheme::Baseline, StrategyKind::Random, 6, 2);
         assert_eq!(trace.events.len(), 6);
-        let mut ids: Vec<_> = trace.events.iter().map(|e| e.id).collect();
-        ids.sort_unstable();
-        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+        let ids: Vec<_> = trace.events.iter().map(|e| e.id).collect();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>(), "events are recorded in id order");
         assert!(trace.wall_secs > 0.0);
         assert!(trace.events.iter().all(|e| e.score.is_finite()));
         assert!(trace.events.iter().all(|e| e.t_end >= e.t_start));
@@ -299,6 +302,23 @@ mod tests {
     }
 
     #[test]
+    fn namespaced_run_prefixes_checkpoint_ids() {
+        let problem = Arc::new(AppKind::Uno.problem(DataScale::Quick, 11));
+        let space = Arc::new(SearchSpace::for_app(AppKind::Uno));
+        let store = Arc::new(MemStore::new());
+        let store_dyn: Arc<dyn CheckpointStore> = Arc::clone(&store) as _;
+        let cfg = NasConfig {
+            namespace: "runA_".into(),
+            ..NasConfig::quick(TransferScheme::Lcs, 4, 2, 5)
+        };
+        let trace = run_nas(problem, space, store_dyn, &cfg);
+        for e in &trace.events {
+            assert!(store.exists(&format!("runA_c{}", e.id)));
+            assert!(!store.exists(&format!("c{}", e.id)));
+        }
+    }
+
+    #[test]
     fn single_worker_run_is_deterministic() {
         let a = run(TransferScheme::Lcs, StrategyKind::Evolution, 10, 1);
         let b = run(TransferScheme::Lcs, StrategyKind::Evolution, 10, 1);
@@ -307,6 +327,20 @@ mod tests {
             assert_eq!(x.id, y.id);
             assert_eq!(x.arch, y.arch);
             assert_eq!(x.score, y.score, "candidate {} diverged", x.id);
+        }
+    }
+
+    #[test]
+    fn multi_worker_run_is_deterministic() {
+        // The reorder window makes concurrent runs reproducible too: the
+        // strategy sees one canonical next/report interleaving no matter
+        // which worker finishes first.
+        let a = run(TransferScheme::Lcs, StrategyKind::Evolution, 20, 3);
+        let b = run(TransferScheme::Lcs, StrategyKind::Evolution, 20, 3);
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!((x.id, &x.arch, x.parent), (y.id, &y.arch, y.parent));
+            assert_eq!(x.score, y.score, "candidate {} diverged", x.id);
+            assert_eq!(x.transfer_tensors, y.transfer_tensors);
         }
     }
 }

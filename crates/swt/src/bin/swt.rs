@@ -1,0 +1,171 @@
+//! The `swt` command-line tool.
+//!
+//! Modes:
+//! * `swt dist-run …` — launch a distributed NAS run: this process becomes
+//!   the coordinator and spawns `--workers` child processes of itself.
+//! * `swt dist-worker --connect ADDR --worker-id N` — internal: the worker
+//!   side, spawned by the coordinator (not for direct use).
+//!
+//! See EXPERIMENTS.md §"Distributed runs" for walkthroughs, including the
+//! kill-a-worker fault-tolerance demo.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use swt::prelude::*;
+use swt_dist::{DistConfig, KillPlan};
+
+const USAGE: &str = "\
+usage:
+  swt dist-run [options]         run a distributed NAS (this process coordinates)
+    --app NAME                   cifar10|mnist|nt3|uno          [uno]
+    --scale quick|full           dataset scale                  [quick]
+    --scheme baseline|lp|lcs     weight-transfer scheme         [lcs]
+    --candidates N               candidates to evaluate         [24]
+    --workers N                  worker processes               [2]
+    --epochs N                   epochs per estimate            [1]
+    --seed N                     run seed                       [9]
+    --data-seed N                synthetic dataset seed         [11]
+    --namespace S                checkpoint-id prefix           []
+    --store DIR                  shared checkpoint dir          [./swt_dist_store]
+    --trace FILE.csv             write the run trace CSV
+    --report FILE.json           write the observability report
+    --kill-after W:K             fault demo: SIGKILL worker W after K results
+  swt dist-worker --connect ADDR --worker-id N    (internal)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("dist-run") => dist_run(&args[1..]),
+        Some("dist-worker") => dist_worker(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown mode `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull the value following `--key` out of an option list.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match opt(args, key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("invalid value for {key}: `{raw}`")),
+    }
+}
+
+fn dist_worker(args: &[String]) -> ExitCode {
+    let (Some(connect), Some(worker_id)) = (opt(args, "--connect"), opt(args, "--worker-id"))
+    else {
+        eprintln!("dist-worker requires --connect and --worker-id\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Ok(worker_id) = worker_id.parse::<u64>() else {
+        eprintln!("invalid --worker-id `{worker_id}`");
+        return ExitCode::FAILURE;
+    };
+    match swt_dist::worker_main(connect, worker_id) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("worker {worker_id}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dist_run(args: &[String]) -> ExitCode {
+    match try_dist_run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dist-run: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_dist_run(args: &[String]) -> Result<(), String> {
+    let app_raw = opt(args, "--app").unwrap_or("uno");
+    let app = AppKind::from_slug(app_raw).ok_or_else(|| format!("unknown app `{app_raw}`"))?;
+    let scale = match opt(args, "--scale").unwrap_or("quick") {
+        "quick" => DataScale::Quick,
+        "full" => DataScale::Full,
+        other => return Err(format!("unknown scale `{other}`")),
+    };
+    let scheme = match opt(args, "--scheme").unwrap_or("lcs") {
+        "baseline" => TransferScheme::Baseline,
+        "lp" => TransferScheme::Lp,
+        "lcs" => TransferScheme::Lcs,
+        other => return Err(format!("unknown scheme `{other}`")),
+    };
+    let candidates: usize = parse(args, "--candidates", 24)?;
+    let workers: usize = parse(args, "--workers", 2)?;
+    let epochs: usize = parse(args, "--epochs", 1)?;
+    let seed: u64 = parse(args, "--seed", 9)?;
+    let data_seed: u64 = parse(args, "--data-seed", 11)?;
+    let store: PathBuf = parse(args, "--store", PathBuf::from("swt_dist_store"))?;
+    if candidates == 0 || workers == 0 {
+        return Err("--candidates and --workers must be positive".into());
+    }
+
+    let mut nas = NasConfig::quick(scheme, candidates, workers, seed);
+    nas.epochs = epochs;
+    nas.namespace = opt(args, "--namespace").unwrap_or("").to_string();
+    let mut dist = DistConfig::new(app, scale, data_seed, store);
+    if let Some(spec) = opt(args, "--kill-after") {
+        let (w, k) =
+            spec.split_once(':').ok_or_else(|| format!("--kill-after wants W:K, got `{spec}`"))?;
+        dist.kill_worker_after = Some(KillPlan {
+            worker: w.parse().map_err(|_| format!("invalid worker in `{spec}`"))?,
+            after_results: k.parse().map_err(|_| format!("invalid count in `{spec}`"))?,
+        });
+    }
+
+    swt_obs::enable();
+    let t0 = std::time::Instant::now();
+    let trace = swt_dist::run_nas_dist(&nas, &dist).map_err(|e| e.to_string())?;
+    let wall = t0.elapsed();
+
+    println!(
+        "completed {} candidates on {} workers in {:.2?} ({} app, {} scheme, seed {})",
+        trace.events.len(),
+        workers,
+        wall,
+        app.name(),
+        scheme.name(),
+        seed
+    );
+    let best = trace.top_k(1);
+    if let Some(best) = best.first() {
+        println!("best candidate: c{} score {:.6} arch {}", best.id, best.score, best.arch);
+    }
+    let report = RunReport::capture()
+        .with_meta("mode", "dist-run")
+        .with_meta("app", app.name())
+        .with_meta("scheme", scheme.name())
+        .with_meta("candidates", candidates)
+        .with_meta("workers", workers)
+        .with_meta("seed", seed);
+    let lost = report.counter("dist.workers_lost");
+    let reassigned = report.counter("dist.reassigned");
+    if lost > 0 {
+        println!("fault tolerance: {lost} worker(s) lost, {reassigned} candidate(s) reassigned");
+    }
+    if let Some(path) = opt(args, "--trace") {
+        let path = PathBuf::from(path);
+        trace.write_csv(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("trace: {}", path.display());
+    }
+    if let Some(path) = opt(args, "--report") {
+        let path = PathBuf::from(path);
+        report.write_json(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("report: {}", path.display());
+    }
+    Ok(())
+}

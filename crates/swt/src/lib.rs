@@ -32,6 +32,7 @@ pub use swt_checkpoint as checkpoint;
 pub use swt_cluster as cluster;
 pub use swt_core as core;
 pub use swt_data as data;
+pub use swt_dist as dist;
 pub use swt_nas as nas;
 pub use swt_nn as nn;
 pub use swt_obs as obs;
@@ -48,9 +49,11 @@ pub mod prelude {
         TransferScheme, TransferStats,
     };
     pub use swt_data::{AppKind, AppProblem, DataScale};
+    pub use swt_dist::{run_nas_dist, DistBackend, DistConfig, KillPlan};
     pub use swt_nas::{
-        full_train_top_k, run_nas, run_pair_experiment, Candidate, NasConfig, NasTrace,
-        PairSummary, ProviderPolicy, StrategyKind, TopKReport, TraceEvent,
+        full_train_top_k, run_nas, run_nas_with_backend, run_pair_experiment, Candidate,
+        EvalBackend, NasConfig, NasTrace, PairSummary, ProviderPolicy, StrategyKind,
+        ThreadPoolBackend, TopKReport, TraceEvent,
     };
     pub use swt_nn::{
         Activation, Dataset, LayerSpec, Loss, Metric, Model, ModelSpec, NodeSpec, TrainConfig,

@@ -26,6 +26,27 @@ pub fn set_max_threads(n: usize) {
     MAX_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// RAII guard restoring a previous thread budget; see [`scoped_max_threads`].
+#[must_use = "dropping the guard immediately restores the previous budget"]
+pub struct ThreadBudgetGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadBudgetGuard {
+    fn drop(&mut self) {
+        MAX_THREADS.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Set the thread budget like [`set_max_threads`], returning a guard that
+/// restores the previous setting (including the `0` auto default) when
+/// dropped. The NAS runner holds one per run, so a quick run following a
+/// paper run in the same process (bench A/Bs, test binaries) does not
+/// inherit the previous run's cap.
+pub fn scoped_max_threads(n: usize) -> ThreadBudgetGuard {
+    ThreadBudgetGuard { prev: MAX_THREADS.swap(n, Ordering::Relaxed) }
+}
+
 /// The current effective thread budget (always ≥ 1).
 pub fn max_threads() -> usize {
     match MAX_THREADS.load(Ordering::Relaxed) {
@@ -172,5 +193,15 @@ mod tests {
         assert_eq!(par_map(&items, |_, &x| x + 1), vec![2, 3, 4]);
         set_max_threads(0);
         assert!(max_threads() >= 1);
+        // The scoped guard restores whatever was set before it, including
+        // the auto default (this test is the only budget mutator in this
+        // binary, so the sequence is race-free).
+        set_max_threads(3);
+        {
+            let _g = scoped_max_threads(1);
+            assert_eq!(max_threads(), 1);
+        }
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
     }
 }

@@ -47,4 +47,16 @@ cargo test --release --quiet -p swt-checkpoint wtc1
 echo "==> bench_ckpt smoke (transfer-path read >= 3x WTC1 full decode; NAS A/B identical)"
 cargo run --release --quiet -p swt-bench --bin bench_ckpt -- --smoke
 
+echo "==> no-panic gate (swt-dist must degrade on malformed input, never unwrap)"
+panics=$(grep -rnE '\.unwrap\(\)|\.expect\(|panic!\(' crates/dist/src --include='*.rs' || true)
+if [ -n "$panics" ]; then
+  echo "panicking call in crates/dist/src (coordinator and workers must return WireError):" >&2
+  echo "$panics" >&2
+  exit 1
+fi
+
+echo "==> bench_dist smoke (coordinator + 2 workers, one SIGKILLed; A/B identical to in-process)"
+cargo build --release --quiet -p swt   # worker binary for the coordinator to spawn
+cargo run --release --quiet -p swt-bench --bin bench_dist -- --smoke
+
 echo "OK"
