@@ -146,6 +146,27 @@ fn main() {
         killed.wall_secs
     );
 
+    // --- distributed, elastic: start short-handed, a worker joins mid-run ----
+    // One process at launch against a 2-wide dispatch window; a second
+    // process joins after 3 results and drains the queued backlog. The
+    // trace must still be bit-identical to the fixed 2-worker runs, since
+    // joining only changes which process evaluates a candidate.
+    let elastic_dir = scratch_dir("elastic");
+    let mut elastic_cfg = dist_config(elastic_dir.clone());
+    elastic_cfg.initial_workers = Some(1);
+    elastic_cfg.max_workers = 2;
+    elastic_cfg.join_after = Some(JoinPlan { after_results: 3, count: 1 });
+    let (elastic, elastic_stats) = swt::dist::run_nas_dist_with_stats(&nas_config(2), &elastic_cfg)
+        .expect("elastic distributed run failed");
+    let elastic_ok = traces_identical(&local, &elastic, "elastic-join A/B");
+    println!(
+        "distributed (1 worker + 1 late join): {:.2}s wall, identical = {elastic_ok}, \
+         joined = {}, worker snapshots merged = {}",
+        elastic.wall_secs,
+        elastic_stats.joined,
+        elastic_stats.per_worker.len()
+    );
+
     // --- throughput vs worker count vs simulator -----------------------------
     // The dispatch window is part of the deterministic schedule, so the
     // 1-worker distributed run is compared against a 1-thread in-process
@@ -201,7 +222,7 @@ fn main() {
     let report_reassigned = report.counter("dist.reassigned");
     println!("run report (dist.* counters + RTT histograms): {}", report_path.display());
 
-    for dir in [&local_dir, &healthy_dir, &killed_dir, &local1_dir, &one_dir] {
+    for dir in [&local_dir, &healthy_dir, &killed_dir, &elastic_dir, &local1_dir, &one_dir] {
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -213,7 +234,9 @@ fn main() {
         ("seed", SEED.to_string()),
         ("ab_healthy_identical", healthy_ok.to_string()),
         ("ab_killed_identical", killed_ok.to_string()),
+        ("ab_elastic_identical", elastic_ok.to_string()),
         ("ab_one_worker_identical", one_ok.to_string()),
+        ("workers_joined", elastic_stats.joined.to_string()),
         ("transfer_tensors", transfer_tensors.to_string()),
         ("workers_lost", workers_lost.to_string()),
         ("reassigned", reassigned.to_string()),
@@ -231,8 +254,12 @@ fn main() {
     println!("wrote {out_path}");
 
     let mut failed = false;
-    if !(healthy_ok && killed_ok && one_ok) {
+    if !(healthy_ok && killed_ok && elastic_ok && one_ok) {
         eprintln!("FAIL: a distributed run diverged from the in-process baseline");
+        failed = true;
+    }
+    if elastic_stats.joined != 1 {
+        eprintln!("FAIL: expected exactly 1 elastic join, saw {}", elastic_stats.joined);
         failed = true;
     }
     if transfer_tensors == 0 {

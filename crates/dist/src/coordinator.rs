@@ -10,14 +10,30 @@
 //! original result exactly and the run stays bit-identical to a failure-free
 //! one. The pool degrades gracefully down to a single surviving worker;
 //! only losing *all* workers aborts the run.
+//!
+//! Elasticity (DESIGN.md §10): the listener stays open for the whole run,
+//! so a `Hello` arriving mid-run is a *join* — the newcomer is handshaken,
+//! given a fresh slot, and starts draining the pending queue (or refused
+//! with an `Error` frame when the pool already holds `max_workers` live
+//! processes). The dispatch window is sized by `nas.workers` alone and
+//! never moves: joining changes *which process* evaluates a candidate,
+//! never *which candidate* is scheduled, so elastic runs stay bit-identical
+//! to fixed-pool runs.
+//!
+//! Metrics: every `Result` frame carries the worker's cumulative
+//! counter/histogram snapshot and a final `Stats` frame arrives during the
+//! [`DistBackend::finish`] teardown; the coordinator keeps the latest
+//! snapshot per slot and folds them all into the process-global registry,
+//! making one `RunReport::capture()` cover the whole multi-process run.
 
 use crate::frame::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
 use crate::spawn::{find_worker_exe, spawn_worker};
-use crate::wire::{Msg, RunSpec};
-use crate::DistConfig;
+use crate::wire::{Msg, RunSpec, WorkerMetrics};
+use crate::{DistConfig, DistRunStats, JoinPlan, KillPlan};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::Child;
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
@@ -31,7 +47,9 @@ enum Event {
 }
 
 struct WorkerSlot {
-    child: Child,
+    /// The child process — `None` for workers we did not spawn ourselves
+    /// (a join connecting from outside the coordinator's own injection).
+    child: Option<Child>,
     /// Write half; `None` once the worker is lost.
     writer: Option<TcpStream>,
     reader: Option<std::thread::JoinHandle<()>>,
@@ -44,36 +62,66 @@ struct WorkerSlot {
     /// tasks is silent but healthy).
     outstanding_ping: Option<(u64, Instant)>,
     rtt: Arc<swt_obs::metrics::Histogram>,
+    /// Latest cumulative metrics snapshot received from this worker.
+    stats: Option<WorkerMetrics>,
 }
 
 /// Multi-process evaluation backend: the coordinator side of `swt-dist`.
 pub struct DistBackend {
+    /// Kept open (non-blocking) for the whole run: mid-run `Hello`s are
+    /// joins.
+    listener: TcpListener,
+    addr: String,
+    exe: PathBuf,
+    run: RunSpec,
+    /// The deterministic dispatch window (`nas.workers`). Constant for the
+    /// backend's lifetime regardless of how the pool grows or shrinks.
+    window: usize,
+    max_workers: usize,
     slots: Vec<WorkerSlot>,
+    tx: mpsc::Sender<Event>,
     rx: mpsc::Receiver<Event>,
     /// Submitted candidates not yet assigned to a worker (grows past 1 only
-    /// while the pool is degraded below the dispatch window).
+    /// while the pool is short of the dispatch window).
     pending: VecDeque<Candidate>,
     /// Assigned-or-pending candidates by id, with their submit timestamp.
     inflight: HashMap<u64, (Candidate, f64)>,
     start: Instant,
     interval: Duration,
     timeout: Duration,
+    connect_timeout: Duration,
     next_nonce: u64,
     results_delivered: usize,
-    kill_plan: Option<crate::KillPlan>,
+    kill_plan: Option<KillPlan>,
+    join_plan: Option<JoinPlan>,
+    /// Children spawned by join injection that have not completed their
+    /// handshake yet.
+    joining: Vec<Child>,
+    joined: usize,
+    rejected: usize,
+    lost: usize,
+    reassigned: usize,
+    /// Set by [`DistBackend::finish`]; makes `Drop` a no-op.
+    finished: bool,
 }
 
 impl DistBackend {
-    /// Bind a localhost listener, spawn `nas.workers` worker processes, and
-    /// complete the handshake with each.
+    /// Bind a localhost listener, spawn the initial worker processes
+    /// (`dist.initial_workers`, default `nas.workers`), and complete the
+    /// handshake with each.
     pub fn launch(nas: &NasConfig, dist: &DistConfig) -> io::Result<DistBackend> {
-        let n = nas.workers;
-        assert!(n > 0, "need at least one worker");
+        let window = nas.workers;
+        assert!(window > 0, "need a non-empty dispatch window");
+        let n = dist.initial_workers.unwrap_or(window).max(1);
+        assert!(n <= dist.max_workers, "initial workers exceed max_workers");
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?.to_string();
         let exe = find_worker_exe(dist.worker_exe.as_ref())?;
         swt_obs::info!("swt_dist", "coordinator on {addr}, spawning {n} × {}", exe.display());
 
+        // Worker resources are budgeted by the window, not the live pool:
+        // thread pinning and cache slices must not depend on how many
+        // processes happen to be up, or elastic runs would diverge.
         let hardware = std::thread::available_parallelism().map_or(1, |v| v.get());
         let run = RunSpec {
             app: dist.app,
@@ -84,7 +132,8 @@ impl DistBackend {
             run_seed: nas.seed,
             namespace: nas.namespace.clone(),
             store_dir: dist.store_dir.to_string_lossy().into_owned(),
-            threads: (hardware / n).max(1) as u32,
+            threads: (hardware / window).max(1) as u32,
+            cache_bytes: nas.cache_bytes / window as u64,
         };
 
         let mut children = Vec::with_capacity(n);
@@ -140,37 +189,64 @@ impl DistBackend {
         }
 
         let (tx, rx) = mpsc::channel();
-        let mut slots = Vec::with_capacity(n);
-        for (worker, (child, stream)) in children.into_iter().zip(streams).enumerate() {
-            let (Some(child), Some(stream)) = (child, stream) else {
-                return Err(io::Error::other("worker slot not filled"));
-            };
-            let reader_stream = stream.try_clone()?;
-            let tx = tx.clone();
-            let reader = std::thread::spawn(move || reader_loop(worker, reader_stream, tx));
-            slots.push(WorkerSlot {
-                child,
-                writer: Some(stream),
-                reader: Some(reader),
-                current: None,
-                alive: true,
-                outstanding_ping: None,
-                rtt: swt_obs::registry::global().histogram(&format!("dist.rtt_ns.w{worker}")),
-            });
-        }
-
-        Ok(DistBackend {
-            slots,
+        let mut backend = DistBackend {
+            listener,
+            addr,
+            exe,
+            run,
+            window,
+            max_workers: dist.max_workers,
+            slots: Vec::with_capacity(n),
+            tx,
             rx,
             pending: VecDeque::new(),
             inflight: HashMap::new(),
             start: Instant::now(),
             interval: dist.heartbeat_interval,
             timeout: dist.heartbeat_timeout,
+            connect_timeout: dist.connect_timeout,
             next_nonce: 0,
             results_delivered: 0,
             kill_plan: dist.kill_worker_after.clone(),
-        })
+            join_plan: dist.join_after.clone(),
+            joining: Vec::new(),
+            joined: 0,
+            rejected: 0,
+            lost: 0,
+            reassigned: 0,
+            finished: false,
+        };
+        for (child, stream) in children.into_iter().zip(streams) {
+            let (Some(child), Some(stream)) = (child, stream) else {
+                return Err(io::Error::other("worker slot not filled"));
+            };
+            backend.add_slot(Some(child), stream)?;
+        }
+        Ok(backend)
+    }
+
+    /// Park a handshaken connection in a fresh slot and start its reader
+    /// thread. Returns the slot index.
+    fn add_slot(&mut self, child: Option<Child>, stream: TcpStream) -> io::Result<usize> {
+        let worker = self.slots.len();
+        let reader_stream = stream.try_clone()?;
+        let tx = self.tx.clone();
+        let reader = std::thread::spawn(move || reader_loop(worker, reader_stream, tx));
+        self.slots.push(WorkerSlot {
+            child,
+            writer: Some(stream),
+            reader: Some(reader),
+            current: None,
+            alive: true,
+            outstanding_ping: None,
+            rtt: swt_obs::registry::global().histogram(&format!("dist.rtt_ns.w{worker}")),
+            stats: None,
+        });
+        Ok(worker)
+    }
+
+    fn live_workers(&self) -> usize {
+        self.slots.iter().filter(|s| s.alive).count()
     }
 
     fn send_to(&mut self, worker: usize, msg: &Msg) -> Result<(), WireError> {
@@ -190,17 +266,21 @@ impl DistBackend {
         }
         swt_obs::warn!("swt_dist", "worker {worker} lost: {reason}");
         swt_obs::counter!("dist.workers_lost").inc();
+        self.lost += 1;
         let slot = &mut self.slots[worker];
         slot.alive = false;
         slot.outstanding_ping = None;
         if let Some(stream) = slot.writer.take() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
-        let _ = slot.child.kill();
-        let _ = slot.child.wait();
+        if let Some(child) = slot.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
         if let Some(id) = slot.current.take() {
             if let Some((cand, _)) = self.inflight.get(&id) {
                 swt_obs::counter!("dist.reassigned").inc();
+                self.reassigned += 1;
                 swt_obs::info!("swt_dist", "reassigning candidate {id} from dead worker {worker}");
                 self.pending.push_front(cand.clone());
             }
@@ -212,6 +292,21 @@ impl DistBackend {
                 io::ErrorKind::ConnectionAborted,
                 format!("all {} workers lost (last: worker {worker}: {reason})", self.slots.len()),
             ))
+        }
+    }
+
+    /// Close a slot during orderly teardown: same cleanup as a loss, but it
+    /// is not one — no loss counter, no reassignment.
+    fn close_slot(&mut self, worker: usize) {
+        let slot = &mut self.slots[worker];
+        slot.alive = false;
+        slot.outstanding_ping = None;
+        if let Some(stream) = slot.writer.take() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(child) = slot.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
         }
     }
 
@@ -243,8 +338,10 @@ impl DistBackend {
     }
 
     /// One heartbeat round: time out workers with stale outstanding pings,
-    /// ping everyone else.
+    /// ping everyone else, and pick up any join attempts waiting on the
+    /// listener.
     fn heartbeat_tick(&mut self) -> io::Result<()> {
+        self.poll_joins()?;
         for worker in 0..self.slots.len() {
             if !self.slots[worker].alive {
                 continue;
@@ -263,6 +360,135 @@ impl DistBackend {
             }
         }
         self.flush()
+    }
+
+    /// Accept every connection waiting on the (non-blocking) listener and
+    /// run the join protocol on each.
+    fn poll_joins(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.handle_join(stream)?,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The join protocol on one mid-run connection: read `Hello`, validate
+    /// the version, then either admit (HelloAck + fresh slot) or refuse
+    /// (`Error` frame) when the pool is at `max_workers`. A malformed or
+    /// mismatched join never aborts the run — the connection is dropped and
+    /// the run continues on the existing pool.
+    fn handle_join(&mut self, stream: TcpStream) -> io::Result<()> {
+        let mut stream = stream;
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let mut buf = Vec::new();
+        let hello = match read_frame(&mut stream, &mut buf).and_then(|ty| Msg::decode(ty, &buf)) {
+            Ok(msg) => msg,
+            Err(e) => {
+                swt_obs::warn!("swt_dist", "join attempt with unreadable Hello dropped: {e}");
+                return Ok(());
+            }
+        };
+        let Msg::Hello { version, worker_id, pid } = hello else {
+            swt_obs::warn!(
+                "swt_dist",
+                "join attempt opened with frame {:#04x}, not Hello; dropped",
+                hello.frame_type()
+            );
+            return Ok(());
+        };
+        // If this is a process we spawned (join injection), take ownership
+        // of its handle so it gets reaped with its slot.
+        let child = self.joining.iter().position(|c| c.id() == pid).map(|i| self.joining.remove(i));
+        if version != PROTOCOL_VERSION {
+            let err = WireError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version };
+            send_error(&mut stream, &err.to_string());
+            reap(child);
+            swt_obs::warn!("swt_dist", "join from pid {pid} refused: {err}");
+            return Ok(());
+        }
+        if self.live_workers() >= self.max_workers {
+            swt_obs::counter!("dist.joins_rejected").inc();
+            self.rejected += 1;
+            send_error(
+                &mut stream,
+                &format!("join rejected: pool already at max_workers={}", self.max_workers),
+            );
+            reap(child);
+            swt_obs::info!(
+                "swt_dist",
+                "join from pid {pid} rejected at max_workers={}",
+                self.max_workers
+            );
+            return Ok(());
+        }
+        let ack = Msg::HelloAck { version: PROTOCOL_VERSION, run: self.run.clone() };
+        let sent =
+            ack.encode().and_then(|payload| write_frame(&mut stream, ack.frame_type(), &payload));
+        if let Err(e) = sent {
+            reap(child);
+            swt_obs::warn!("swt_dist", "join from pid {pid} died during HelloAck: {e}");
+            return Ok(());
+        }
+        stream.set_read_timeout(None)?;
+        let slot = self.add_slot(child, stream)?;
+        swt_obs::counter!("dist.workers_joined").inc();
+        self.joined += 1;
+        swt_obs::info!(
+            "swt_dist",
+            "worker joined mid-run as slot {slot} (hello id {worker_id}, pid {pid}); \
+             pool now {} live / window {}",
+            self.live_workers(),
+            self.window
+        );
+        self.flush()
+    }
+
+    /// Elastic scale-out injection for tests, benches and the CI smoke
+    /// gate: once the configured number of results has been delivered,
+    /// spawn the planned workers and block until the coordinator has
+    /// admitted or rejected every one of them, so the join lands at a
+    /// deterministic point in the schedule.
+    fn maybe_inject_join(&mut self) -> io::Result<()> {
+        let due = self
+            .join_plan
+            .as_ref()
+            .is_some_and(|plan| self.results_delivered >= plan.after_results);
+        if !due {
+            return Ok(());
+        }
+        let Some(plan) = self.join_plan.take() else {
+            return Ok(());
+        };
+        swt_obs::info!(
+            "swt_dist",
+            "join injection: spawning {} worker(s) after {} results",
+            plan.count,
+            self.results_delivered
+        );
+        let resolved_target = self.joined + self.rejected + plan.count;
+        for i in 0..plan.count {
+            let worker_id = self.slots.len() + i;
+            self.joining.push(spawn_worker(&self.exe, &self.addr, worker_id)?);
+        }
+        let deadline = Instant::now() + self.connect_timeout;
+        while self.joined + self.rejected < resolved_target {
+            self.poll_joins()?;
+            if self.joined + self.rejected >= resolved_target {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "injected worker join did not resolve before the deadline",
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
     }
 
     /// Fault injection for benches and the CI smoke gate: SIGKILL a worker
@@ -290,18 +516,88 @@ impl DistBackend {
                         plan.worker,
                         self.results_delivered
                     );
-                    let _ = slot.child.kill();
+                    if let Some(child) = slot.child.as_mut() {
+                        let _ = child.kill();
+                    }
                 }
             }
         }
+    }
+
+    /// Graceful teardown: send `Shutdown` to every live worker, drain the
+    /// final `Stats` frames they flush on the way out, fold every worker's
+    /// latest snapshot into the process-global registry, and return the
+    /// run's [`DistRunStats`]. After this, `Drop` is a no-op.
+    pub fn finish(&mut self) -> io::Result<DistRunStats> {
+        self.finished = true;
+        for worker in 0..self.slots.len() {
+            if self.slots[worker].alive && self.slots[worker].writer.is_some() {
+                let _ = self.send_to(worker, &Msg::Shutdown);
+            }
+        }
+        // Workers answer Shutdown with a final Stats frame and close their
+        // socket; wait (bounded) for every live socket to drain. A worker
+        // that stalls here keeps its last per-Result snapshot — cumulative
+        // snapshots make the fallback lossy only for post-last-Result work.
+        let deadline = Instant::now() + self.timeout;
+        while self.slots.iter().any(|s| s.alive) && Instant::now() < deadline {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Event::Msg { worker, msg }) => match msg {
+                    Msg::Stats { stats } | Msg::Result { stats, .. } => {
+                        self.slots[worker].stats = Some(stats);
+                    }
+                    _ => {}
+                },
+                Ok(Event::Gone { worker, .. }) => self.close_slot(worker),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for worker in 0..self.slots.len() {
+            self.close_slot(worker);
+        }
+        for child in &mut self.joining {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.joining.clear();
+        for slot in &mut self.slots {
+            if let Some(reader) = slot.reader.take() {
+                let _ = reader.join();
+            }
+        }
+
+        let per_worker: Vec<(usize, WorkerMetrics)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.stats.clone().map(|m| (i, m)))
+            .collect();
+        // Fold worker-process totals into this process's registry so one
+        // `RunReport::capture()` after the run reports whole-run sums.
+        // Gated: a disabled-observability run must stay metrics-silent.
+        if swt_obs::enabled() {
+            let registry = swt_obs::registry::global();
+            for (_, metrics) in &per_worker {
+                metrics.to_report().absorb_into(registry);
+            }
+        }
+        Ok(DistRunStats {
+            per_worker,
+            joined: self.joined,
+            rejected: self.rejected,
+            lost: self.lost,
+            reassigned: self.reassigned,
+        })
     }
 }
 
 impl EvalBackend for DistBackend {
     fn capacity(&self) -> usize {
-        // Constant: the dispatch window must not shrink when workers die,
-        // or the canonical schedule (and thus determinism) would change.
-        self.slots.len()
+        // Constant: the dispatch window must not follow the live pool as
+        // workers die or join, or the canonical schedule (and thus
+        // determinism) would change.
+        self.window
     }
 
     fn submit(&mut self, cand: Candidate) -> io::Result<()> {
@@ -309,6 +605,7 @@ impl EvalBackend for DistBackend {
         self.inflight.insert(cand.id, (cand.clone(), t_submit));
         self.pending.push_back(cand);
         self.flush()?;
+        self.maybe_inject_join()?;
         self.maybe_inject_kill();
         Ok(())
     }
@@ -317,7 +614,8 @@ impl EvalBackend for DistBackend {
         loop {
             match self.rx.recv_timeout(self.interval) {
                 Ok(Event::Msg { worker, msg }) => match msg {
-                    Msg::Result { id, outcome } => {
+                    Msg::Result { id, outcome, stats } => {
+                        self.slots[worker].stats = Some(stats);
                         if self.slots[worker].current == Some(id) {
                             self.slots[worker].current = None;
                         }
@@ -325,6 +623,7 @@ impl EvalBackend for DistBackend {
                             continue; // late duplicate; the runner never sees it
                         };
                         self.results_delivered += 1;
+                        self.maybe_inject_join()?;
                         self.maybe_inject_kill();
                         self.flush()?;
                         let t_end = self.start.elapsed().as_secs_f64();
@@ -339,6 +638,11 @@ impl EvalBackend for DistBackend {
                                 swt_obs::counter!("dist.heartbeats").inc();
                             }
                         }
+                    }
+                    Msg::Stats { stats } => {
+                        // An early final snapshot (worker winding down);
+                        // keep it — it supersedes the per-Result one.
+                        self.slots[worker].stats = Some(stats);
                     }
                     Msg::Error { message } => {
                         self.mark_lost(worker, &format!("worker reported: {message}"))?;
@@ -368,21 +672,28 @@ impl EvalBackend for DistBackend {
 
 impl Drop for DistBackend {
     fn drop(&mut self) {
+        // The abort path only: a graceful teardown goes through `finish`,
+        // which already reaped everything.
+        if self.finished {
+            return;
+        }
         // Graceful first: a Shutdown frame lets idle workers exit cleanly.
         for worker in 0..self.slots.len() {
             if self.slots[worker].writer.is_some() {
                 let _ = self.send_to(worker, &Msg::Shutdown);
             }
         }
+        for worker in 0..self.slots.len() {
+            // close_slot SIGKILLs — a no-op for workers that already exited
+            // on Shutdown, and it ends stragglers (e.g. mid-evaluation
+            // after an aborted run) without blocking the coordinator.
+            self.close_slot(worker);
+        }
+        for child in &mut self.joining {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
         for slot in &mut self.slots {
-            if let Some(stream) = slot.writer.take() {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
-            // SIGKILL is a no-op for workers that already exited on
-            // Shutdown, and ends stragglers (e.g. mid-evaluation after an
-            // aborted run) without blocking the coordinator.
-            let _ = slot.child.kill();
-            let _ = slot.child.wait();
             if let Some(reader) = slot.reader.take() {
                 let _ = reader.join();
             }
@@ -397,8 +708,24 @@ fn reap_all(children: &mut [Option<Child>]) {
     }
 }
 
-/// Server side of the handshake on a fresh connection: read `Hello`,
-/// validate, reply `HelloAck`, and park the stream in its worker slot.
+fn reap(child: Option<Child>) {
+    if let Some(mut child) = child {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Best-effort `Error` frame to a peer we are about to drop.
+fn send_error(stream: &mut TcpStream, message: &str) {
+    let msg = Msg::Error { message: message.to_string() };
+    if let Ok(payload) = msg.encode() {
+        let _ = write_frame(stream, msg.frame_type(), &payload);
+    }
+}
+
+/// Server side of the handshake on a fresh connection during startup: read
+/// `Hello`, validate, reply `HelloAck`, and park the stream in its worker
+/// slot. (Mid-run connections go through the join protocol instead.)
 fn handshake(
     stream: TcpStream,
     run: &RunSpec,
@@ -417,9 +744,7 @@ fn handshake(
     };
     if version != PROTOCOL_VERSION {
         let err = WireError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version };
-        let _ = Msg::Error { message: err.to_string() }
-            .encode()
-            .map(|p| write_frame(&mut stream, 0x08, &p));
+        send_error(&mut stream, &err.to_string());
         return Err(err.into());
     }
     let slot = worker_id as usize;

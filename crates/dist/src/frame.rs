@@ -10,7 +10,11 @@ use std::io::{self, Read, Write};
 
 /// Protocol version exchanged in the handshake. Bump on any frame-layout
 /// change; coordinator and worker refuse mismatched peers.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: `Result` frames carry the worker's cumulative metrics snapshot, a
+/// `Stats` frame (0x09) delivers the final snapshot at shutdown, and
+/// `HelloAck`'s `RunSpec` gains the per-worker provider-cache byte budget.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame's payload. The largest legitimate frame is a
 /// `Task` (a few hundred bytes of architecture sequence); 1 MiB leaves room

@@ -28,7 +28,7 @@ pub mod worker;
 
 pub use coordinator::DistBackend;
 pub use frame::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use wire::{Msg, RunSpec};
+pub use wire::{Msg, RunSpec, WorkerMetrics};
 pub use worker::worker_main;
 
 use std::io;
@@ -38,6 +38,7 @@ use std::time::Duration;
 use swt_data::{AppKind, DataScale};
 use swt_nas::runner::NasConfig;
 use swt_nas::trace::NasTrace;
+use swt_obs::RunReport;
 use swt_space::SearchSpace;
 
 /// Fault injection: SIGKILL `worker` once `after_results` results have been
@@ -47,6 +48,48 @@ use swt_space::SearchSpace;
 pub struct KillPlan {
     pub worker: usize,
     pub after_results: usize,
+}
+
+/// Elastic scale-out injection: once `after_results` results have been
+/// delivered to the strategy, spawn `count` extra worker processes and block
+/// until the coordinator has admitted (or, at `max_workers`, rejected) every
+/// one of them. Blocking makes the join visible at a deterministic point in
+/// the schedule, which the test matrix and the CI smoke gate rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    pub after_results: usize,
+    pub count: usize,
+}
+
+/// Per-run statistics the coordinator hands back from
+/// [`DistBackend::finish`]: each worker process's last cumulative metrics
+/// snapshot plus the elasticity/failure tallies for this run. Instance-local
+/// on purpose — tests assert conservation on these without diffing the
+/// process-global registry.
+#[derive(Debug, Clone, Default)]
+pub struct DistRunStats {
+    /// `(worker slot, last snapshot)` for every worker that delivered one.
+    pub per_worker: Vec<(usize, WorkerMetrics)>,
+    /// Workers admitted after launch (late `Hello`s).
+    pub joined: usize,
+    /// Join attempts refused because the pool was at `max_workers`.
+    pub rejected: usize,
+    /// Workers declared lost (crash or heartbeat timeout).
+    pub lost: usize,
+    /// Candidates reassigned off lost workers.
+    pub reassigned: usize,
+}
+
+impl DistRunStats {
+    /// Merge every worker snapshot into one counters/histograms-only
+    /// [`RunReport`] — the cross-process half of the run's totals.
+    pub fn workers_report(&self) -> RunReport {
+        let mut out = RunReport::default();
+        for (_, metrics) in &self.per_worker {
+            out.merge(&metrics.to_report());
+        }
+        out
+    }
 }
 
 /// Distribution-specific configuration, complementing
@@ -71,6 +114,16 @@ pub struct DistConfig {
     pub worker_exe: Option<PathBuf>,
     /// Optional fault injection for benches/tests.
     pub kill_worker_after: Option<KillPlan>,
+    /// Processes to spawn at launch (default: `nas.workers`). May be below
+    /// the dispatch window: the window is sized by `nas.workers` alone, so a
+    /// short-handed pool just queues the overflow until workers join —
+    /// elasticity never changes the schedule, only who evaluates it.
+    pub initial_workers: Option<usize>,
+    /// Hard cap on concurrently-live workers; late joins beyond it are
+    /// refused with an `Error` frame (`dist.joins_rejected`).
+    pub max_workers: usize,
+    /// Optional scale-out injection for benches/tests.
+    pub join_after: Option<JoinPlan>,
 }
 
 impl DistConfig {
@@ -88,6 +141,9 @@ impl DistConfig {
             connect_timeout: Duration::from_secs(30),
             worker_exe: None,
             kill_worker_after: None,
+            initial_workers: None,
+            max_workers: 64,
+            join_after: None,
         }
     }
 }
@@ -100,9 +156,22 @@ impl DistConfig {
 /// `NasConfig` the returned trace's scores, architectures, parents and
 /// transfer counts are bit-identical to the in-process run's.
 pub fn run_nas_dist(nas: &NasConfig, dist: &DistConfig) -> io::Result<NasTrace> {
+    run_nas_dist_with_stats(nas, dist).map(|(trace, _)| trace)
+}
+
+/// [`run_nas_dist`], additionally returning the run's [`DistRunStats`]
+/// (worker metric snapshots + join/loss tallies). The graceful
+/// [`DistBackend::finish`] teardown this uses also folds every worker's
+/// counters and histograms into the process-global registry, so a
+/// `RunReport::capture()` after this call reports whole-run totals.
+pub fn run_nas_dist_with_stats(
+    nas: &NasConfig,
+    dist: &DistConfig,
+) -> io::Result<(NasTrace, DistRunStats)> {
     let space = Arc::new(SearchSpace::for_app(dist.app));
     let mut backend = DistBackend::launch(nas, dist)?;
     let trace = swt_nas::run_nas_with_backend(dist.app.name(), space, nas, &mut backend)?;
-    drop(backend); // joins readers, reaps children
-    Ok(trace)
+    let stats = backend.finish()?;
+    drop(backend); // joins readers, reaps any straggling children
+    Ok((trace, stats))
 }

@@ -5,11 +5,12 @@
 //! | 0x01 | Hello     | worker → coordinator| version, worker_id, pid                 |
 //! | 0x02 | HelloAck  | coordinator → worker| version, [`RunSpec`]                    |
 //! | 0x03 | Task      | coordinator → worker| candidate id, parent, arch sequence     |
-//! | 0x04 | Result    | worker → coordinator| id + full [`EvalOutcome`] fields        |
+//! | 0x04 | Result    | worker → coordinator| id + [`EvalOutcome`] + [`WorkerMetrics`]|
 //! | 0x05 | Ping      | coordinator → worker| nonce                                   |
 //! | 0x06 | Pong      | worker → coordinator| echoed nonce                            |
 //! | 0x07 | Shutdown  | coordinator → worker| (empty)                                 |
 //! | 0x08 | Error     | either              | utf-8 description                       |
+//! | 0x09 | Stats     | worker → coordinator| final cumulative [`WorkerMetrics`]      |
 //!
 //! All integers little-endian; floats as IEEE-754 bit patterns (scores must
 //! round-trip bit-exactly — the A/B identity gate compares them with `==`).
@@ -18,6 +19,9 @@ use crate::frame::{put_string, Cursor, WireError};
 use swt_core::{TransferScheme, TransferStats};
 use swt_data::{AppKind, DataScale};
 use swt_nas::{Candidate, EvalOutcome};
+use swt_obs::metrics::{bucket_bound, bucket_index, HIST_BUCKETS};
+use swt_obs::report::{CounterRow, HistogramRow};
+use swt_obs::RunReport;
 use swt_space::ArchSeq;
 
 /// Everything a worker needs to reproduce the coordinator's evaluation
@@ -42,19 +46,153 @@ pub struct RunSpec {
     /// (`hardware / workers`, floored at 1 — same policy as the in-process
     /// pool).
     pub threads: u32,
+    /// Per-worker provider-cache byte budget: the worker wraps its
+    /// `DirStore` in a `CachedStore` of this size (0 disables caching).
+    /// Sized coordinator-side as the run's cache budget split across the
+    /// dispatch window, mirroring the in-process shared cache.
+    pub cache_bytes: u64,
+}
+
+/// A worker process's cumulative counter/histogram snapshot, shipped in
+/// every `Result` frame and finally in a `Stats` frame at shutdown.
+///
+/// Snapshots are *cumulative since worker start*, not deltas: the
+/// coordinator keeps only the latest snapshot per worker, so a lost frame
+/// (or a worker killed mid-run) costs at most the metrics of work done
+/// after its last delivered `Result` — never double counting. Merging the
+/// latest snapshot of every process plus the coordinator's own registry
+/// yields whole-run totals (`report.json` conservation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerMetrics {
+    pub counters: Vec<CounterRow>,
+    pub histograms: Vec<HistogramRow>,
+}
+
+impl WorkerMetrics {
+    /// Snapshot this process's global registry (counters + histograms only;
+    /// spans and gauges are process-local and stay out of the wire format).
+    pub fn capture() -> WorkerMetrics {
+        let report = RunReport::capture();
+        WorkerMetrics { counters: report.counters, histograms: report.histograms }
+    }
+
+    /// View the snapshot as a counters/histograms-only [`RunReport`], the
+    /// shape `RunReport::merge` and `absorb_into` consume.
+    pub fn to_report(&self) -> RunReport {
+        RunReport {
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+            ..RunReport::default()
+        }
+    }
+
+    /// A counter's value in this snapshot (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|c| c.name.starts_with(prefix)).map(|c| c.value).sum()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let n = u32::try_from(self.counters.len())
+            .map_err(|_| WireError::Malformed("too many counters"))?;
+        out.extend_from_slice(&n.to_le_bytes());
+        for c in &self.counters {
+            put_string(out, &c.name)?;
+            out.extend_from_slice(&c.value.to_le_bytes());
+        }
+        let n = u32::try_from(self.histograms.len())
+            .map_err(|_| WireError::Malformed("too many histograms"))?;
+        out.extend_from_slice(&n.to_le_bytes());
+        for h in &self.histograms {
+            put_string(out, &h.name)?;
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            let nb = u8::try_from(h.buckets.len().min(HIST_BUCKETS))
+                .map_err(|_| WireError::Malformed("too many histogram buckets"))?;
+            out.push(nb);
+            for &(bound, count) in h.buckets.iter().take(HIST_BUCKETS) {
+                // Bounds travel as their pow2 bucket index — one byte, and
+                // u64::MAX (the overflow bucket) needs no special case.
+                out.push(bucket_index(bound) as u8);
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_from(c: &mut Cursor<'_>) -> Result<WorkerMetrics, WireError> {
+        let n = c.u32()? as usize;
+        // Capacity is clamped: a hostile count must not pre-allocate beyond
+        // what the (already length-capped) payload can actually hold.
+        let mut counters = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            let name = c.string()?;
+            let value = c.u64()?;
+            counters.push(CounterRow { name, value });
+        }
+        let n = c.u32()? as usize;
+        let mut histograms = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            let name = c.string()?;
+            let count = c.u64()?;
+            let sum = c.u64()?;
+            let nb = c.u8()? as usize;
+            if nb > HIST_BUCKETS {
+                return Err(WireError::Malformed("histogram bucket count out of range"));
+            }
+            let mut buckets = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                let idx = c.u8()? as usize;
+                if idx >= HIST_BUCKETS {
+                    return Err(WireError::Malformed("histogram bucket index out of range"));
+                }
+                buckets.push((bucket_bound(idx), c.u64()?));
+            }
+            histograms.push(HistogramRow { name, count, sum, buckets });
+        }
+        Ok(WorkerMetrics { counters, histograms })
+    }
 }
 
 /// One decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    Hello { version: u32, worker_id: u64, pid: u32 },
-    HelloAck { version: u32, run: RunSpec },
-    Task { cand: Candidate },
-    Result { id: u64, outcome: EvalOutcome },
-    Ping { nonce: u64 },
-    Pong { nonce: u64 },
+    Hello {
+        version: u32,
+        worker_id: u64,
+        pid: u32,
+    },
+    HelloAck {
+        version: u32,
+        run: RunSpec,
+    },
+    Task {
+        cand: Candidate,
+    },
+    Result {
+        id: u64,
+        outcome: EvalOutcome,
+        stats: WorkerMetrics,
+    },
+    Ping {
+        nonce: u64,
+    },
+    Pong {
+        nonce: u64,
+    },
     Shutdown,
-    Error { message: String },
+    Error {
+        message: String,
+    },
+    /// Final cumulative metrics snapshot, sent by a worker right before it
+    /// closes its socket in response to `Shutdown`.
+    Stats {
+        stats: WorkerMetrics,
+    },
 }
 
 fn app_code(app: AppKind) -> u8 {
@@ -105,6 +243,7 @@ impl Msg {
             Msg::Pong { .. } => 0x06,
             Msg::Shutdown => 0x07,
             Msg::Error { .. } => 0x08,
+            Msg::Stats { .. } => 0x09,
         }
     }
 
@@ -131,6 +270,7 @@ impl Msg {
                 put_string(&mut out, &run.namespace)?;
                 put_string(&mut out, &run.store_dir)?;
                 out.extend_from_slice(&run.threads.to_le_bytes());
+                out.extend_from_slice(&run.cache_bytes.to_le_bytes());
             }
             Msg::Task { cand } => {
                 out.extend_from_slice(&cand.id.to_le_bytes());
@@ -144,7 +284,7 @@ impl Msg {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
             }
-            Msg::Result { id, outcome } => {
+            Msg::Result { id, outcome, stats } => {
                 out.extend_from_slice(&id.to_le_bytes());
                 out.extend_from_slice(&outcome.score.to_bits().to_le_bytes());
                 out.extend_from_slice(&outcome.train_secs.to_bits().to_le_bytes());
@@ -155,6 +295,7 @@ impl Msg {
                 out.extend_from_slice(&(outcome.transfer.bytes as u64).to_le_bytes());
                 out.extend_from_slice(&(outcome.transfer.skipped as u64).to_le_bytes());
                 out.extend_from_slice(&(outcome.epochs as u32).to_le_bytes());
+                stats.encode_into(&mut out)?;
             }
             Msg::Ping { nonce } | Msg::Pong { nonce } => {
                 out.extend_from_slice(&nonce.to_le_bytes());
@@ -162,6 +303,9 @@ impl Msg {
             Msg::Shutdown => {}
             Msg::Error { message } => {
                 put_string(&mut out, message)?;
+            }
+            Msg::Stats { stats } => {
+                stats.encode_into(&mut out)?;
             }
         }
         Ok(out)
@@ -188,6 +332,7 @@ impl Msg {
                 let namespace = c.string()?;
                 let store_dir = c.string()?;
                 let threads = c.u32()?;
+                let cache_bytes = c.u64()?;
                 Msg::HelloAck {
                     version,
                     run: RunSpec {
@@ -200,6 +345,7 @@ impl Msg {
                         namespace,
                         store_dir,
                         threads,
+                        cache_bytes,
                     },
                 }
             }
@@ -230,6 +376,7 @@ impl Msg {
                 let bytes = c.u64()? as usize;
                 let skipped = c.u64()? as usize;
                 let epochs = c.u32()? as usize;
+                let stats = WorkerMetrics::decode_from(&mut c)?;
                 Msg::Result {
                     id,
                     outcome: EvalOutcome {
@@ -242,12 +389,14 @@ impl Msg {
                         transfer: TransferStats { tensors, bytes, skipped },
                         epochs,
                     },
+                    stats,
                 }
             }
             0x05 => Msg::Ping { nonce: c.u64()? },
             0x06 => Msg::Pong { nonce: c.u64()? },
             0x07 => Msg::Shutdown,
             0x08 => Msg::Error { message: c.string()? },
+            0x09 => Msg::Stats { stats: WorkerMetrics::decode_from(&mut c)? },
             other => return Err(WireError::UnknownType(other)),
         };
         c.finish()?;
@@ -282,6 +431,7 @@ mod tests {
                 namespace: "dist_".into(),
                 store_dir: "/tmp/swt_store".into(),
                 threads: 1,
+                cache_bytes: 1 << 22,
             },
         })?;
         round_trip(Msg::Task {
@@ -302,12 +452,62 @@ mod tests {
                 transfer: TransferStats { tensors: 5, bytes: 4096, skipped: 1 },
                 epochs: 1,
             },
+            stats: sample_metrics(),
         })?;
         round_trip(Msg::Ping { nonce: u64::MAX })?;
         round_trip(Msg::Pong { nonce: 0 })?;
         round_trip(Msg::Shutdown)?;
         round_trip(Msg::Error { message: "checkpoint store unreachable".into() })?;
+        round_trip(Msg::Stats { stats: sample_metrics() })?;
+        round_trip(Msg::Stats { stats: WorkerMetrics::default() })?;
         Ok(())
+    }
+
+    fn sample_metrics() -> WorkerMetrics {
+        WorkerMetrics {
+            counters: vec![
+                CounterRow { name: "ckpt.cache.hits".into(), value: 12 },
+                CounterRow { name: "tensor.gemm.calls".into(), value: 4096 },
+            ],
+            histograms: vec![HistogramRow {
+                name: "ckpt.save_ns".into(),
+                count: 3,
+                sum: 900,
+                // Includes the overflow bucket: its u64::MAX bound must
+                // survive the index-based encoding.
+                buckets: vec![(255, 2), (u64::MAX, 1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_with_bad_bucket_fields_error_cleanly() {
+        // Bucket count beyond HIST_BUCKETS.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&0u32.to_le_bytes()); // no counters
+        bad.extend_from_slice(&1u32.to_le_bytes()); // one histogram
+        let _ = put_string(&mut bad, "h");
+        bad.extend_from_slice(&1u64.to_le_bytes()); // count
+        bad.extend_from_slice(&1u64.to_le_bytes()); // sum
+        bad.push(HIST_BUCKETS as u8 + 1);
+        assert!(matches!(Msg::decode(0x09, &bad), Err(WireError::Malformed(_))));
+
+        // Bucket index out of range.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        let _ = put_string(&mut bad, "h");
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.push(1);
+        bad.push(HIST_BUCKETS as u8); // first invalid index
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(Msg::decode(0x09, &bad), Err(WireError::Malformed(_))));
+
+        // Hostile counter count must not pre-allocate: payload ends early.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Msg::decode(0x09, &bad), Err(WireError::Malformed(_))));
     }
 
     #[test]
@@ -327,6 +527,7 @@ mod tests {
                     transfer: TransferStats::default(),
                     epochs: 0,
                 },
+                stats: WorkerMetrics::default(),
             };
             let decoded = Msg::decode(0x04, &msg.encode()?)?;
             let Msg::Result { outcome, .. } = decoded else {

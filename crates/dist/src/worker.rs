@@ -13,11 +13,11 @@
 //! coordinator logs a cause instead of a bare EOF.
 
 use crate::frame::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
-use crate::wire::{Msg, RunSpec};
+use crate::wire::{Msg, RunSpec, WorkerMetrics};
 use std::net::TcpStream;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use swt_checkpoint::{CheckpointStore, DirStore};
+use swt_checkpoint::{CachedStore, CheckpointStore, DirStore};
 use swt_nas::{Candidate, Evaluator};
 use swt_space::SearchSpace;
 
@@ -30,6 +30,11 @@ fn send(stream: &Mutex<TcpStream>, msg: &Msg) -> Result<(), WireError> {
 /// Run the worker protocol loop on an established connection. Returns when
 /// the coordinator sends `Shutdown` or the connection fails.
 pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
+    // Metrics are recorded process-locally and shipped to the coordinator as
+    // cumulative snapshots (one per `Result`, a final one in `Stats`);
+    // without this the worker's GEMM/checkpoint/cache counters stay zero and
+    // the merged run report under-counts.
+    swt_obs::enable();
     stream.set_nodelay(true)?;
     let reader_stream = stream.try_clone()?;
     let writer = Arc::new(Mutex::new(stream));
@@ -117,10 +122,18 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
     while let Ok(cand) = task_rx.recv() {
         let id = cand.id;
         let outcome = evaluator.evaluate(&cand);
-        if let Err(e) = send(&writer, &Msg::Result { id, outcome }) {
+        let stats = WorkerMetrics::capture();
+        if let Err(e) = send(&writer, &Msg::Result { id, outcome, stats }) {
             eval_err = Some(e);
             break;
         }
+    }
+    // Clean teardown: flush the final cumulative snapshot. Best-effort — the
+    // coordinator falls back to the last Result snapshot if this frame is
+    // lost, so a dead socket here must not turn a clean shutdown into an
+    // error.
+    if eval_err.is_none() {
+        let _ = send(&writer, &Msg::Stats { stats: WorkerMetrics::capture() });
     }
     // Unblock the reader if we exited first (send failure): closing the
     // socket fails its blocking read.
@@ -147,7 +160,16 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
 fn build_evaluator(run: &RunSpec) -> Result<Evaluator, WireError> {
     let problem = Arc::new(run.app.problem(run.scale, run.data_seed));
     let space = Arc::new(SearchSpace::for_app(run.app));
-    let store: Arc<dyn CheckpointStore> = Arc::new(DirStore::new(&run.store_dir)?);
+    let dir = DirStore::new(&run.store_dir)?;
+    // Each worker fronts the shared store with its own provider cache (its
+    // slice of the run's byte budget): a parent checkpoint read for the
+    // index and again for the tensors costs one store round-trip, not two,
+    // and repeat parents are served from memory entirely.
+    let store: Arc<dyn CheckpointStore> = if run.cache_bytes > 0 {
+        Arc::new(CachedStore::new(dir, run.cache_bytes))
+    } else {
+        Arc::new(dir)
+    };
     Ok(Evaluator::with_namespace(
         problem,
         space,

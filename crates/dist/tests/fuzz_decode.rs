@@ -1,0 +1,218 @@
+//! Seeded fuzz coverage of the wire protocol's decode surface (satellite of
+//! the elastic-matrix PR): every frame type under truncation, bit flips,
+//! random payloads, unknown tags, and hostile length prefixes must come
+//! back as a typed [`WireError`] or a valid `Msg` — never a panic, never an
+//! unbounded allocation. Deterministic (fixed seeds, no time/randomness
+//! from the environment) so a failure always reproduces.
+
+use std::io::Cursor as IoCursor;
+use swt_core::{TransferScheme, TransferStats};
+use swt_data::{AppKind, DataScale};
+use swt_dist::frame::{read_frame, write_frame};
+use swt_dist::wire::{Msg, RunSpec, WorkerMetrics};
+use swt_dist::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use swt_nas::{Candidate, EvalOutcome};
+use swt_obs::report::{CounterRow, HistogramRow};
+use swt_space::ArchSeq;
+use swt_tensor::Rng;
+
+/// Every known frame-type byte (0x01 Hello … 0x09 Stats).
+const FRAME_TYPES: std::ops::RangeInclusive<u8> = 0x01..=0x09;
+
+/// One valid message of every frame type — the fuzz corpus seeds.
+fn corpus() -> Vec<Msg> {
+    let stats = WorkerMetrics {
+        counters: vec![
+            CounterRow { name: "ckpt.cache.hits".into(), value: 12 },
+            CounterRow { name: "tensor.gemm.blocked".into(), value: 4096 },
+        ],
+        histograms: vec![HistogramRow {
+            name: "ckpt.save_ns".into(),
+            count: 3,
+            sum: 900,
+            buckets: vec![(255, 2), (u64::MAX, 1)],
+        }],
+    };
+    vec![
+        Msg::Hello { version: PROTOCOL_VERSION, worker_id: 3, pid: 4242 },
+        Msg::HelloAck {
+            version: PROTOCOL_VERSION,
+            run: RunSpec {
+                app: AppKind::Uno,
+                scale: DataScale::Quick,
+                data_seed: 11,
+                scheme: TransferScheme::Lcs,
+                epochs: 1,
+                run_seed: 9,
+                namespace: "dist_".into(),
+                store_dir: "/tmp/swt_store".into(),
+                threads: 1,
+                cache_bytes: 1 << 22,
+            },
+        },
+        Msg::Task {
+            cand: Candidate { id: 7, arch: ArchSeq::new(vec![1, 0, 4, 2]), parent: Some(3) },
+        },
+        Msg::Result {
+            id: 7,
+            outcome: EvalOutcome {
+                id: 7,
+                score: 0.12345678901234567,
+                train_secs: 1.5,
+                transfer_secs: 0.25,
+                save_secs: 0.01,
+                checkpoint_bytes: 1 << 20,
+                transfer: TransferStats { tensors: 5, bytes: 4096, skipped: 1 },
+                epochs: 1,
+            },
+            stats: stats.clone(),
+        },
+        Msg::Ping { nonce: u64::MAX },
+        Msg::Pong { nonce: 0 },
+        Msg::Shutdown,
+        Msg::Error { message: "checkpoint store unreachable".into() },
+        Msg::Stats { stats },
+    ]
+}
+
+#[test]
+fn every_truncation_of_every_frame_is_a_typed_error() {
+    for msg in corpus() {
+        let payload = msg.encode().expect("corpus must encode");
+        assert_eq!(Msg::decode(msg.frame_type(), &payload).expect("corpus round-trip"), msg);
+        // Every strict prefix either starves a fixed-width read or leaves a
+        // count without its elements; none may decode, none may panic.
+        for cut in 0..payload.len() {
+            assert!(
+                Msg::decode(msg.frame_type(), &payload[..cut]).is_err(),
+                "type {:#04x} truncated to {cut}/{} bytes decoded successfully",
+                msg.frame_type(),
+                payload.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_and_often_fail_cleanly() {
+    let mut rng = Rng::seed(0xF1A5);
+    for msg in corpus() {
+        let payload = msg.encode().expect("corpus must encode");
+        if payload.is_empty() {
+            continue; // Shutdown: nothing to corrupt
+        }
+        for _ in 0..256 {
+            let mut mutated = payload.clone();
+            let flips = 1 + rng.below(4);
+            for _ in 0..flips {
+                let byte = rng.below(mutated.len());
+                let bit = rng.below(8);
+                mutated[byte] ^= 1 << bit;
+            }
+            // A flip inside a value field may still decode (to a different
+            // message); a flip inside structure must fail. Both are fine —
+            // what's forbidden is a panic or an abort.
+            match Msg::decode(msg.frame_type(), &mutated) {
+                Ok(_) | Err(_) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn random_payloads_against_every_tag_never_panic() {
+    let mut rng = Rng::seed(0xDEC0DE);
+    for ty in 0x00..=0x20u8 {
+        for round in 0..128usize {
+            let len = rng.below(64) * (1 + round % 3);
+            let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            match Msg::decode(ty, &payload) {
+                Ok(_) | Err(_) => {}
+            }
+        }
+    }
+    // Tags outside the table are always UnknownType, even with an empty
+    // payload.
+    for ty in 0x00..=0xFFu8 {
+        if !FRAME_TYPES.contains(&ty) {
+            assert!(
+                matches!(Msg::decode(ty, &[]), Err(WireError::UnknownType(t)) if t == ty),
+                "tag {ty:#04x} must be rejected as unknown"
+            );
+        }
+    }
+}
+
+#[test]
+fn hostile_counts_cannot_force_large_allocations() {
+    // A tiny payload claiming u32::MAX counters/histograms: the clamped
+    // capacity plus bounds-checked reads must reject it without ballooning.
+    for ty in [0x04u8, 0x09] {
+        let mut bad = Vec::new();
+        if ty == 0x04 {
+            bad.extend_from_slice(&[0u8; 8 + 4 * 8 + 4 * 8 + 4]); // id + floats + ints + epochs
+        }
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Msg::decode(ty, &bad).is_err(), "tag {ty:#04x} accepted a hostile count");
+    }
+    // Same for a Task announcing more arch choices than the payload holds.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&1u64.to_le_bytes()); // id
+    bad.push(0); // no parent
+    bad.extend_from_slice(&0u64.to_le_bytes()); // parent raw
+    bad.extend_from_slice(&u16::MAX.to_le_bytes()); // claims 65535 choices
+    assert!(Msg::decode(0x03, &bad).is_err());
+}
+
+#[test]
+fn frame_reader_rejects_oversized_and_truncated_streams() {
+    // Oversized length prefix: rejected before any payload allocation.
+    let mut header = Vec::new();
+    header.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+    header.push(0x03);
+    let mut buf = Vec::new();
+    assert!(matches!(
+        read_frame(&mut IoCursor::new(&header), &mut buf),
+        Err(WireError::FrameTooLarge(_))
+    ));
+
+    // A length prefix promising more payload than the stream delivers.
+    let mut short = Vec::new();
+    short.extend_from_slice(&100u32.to_le_bytes());
+    short.push(0x05);
+    short.extend_from_slice(&[0u8; 10]);
+    assert!(matches!(read_frame(&mut IoCursor::new(&short), &mut buf), Err(WireError::Io(_))));
+
+    // Every truncation of a valid framed stream is an Io error, and the
+    // frame layer itself refuses to write an oversized payload.
+    let msg = Msg::Ping { nonce: 7 };
+    let payload = msg.encode().unwrap();
+    let mut framed = Vec::new();
+    write_frame(&mut framed, msg.frame_type(), &payload).unwrap();
+    for cut in 0..framed.len() {
+        assert!(read_frame(&mut IoCursor::new(&framed[..cut]), &mut buf).is_err());
+    }
+    let ty = read_frame(&mut IoCursor::new(&framed), &mut buf).unwrap();
+    assert_eq!(Msg::decode(ty, &buf).unwrap(), msg);
+    assert!(matches!(
+        write_frame(&mut Vec::new(), 0x03, &vec![0u8; MAX_FRAME_LEN + 1]),
+        Err(WireError::FrameTooLarge(_))
+    ));
+}
+
+#[test]
+fn random_frame_streams_never_panic_the_reader() {
+    let mut rng = Rng::seed(0xFEED);
+    let mut buf = Vec::new();
+    for _ in 0..512 {
+        let len = rng.below(128);
+        let stream: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let mut cursor = IoCursor::new(&stream);
+        // Drain the stream: each frame is either readable (then decodable
+        // or a typed error) or the read itself errors; either way the loop
+        // terminates without panicking.
+        while let Ok(ty) = read_frame(&mut cursor, &mut buf) {
+            let _ = Msg::decode(ty, &buf);
+        }
+    }
+}

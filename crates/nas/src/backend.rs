@@ -7,7 +7,8 @@
 //! * [`ThreadPoolBackend`] (here) — the historical in-process pool, one
 //!   evaluator thread per simulated GPU.
 //! * `swt_dist::DistBackend` — a multi-process coordinator/worker backend
-//!   speaking a framed TCP protocol, with heartbeat-based fault tolerance.
+//!   speaking a framed TCP protocol, with heartbeat-based fault tolerance
+//!   and elastic scale-out (workers may join mid-run).
 //!
 //! Both must yield bit-identical runs for the same `NasConfig`; the
 //! deterministic dispatch window lives in the runner, so a backend only has
@@ -49,7 +50,13 @@ pub struct BackendResult {
 pub trait EvalBackend {
     /// Maximum number of candidates usefully in flight. Constant for the
     /// lifetime of the backend (it defines the deterministic dispatch
-    /// window), even if internal capacity degrades after failures.
+    /// window), even as the real pool behind it changes size: a backend
+    /// whose capacity shrinks after failures keeps reporting the full
+    /// window and queues the overflow, and an elastic backend that starts
+    /// short-handed or admits workers mid-run likewise reports the
+    /// configured window throughout. Candidate→schedule assignment is a
+    /// pure function of the window, so pool churn changes *which process*
+    /// evaluates a candidate, never *which candidate* is scheduled.
     fn capacity(&self) -> usize;
 
     /// Queue one candidate for evaluation.

@@ -168,6 +168,49 @@ impl NasTrace {
         w.flush()
     }
 
+    /// The trace's canonical form: only the deterministic columns — no
+    /// wall-clock timings — so two runs of the same `NasConfig` produce
+    /// byte-identical output whatever backend ran them, however many
+    /// workers died or joined along the way. This is what identity gates
+    /// (`--canonical-trace`, the elastic test matrix, the CI smoke) `cmp`.
+    pub fn canonical_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# app={} scheme={} seed={} workers={}",
+            self.app,
+            self.scheme.name(),
+            self.seed,
+            self.workers
+        );
+        let _ =
+            writeln!(out, "id,arch,parent,score,checkpoint_bytes,transfer_tensors,transfer_bytes");
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                e.id,
+                e.arch.encode(),
+                e.parent.map(|p| p.to_string()).unwrap_or_default(),
+                // Bit-faithful float formatting: Rust's shortest-round-trip
+                // `Display` for f64 is injective, so equal strings ⇔ equal
+                // bit patterns (modulo NaN payloads, which never reach a
+                // canonical trace comparison meaningfully).
+                e.score,
+                e.checkpoint_bytes,
+                e.transfer_tensors,
+                e.transfer_bytes
+            );
+        }
+        out
+    }
+
+    /// Write [`NasTrace::canonical_csv`] to `path`.
+    pub fn write_canonical_csv(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.canonical_csv())
+    }
+
     /// Read a trace written by [`NasTrace::write_csv`].
     pub fn read_csv(path: &Path) -> io::Result<NasTrace> {
         let file = std::fs::File::open(path)?;
@@ -350,6 +393,39 @@ mod tests {
         let back = NasTrace::read_csv(&path).unwrap();
         assert_eq!(back, t);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn canonical_csv_drops_every_wall_clock_column() {
+        let mut a = trace();
+        let mut b = trace();
+        // Perturb everything timing-related; the canonical form must not see it.
+        b.wall_secs = 99.0;
+        for e in &mut b.events {
+            e.t_start += 7.5;
+            e.t_end += 7.5;
+            e.train_secs *= 3.0;
+            e.transfer_secs += 1.0;
+            e.save_secs += 1.0;
+        }
+        assert_eq!(a.canonical_csv(), b.canonical_csv());
+        // But it must see every deterministic column.
+        b.events[1].score += 1e-15;
+        assert_ne!(a.canonical_csv(), b.canonical_csv(), "score changes are visible");
+        a.events[0].checkpoint_bytes += 1;
+        assert_ne!(a.canonical_csv(), trace().canonical_csv());
+    }
+
+    #[test]
+    fn canonical_csv_writes_to_disk() {
+        let t = trace();
+        let path = std::env::temp_dir().join(format!("swt_trace_canon_{}.csv", std::process::id()));
+        t.write_canonical_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(text, t.canonical_csv());
+        assert!(text.starts_with("# app=Uno scheme=LCS seed=9 workers=4\n"));
+        assert!(!text.contains("wall_secs"), "no wall-clock leaks into the header");
     }
 
     #[test]

@@ -40,6 +40,18 @@ impl Counter {
         self.value.load(Ordering::Relaxed)
     }
 
+    /// Fold another process's accumulated total into this counter.
+    ///
+    /// Unlike [`Counter::add`] this is **not** gated on [`crate::enabled`]:
+    /// it is the cross-process merge path (a coordinator absorbing worker
+    /// snapshots), not hot-path instrumentation, and dropping already-paid
+    /// remote totals because the local switch happens to be off would break
+    /// counter conservation in merged reports.
+    #[inline]
+    pub fn merge_add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
     }
@@ -101,6 +113,22 @@ impl Histogram {
     #[inline]
     pub fn observe_secs(&self, secs: f64) {
         self.observe((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Fold another histogram's totals into this one, bucket by bucket.
+    ///
+    /// `buckets` carries `(inclusive upper bound, count)` pairs as produced
+    /// by a report snapshot; each bound maps back onto the pow2 bucket that
+    /// contains it ([`bucket_index`]), so merging is exact as long as both
+    /// sides use the same bucket layout — which the protocol version pins.
+    /// Like [`Counter::merge_add`], this is the cross-process merge path and
+    /// is deliberately not gated on [`crate::enabled`].
+    pub fn merge(&self, count: u64, sum: u64, buckets: &[(u64, u64)]) {
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+        for &(bound, c) in buckets {
+            self.buckets[bucket_index(bound)].fetch_add(c, Ordering::Relaxed);
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -197,6 +225,23 @@ mod tests {
         assert_eq!(bucket_bound(0), 1);
         assert_eq!(bucket_bound(1), 3);
         assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn merge_paths_ignore_the_enabled_switch() {
+        let _lock = crate::test_lock();
+        crate::disable();
+        let c = Counter::new();
+        c.merge_add(7);
+        assert_eq!(c.get(), 7, "merge_add is the ungated cross-process path");
+
+        let h = Histogram::new();
+        h.merge(3, 1029, &[(1, 1), (1023, 1), (u64::MAX, 1)]);
+        assert_eq!((h.count(), h.sum()), (3, 1029));
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1, "bound 1 lands in bucket 0");
+        assert_eq!(buckets[9], 1, "bound 1023 lands in bucket 9");
+        assert_eq!(buckets[HIST_BUCKETS - 1], 1, "the overflow bound folds into the last bucket");
     }
 
     #[test]

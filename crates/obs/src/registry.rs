@@ -167,6 +167,21 @@ impl Registry {
         }
     }
 
+    /// Fold an externally-captured counter total into this registry,
+    /// interning the name on first sight. This is the cross-process merge
+    /// path (worker snapshots arriving over the wire) and therefore ungated:
+    /// see [`Counter::merge_add`].
+    pub fn merge_counter(&self, name: &str, value: u64) {
+        self.counter(name).merge_add(value);
+    }
+
+    /// Fold an externally-captured histogram snapshot (`(inclusive upper
+    /// bound, count)` bucket pairs) into this registry: see
+    /// [`Histogram::merge`].
+    pub fn merge_histogram(&self, name: &str, count: u64, sum: u64, buckets: &[(u64, u64)]) {
+        self.histogram(name).merge(count, sum, buckets);
+    }
+
     /// Zero all values in place, preserving every interned handle.
     pub fn reset(&self) {
         for stat in lock(&self.spans).values() {
@@ -220,6 +235,18 @@ mod tests {
         assert_eq!((count, total), (1, 7));
         let (count, _, min, _) = stat.snapshot(0);
         assert_eq!((count, min), (0, 0), "empty slot reports min 0");
+    }
+
+    #[test]
+    fn merge_entry_points_intern_and_accumulate() {
+        let reg = Registry::new();
+        reg.merge_counter("remote.events", 5);
+        reg.merge_counter("remote.events", 2);
+        assert_eq!(reg.counter("remote.events").get(), 7);
+        reg.merge_histogram("remote.lat", 2, 30, &[(15, 1), (31, 1)]);
+        let h = reg.histogram("remote.lat");
+        assert_eq!((h.count(), h.sum()), (2, 30));
+        assert_eq!(h.buckets()[3] + h.buckets()[4], 2);
     }
 
     #[test]

@@ -156,6 +156,96 @@ impl RunReport {
         self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
     }
 
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|c| c.name.starts_with(prefix)).map(|c| c.value).sum()
+    }
+
+    /// Fold `other` into `self` — the cross-process aggregation primitive.
+    ///
+    /// Counters sum by name; histograms sum counts/sums and merge buckets by
+    /// bound; spans sum counts/totals and combine min/max per `(path,
+    /// worker)`; gauges sum both value and high-watermark (the summed
+    /// watermark is an upper bound on the true cluster-wide peak, since
+    /// per-process peaks need not coincide). Metadata keeps the first
+    /// occurrence of each key. Rows are re-sorted afterwards, so for
+    /// integer-valued sections (counters, histograms) the merge is
+    /// associative and commutative — the property that makes "merge worker
+    /// snapshots in arrival order" well-defined.
+    pub fn merge(&mut self, other: &RunReport) {
+        for (k, v) in &other.meta {
+            if !self.meta.iter().any(|(mine, _)| mine == k) {
+                self.meta.push((k.clone(), v.clone()));
+            }
+        }
+        for s in &other.spans {
+            match self.spans.iter_mut().find(|m| m.path == s.path && m.worker == s.worker) {
+                Some(mine) => {
+                    mine.count += s.count;
+                    mine.total_secs += s.total_secs;
+                    mine.min_secs = mine.min_secs.min(s.min_secs);
+                    mine.max_secs = mine.max_secs.max(s.max_secs);
+                }
+                None => self.spans.push(s.clone()),
+            }
+        }
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|m| m.name == c.name) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|m| m.name == g.name) {
+                Some(mine) => {
+                    mine.value += g.value;
+                    mine.max += g.max;
+                }
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(mine) => {
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    for &(le, c) in &h.buckets {
+                        match mine.buckets.iter_mut().find(|(b, _)| *b == le) {
+                            Some((_, mc)) => *mc += c,
+                            None => mine.buckets.push((le, c)),
+                        }
+                    }
+                    mine.buckets.sort_unstable_by_key(|&(le, _)| le);
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        // Canonical ordering: capture produces name-sorted sections, and a
+        // merged report must look the same regardless of merge order.
+        self.spans.sort_by(|a, b| {
+            (a.path.as_str(), a.worker.map_or(0, |w| w + 1))
+                .cmp(&(b.path.as_str(), b.worker.map_or(0, |w| w + 1)))
+        });
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Fold this report's counters and histograms into `reg` (interning
+    /// names as needed) — how a coordinator makes worker-side totals visible
+    /// to its own later [`RunReport::capture`]. Spans and gauges are *not*
+    /// absorbed: span worker-slot attribution and gauge current-values are
+    /// process-local notions that would mislead when summed into a live
+    /// registry; they stay in the per-process reports.
+    pub fn absorb_into(&self, reg: &Registry) {
+        for c in &self.counters {
+            reg.merge_counter(&c.name, c.value);
+        }
+        for h in &self.histograms {
+            reg.merge_histogram(&h.name, h.count, h.sum, &h.buckets);
+        }
+    }
+
     /// Render the report as a JSON document.
     pub fn to_json(&self) -> String {
         let meta =

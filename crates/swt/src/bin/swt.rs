@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use swt::prelude::*;
-use swt_dist::{DistConfig, KillPlan};
+use swt_dist::{DistConfig, JoinPlan, KillPlan};
 
 const USAGE: &str = "\
 usage:
@@ -28,8 +28,15 @@ usage:
     --namespace S                checkpoint-id prefix           []
     --store DIR                  shared checkpoint dir          [./swt_dist_store]
     --trace FILE.csv             write the run trace CSV
+    --canonical-trace FILE.csv   write the deterministic-columns-only trace
+                                 (byte-identical across backends/failures/joins)
     --report FILE.json           write the observability report
     --kill-after W:K             fault demo: SIGKILL worker W after K results
+    --join-after K[:C]           elastic demo: C extra workers (default 1)
+                                 join after K results
+    --max-workers N              refuse joins beyond N live workers   [64]
+    --initial-workers N          processes at launch (may be < --workers;
+                                 the dispatch window stays --workers)
   swt dist-worker --connect ADDR --worker-id N    (internal)
 ";
 
@@ -126,10 +133,33 @@ fn try_dist_run(args: &[String]) -> Result<(), String> {
             after_results: k.parse().map_err(|_| format!("invalid count in `{spec}`"))?,
         });
     }
+    if let Some(spec) = opt(args, "--join-after") {
+        let (k, c) = match spec.split_once(':') {
+            Some((k, c)) => (k, c),
+            None => (spec, "1"),
+        };
+        dist.join_after = Some(JoinPlan {
+            after_results: k.parse().map_err(|_| format!("invalid count in `{spec}`"))?,
+            count: c.parse().map_err(|_| format!("invalid worker count in `{spec}`"))?,
+        });
+    }
+    dist.max_workers = parse(args, "--max-workers", dist.max_workers)?;
+    if dist.max_workers == 0 {
+        return Err("--max-workers must be positive".into());
+    }
+    if let Some(raw) = opt(args, "--initial-workers") {
+        let initial: usize =
+            raw.parse().map_err(|_| format!("invalid value for --initial-workers: `{raw}`"))?;
+        if initial == 0 || initial > dist.max_workers {
+            return Err("--initial-workers must be in 1..=--max-workers".into());
+        }
+        dist.initial_workers = Some(initial);
+    }
 
     swt_obs::enable();
     let t0 = std::time::Instant::now();
-    let trace = swt_dist::run_nas_dist(&nas, &dist).map_err(|e| e.to_string())?;
+    let (trace, stats) =
+        swt_dist::run_nas_dist_with_stats(&nas, &dist).map_err(|e| e.to_string())?;
     let wall = t0.elapsed();
 
     println!(
@@ -152,15 +182,37 @@ fn try_dist_run(args: &[String]) -> Result<(), String> {
         .with_meta("candidates", candidates)
         .with_meta("workers", workers)
         .with_meta("seed", seed);
-    let lost = report.counter("dist.workers_lost");
-    let reassigned = report.counter("dist.reassigned");
-    if lost > 0 {
-        println!("fault tolerance: {lost} worker(s) lost, {reassigned} candidate(s) reassigned");
+    if stats.lost > 0 {
+        println!(
+            "fault tolerance: {} worker(s) lost, {} candidate(s) reassigned",
+            stats.lost, stats.reassigned
+        );
     }
+    if stats.joined > 0 || stats.rejected > 0 {
+        println!(
+            "elasticity: {} worker(s) joined mid-run, {} join(s) rejected at max_workers={}",
+            stats.joined, stats.rejected, dist.max_workers
+        );
+    }
+    println!(
+        "metrics merged from {} worker process(es): gemm calls {}, checkpoint bytes saved {}, \
+         provider-cache hits {}",
+        stats.per_worker.len(),
+        report.counter_prefix_sum("tensor.gemm."),
+        report.counter("ckpt.dir.saved_bytes"),
+        report.counter("ckpt.cache.hits"),
+    );
     if let Some(path) = opt(args, "--trace") {
         let path = PathBuf::from(path);
         trace.write_csv(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("trace: {}", path.display());
+    }
+    if let Some(path) = opt(args, "--canonical-trace") {
+        let path = PathBuf::from(path);
+        trace
+            .write_canonical_csv(&path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("canonical trace: {}", path.display());
     }
     if let Some(path) = opt(args, "--report") {
         let path = PathBuf::from(path);

@@ -49,7 +49,10 @@ pub mod prelude {
         TransferScheme, TransferStats,
     };
     pub use swt_data::{AppKind, AppProblem, DataScale};
-    pub use swt_dist::{run_nas_dist, DistBackend, DistConfig, KillPlan};
+    pub use swt_dist::{
+        run_nas_dist, run_nas_dist_with_stats, DistBackend, DistConfig, DistRunStats, JoinPlan,
+        KillPlan, WorkerMetrics,
+    };
     pub use swt_nas::{
         full_train_top_k, run_nas, run_nas_with_backend, run_pair_experiment, Candidate,
         EvalBackend, NasConfig, NasTrace, PairSummary, ProviderPolicy, StrategyKind,

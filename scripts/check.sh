@@ -59,4 +59,23 @@ echo "==> bench_dist smoke (coordinator + 2 workers, one SIGKILLed; A/B identica
 cargo build --release --quiet -p swt   # worker binary for the coordinator to spawn
 cargo run --release --quiet -p swt-bench --bin bench_dist -- --smoke
 
+echo "==> wire fuzz (every frame type under truncation/bit-flips/hostile prefixes)"
+cargo test --release --quiet -p swt-dist --test fuzz_decode
+
+echo "==> elastic smoke (late join must not change the canonical trace)"
+elastic_dir=$(mktemp -d)
+trap 'rm -rf "$elastic_dir"' EXIT
+./target/release/swt dist-run --app uno --scheme lcs --candidates 8 \
+  --workers 2 --store "$elastic_dir/fixed_store" \
+  --canonical-trace "$elastic_dir/fixed.csv" >/dev/null
+./target/release/swt dist-run --app uno --scheme lcs --candidates 8 \
+  --workers 2 --join-after 2 --max-workers 3 \
+  --store "$elastic_dir/elastic_store" \
+  --canonical-trace "$elastic_dir/elastic.csv" >/dev/null
+if ! cmp -s "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv"; then
+  echo "elastic smoke: canonical trace changed when a worker joined mid-run" >&2
+  diff "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv" >&2 || true
+  exit 1
+fi
+
 echo "OK"

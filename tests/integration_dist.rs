@@ -7,20 +7,13 @@
 //! to stale binaries elsewhere on the path.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use swt::prelude::*;
 
-static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
-
-/// A temp dir unique across processes and across calls within a process.
-fn temp_dir(tag: &str) -> PathBuf {
-    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!("swt_dist_{tag}_{}_{seq}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
+#[path = "util/mod.rs"]
+mod util;
+use util::{assert_traces_identical, poll_until, temp_dir};
 
 fn nas_config(candidates: usize, workers: usize) -> NasConfig {
     NasConfig::quick(TransferScheme::Lcs, candidates, workers, 9)
@@ -39,38 +32,6 @@ fn run_in_process(cfg: &NasConfig, store_dir: &PathBuf) -> NasTrace {
     run_nas(problem, space, store, cfg)
 }
 
-/// The A/B identity contract: everything the strategy and the paper's
-/// analyses consume must match bit-for-bit.
-fn assert_traces_identical(a: &NasTrace, b: &NasTrace, what: &str) {
-    assert_eq!(a.events.len(), b.events.len(), "{what}: event counts differ");
-    for (x, y) in a.events.iter().zip(&b.events) {
-        assert_eq!(x.id, y.id, "{what}: id order diverged");
-        assert_eq!(x.arch, y.arch, "{what}: arch of c{} diverged", x.id);
-        assert_eq!(x.parent, y.parent, "{what}: parent of c{} diverged", x.id);
-        assert_eq!(
-            x.score.to_bits(),
-            y.score.to_bits(),
-            "{what}: score of c{} diverged ({} vs {})",
-            x.id,
-            x.score,
-            y.score
-        );
-        assert_eq!(
-            x.transfer_tensors, y.transfer_tensors,
-            "{what}: transfer tensors of c{} diverged",
-            x.id
-        );
-        assert_eq!(
-            x.transfer_bytes, y.transfer_bytes,
-            "{what}: transfer bytes of c{} diverged",
-            x.id
-        );
-    }
-    let top_a: Vec<u64> = a.top_k(5).iter().map(|e| e.id).collect();
-    let top_b: Vec<u64> = b.top_k(5).iter().map(|e| e.id).collect();
-    assert_eq!(top_a, top_b, "{what}: top-K diverged");
-}
-
 #[test]
 fn distributed_run_matches_in_process_run() {
     let cfg = nas_config(10, 2);
@@ -83,9 +44,15 @@ fn distributed_run_matches_in_process_run() {
 
     assert_traces_identical(&local, &distributed, "healthy 2-worker run");
     // Workers shared one DirStore: every candidate checkpoint is on disk.
+    // Checkpoints are written by *worker* processes, so wait on a deadline
+    // rather than asserting instantly.
     let store = DirStore::new(&dist_store).unwrap();
     for e in &distributed.events {
-        assert!(store.exists(&format!("c{}", e.id)), "missing checkpoint c{}", e.id);
+        assert!(
+            poll_until(Duration::from_secs(5), || store.exists(&format!("c{}", e.id))),
+            "missing checkpoint c{}",
+            e.id
+        );
     }
     let _ = std::fs::remove_dir_all(&local_store);
     let _ = std::fs::remove_dir_all(&dist_store);
@@ -159,10 +126,10 @@ fn two_runs_share_one_store_via_namespaces() {
     assert_traces_identical(&isolated_a, &a, "shared-store run A vs isolated baseline");
     let store = DirStore::new(&shared_store).unwrap();
     for e in a.events.iter() {
-        assert!(store.exists(&format!("expA_c{}", e.id)));
+        assert!(poll_until(Duration::from_secs(5), || store.exists(&format!("expA_c{}", e.id))));
     }
     for e in b.events.iter() {
-        assert!(store.exists(&format!("expB_c{}", e.id)));
+        assert!(poll_until(Duration::from_secs(5), || store.exists(&format!("expB_c{}", e.id))));
     }
     assert!(!store.exists("c0"), "no run may write outside its namespace");
     let _ = std::fs::remove_dir_all(&shared_store);

@@ -3,23 +3,13 @@
 //! budgets. Nothing here may panic; errors must surface as `Result`s or
 //! empty statistics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use swt::checkpoint::{decode, encode, FormatError};
 use swt::prelude::*;
 
-static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
-
-/// A temp dir unique across processes (pid) and across calls within this
-/// process (counter), so concurrent test binaries and repeated tests in one
-/// binary can never collide on a path.
-fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!("swt_{tag}_{}_{seq}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
+#[path = "util/mod.rs"]
+mod util;
+use util::temp_dir;
 
 #[test]
 fn missing_checkpoint_is_an_error_not_a_panic() {

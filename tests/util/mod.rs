@@ -1,0 +1,77 @@
+//! Shared infrastructure for the integration tests.
+//!
+//! Integration-test binaries are separate crates; each `#[path]`-includes
+//! this module, so every helper is `pub` and some are unused in any single
+//! binary (hence the `dead_code` allowance).
+
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use swt::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A temp dir unique across processes (pid) and across calls within this
+/// process (counter), so concurrent test binaries and repeated tests in one
+/// binary can never collide on a path.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("swt_{tag}_{}_{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Poll `cond` until it returns true or `timeout` elapses — the
+/// deadline-based replacement for fixed sleeps when a test waits on state
+/// produced by another process (worker checkpoints on the shared store,
+/// reaped children, …). Returns whether the condition was met, so callers
+/// assert with their own message.
+pub fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() > deadline {
+            // One last look: the condition may have become true while the
+            // poller was asleep right at the deadline.
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The A/B identity contract: everything the strategy and the paper's
+/// analyses consume must match bit-for-bit.
+pub fn assert_traces_identical(a: &NasTrace, b: &NasTrace, what: &str) {
+    assert_eq!(a.events.len(), b.events.len(), "{what}: event counts differ");
+    for (x, y) in a.events.iter().zip(&b.events) {
+        assert_eq!(x.id, y.id, "{what}: id order diverged");
+        assert_eq!(x.arch, y.arch, "{what}: arch of c{} diverged", x.id);
+        assert_eq!(x.parent, y.parent, "{what}: parent of c{} diverged", x.id);
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{what}: score of c{} diverged ({} vs {})",
+            x.id,
+            x.score,
+            y.score
+        );
+        assert_eq!(
+            x.transfer_tensors, y.transfer_tensors,
+            "{what}: transfer tensors of c{} diverged",
+            x.id
+        );
+        assert_eq!(
+            x.transfer_bytes, y.transfer_bytes,
+            "{what}: transfer bytes of c{} diverged",
+            x.id
+        );
+    }
+    let top_a: Vec<u64> = a.top_k(5).iter().map(|e| e.id).collect();
+    let top_b: Vec<u64> = b.top_k(5).iter().map(|e| e.id).collect();
+    assert_eq!(top_a, top_b, "{what}: top-K diverged");
+}
