@@ -4,9 +4,13 @@
 //!
 //! Measures, single-threaded (so numbers are comparable across machines and
 //! cap configurations):
-//! * naive vs blocked GEMM on square and training-shaped problems,
+//! * naive vs blocked GEMM on square and training-shaped problems — the
+//!   blocked driver is measured twice, on the forced portable scalar
+//!   micro-kernel (`gemm.blocked.*`) and on the runtime-dispatched kernel
+//!   (`gemm.simd.*`, AVX2+FMA where detected; identical to blocked rows on
+//!   hosts without SIMD),
 //! * im2col conv2d forward on a CIFAR-like layer,
-//! * one end-to-end `NasConfig::quick` run.
+//! * one end-to-end `NasConfig::quick` run per kernel.
 //!
 //! The JSON is committed as `BENCH_gemm.json` at the repository root so perf
 //! changes show up in review diffs.
@@ -14,7 +18,10 @@
 use std::hint::black_box;
 use std::sync::Arc;
 use swt::prelude::*;
-use swt::tensor::{conv2d_forward, force_naive_gemm, matmul, matmul_naive, Padding};
+use swt::tensor::{
+    conv2d_forward, force_naive_gemm, force_scalar_kernel, gemm_kernel_name, matmul, matmul_naive,
+    Padding,
+};
 use swt_bench::Harness;
 
 fn main() {
@@ -39,7 +46,12 @@ fn main() {
         h.bench(&format!("gemm.naive.{m}x{k}x{n}"), || {
             black_box(matmul_naive(&a, &b));
         });
+        force_scalar_kernel(true);
         h.bench(&format!("gemm.blocked.{m}x{k}x{n}"), || {
+            black_box(matmul(&a, &b));
+        });
+        force_scalar_kernel(false);
+        h.bench(&format!("gemm.simd.{m}x{k}x{n}"), || {
             black_box(matmul(&a, &b));
         });
     }
@@ -64,7 +76,13 @@ fn main() {
         black_box(run_nas(Arc::clone(&problem), Arc::clone(&space), store, &cfg));
     });
     force_naive_gemm(false);
+    force_scalar_kernel(true);
     h.bench("nas.quick_uno.8cand_1worker.blocked_gemm", || {
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+        black_box(run_nas(Arc::clone(&problem), Arc::clone(&space), store, &cfg));
+    });
+    force_scalar_kernel(false);
+    h.bench("nas.quick_uno.8cand_1worker.simd_gemm", || {
         let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
         black_box(run_nas(Arc::clone(&problem), Arc::clone(&space), store, &cfg));
     });
@@ -74,18 +92,31 @@ fn main() {
     if let (Some(naive), Some(blocked)) =
         (h.get("gemm.naive.256x256x256"), h.get("gemm.blocked.256x256x256"))
     {
-        println!("\ngemm 256x256x256 speedup: {:.2}x (single-threaded)", naive / blocked);
+        println!(
+            "\ngemm 256x256x256 blocked-vs-naive speedup: {:.2}x (single-threaded)",
+            naive / blocked
+        );
     }
-    if let (Some(naive), Some(blocked)) = (
+    if let (Some(blocked), Some(simd)) =
+        (h.get("gemm.blocked.256x256x256"), h.get("gemm.simd.256x256x256"))
+    {
+        println!(
+            "gemm 256x256x256 simd-vs-scalar-microkernel speedup: {:.2}x ({})",
+            blocked / simd,
+            gemm_kernel_name()
+        );
+    }
+    if let (Some(naive), Some(simd)) = (
         h.get("nas.quick_uno.8cand_1worker.naive_gemm"),
-        h.get("nas.quick_uno.8cand_1worker.blocked_gemm"),
+        h.get("nas.quick_uno.8cand_1worker.simd_gemm"),
     ) {
-        println!("nas quick_uno end-to-end speedup: {:.2}x", naive / blocked);
+        println!("nas quick_uno end-to-end speedup: {:.2}x", naive / simd);
     }
 
     let meta = [
         ("bench", "gemm".to_string()),
         ("threads", "1".to_string()),
+        ("kernel", gemm_kernel_name().to_string()),
         ("profile", if cfg!(debug_assertions) { "debug" } else { "release" }.to_string()),
     ];
     std::fs::write(&out_path, h.to_json(&meta)).expect("write benchmark JSON");

@@ -64,8 +64,16 @@ impl Harness {
     /// Run one benchmark, print a human-readable line, record the result.
     pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
         let (median, iters) = median_ns(f);
-        println!("{name:<48} {:>14} ns/iter  ({iters} iters)", group_digits(median));
-        self.results.push(BenchResult { name: name.to_string(), median_ns: median, iters });
+        self.record(name, median, iters);
+    }
+
+    /// Record an externally measured result. For benchmarks whose iteration
+    /// structure the harness cannot drive — e.g. alternating A/B runs where
+    /// the two arms must interleave to share drift — the caller times the
+    /// runs itself and reports the median here.
+    pub fn record(&mut self, name: &str, median_ns: f64, iters: usize) {
+        println!("{name:<48} {:>14} ns/iter  ({iters} iters)", group_digits(median_ns));
+        self.results.push(BenchResult { name: name.to_string(), median_ns, iters });
     }
 
     /// Like [`Harness::bench`] but with a per-iteration setup closure whose

@@ -36,6 +36,52 @@ pub enum StrategyKind {
     Evolution,
 }
 
+/// How the in-process backend packs candidates onto worker-slot threads.
+///
+/// The paper's few-shot workloads train very many *tiny* models; one OS
+/// thread per simulated GPU then means `workers` runnable threads thrashing
+/// a handful of cores. Batched evaluation keeps the configured dispatch
+/// window (`workers` — the determinism contract is untouched) but services
+/// it with fewer slot threads, each evaluating several candidates. Every
+/// candidate keeps its own `Workspace`, seed derivation and trace row, so
+/// results are bit-identical to unbatched runs (the integration suite and
+/// `bench_batch` gate on canonical-trace equality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchEval {
+    /// One thread per worker slot (the historical shape).
+    #[default]
+    Off,
+    /// Pack candidates when the model is small: engages when the problem's
+    /// flops-per-step proxy is below a threshold derived from the core
+    /// count, with batch size chosen so slot threads ≈ cores.
+    Auto,
+    /// Always pack exactly `n` candidates per slot thread (clamped to
+    /// `[1, workers]`).
+    Fixed(usize),
+}
+
+impl BatchEval {
+    /// Parse the config-file/CLI surface syntax: `auto`, `off`, or a
+    /// positive integer `N`.
+    pub fn parse(s: &str) -> Option<BatchEval> {
+        match s {
+            "auto" => Some(BatchEval::Auto),
+            "off" => Some(BatchEval::Off),
+            n => n.parse::<usize>().ok().filter(|&n| n > 0).map(BatchEval::Fixed),
+        }
+    }
+}
+
+impl std::fmt::Display for BatchEval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchEval::Off => write!(f, "off"),
+            BatchEval::Auto => write!(f, "auto"),
+            BatchEval::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 /// Configuration of one NAS candidate-estimation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NasConfig {
@@ -69,6 +115,10 @@ pub struct NasConfig {
     /// system) must use distinct namespaces; the default empty string keeps
     /// the historical bare `c{i}` ids.
     pub namespace: String,
+    /// Candidate packing for the in-process backend (`auto|off|N`); see
+    /// [`BatchEval`]. Scheduling-only: results are bit-identical across
+    /// settings. Defaults to [`BatchEval::Off`].
+    pub batch_eval: BatchEval,
 }
 
 impl NasConfig {
@@ -91,6 +141,7 @@ impl NasConfig {
             provider: ProviderPolicy::Parent,
             cache_bytes: 256 << 20,
             namespace: String::new(),
+            batch_eval: BatchEval::Off,
         }
     }
 
@@ -315,6 +366,18 @@ mod tests {
         for e in &trace.events {
             assert!(store.exists(&format!("runA_c{}", e.id)));
             assert!(!store.exists(&format!("c{}", e.id)));
+        }
+    }
+
+    #[test]
+    fn batch_eval_surface_syntax_roundtrips() {
+        assert_eq!(BatchEval::parse("auto"), Some(BatchEval::Auto));
+        assert_eq!(BatchEval::parse("off"), Some(BatchEval::Off));
+        assert_eq!(BatchEval::parse("4"), Some(BatchEval::Fixed(4)));
+        assert_eq!(BatchEval::parse("0"), None);
+        assert_eq!(BatchEval::parse("many"), None);
+        for b in [BatchEval::Off, BatchEval::Auto, BatchEval::Fixed(7)] {
+            assert_eq!(BatchEval::parse(&b.to_string()), Some(b));
         }
     }
 

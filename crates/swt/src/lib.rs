@@ -54,7 +54,7 @@ pub mod prelude {
         KillPlan, WorkerMetrics,
     };
     pub use swt_nas::{
-        full_train_top_k, run_nas, run_nas_with_backend, run_pair_experiment, Candidate,
+        full_train_top_k, run_nas, run_nas_with_backend, run_pair_experiment, BatchEval, Candidate,
         EvalBackend, NasConfig, NasTrace, PairSummary, ProviderPolicy, StrategyKind,
         ThreadPoolBackend, TopKReport, TraceEvent,
     };

@@ -18,7 +18,11 @@
 //! * a seeded, splittable [`Rng`] so every experiment is
 //!   reproducible from a single `u64` seed.
 //!
-//! Everything is safe Rust with zero external dependencies; hot loops are
+//! The crate has zero external dependencies. Everything is safe Rust except
+//! the GEMM micro-kernels behind the runtime dispatch table in [`mod@matmul`]:
+//! an explicit AVX2+FMA `std::arch` kernel (selected once per process via
+//! `is_x86_feature_detected!`, with the portable scalar kernel as fallback)
+//! is the one place `unsafe` buys real throughput. Hot loops elsewhere are
 //! written over slices and fixed-size tiles so bounds checks vectorise away.
 
 pub mod conv1d;
@@ -35,8 +39,8 @@ pub mod workspace;
 pub use conv1d::{conv1d_backward, conv1d_backward_ws, conv1d_forward, conv1d_forward_ws};
 pub use conv2d::{conv2d_backward, conv2d_backward_ws, conv2d_forward, conv2d_forward_ws, Padding};
 pub use matmul::{
-    force_naive_gemm, matmul, matmul_at, matmul_at_ws, matmul_bt, matmul_bt_ws, matmul_naive,
-    matmul_ws,
+    force_naive_gemm, force_scalar_kernel, gemm_kernel_name, matmul, matmul_at, matmul_at_ws,
+    matmul_bt, matmul_bt_ws, matmul_naive, matmul_ws,
 };
 pub use ops::{
     relu, relu_grad_from_output, sigmoid, sigmoid_grad_from_output, softmax_rows, tanh_act,

@@ -11,15 +11,44 @@
 //!   packed into `MR`-tall strips laid out `[k][MR]` so the micro-kernel
 //!   streams both operands linearly;
 //! * an `MR×NR` register micro-kernel with fixed trip counts accumulates into
-//!   a column-major `[[f32; MR]; NR]` tile, which the compiler keeps in
-//!   vector registers and turns into broadcast-FMA sequences (build with
-//!   `-C target-cpu=native`; see `.cargo/config.toml`);
+//!   a column-major `[[f32; MR]; NR]` tile;
 //! * parallel dispatch (see [`crate::parallel`]) is over `MC`-row *blocks*
-//!   of `C`, not single rows, so each task amortises its packing work.
+//!   of `C`, not single rows, so each task amortises its packing work; each
+//!   task packs into a per-thread scratch slice carved from the caller's
+//!   [`Workspace`], so the parallel path allocates nothing at steady state.
 //!
-//! Edges are zero-padded inside the packed buffers, so the micro-kernel is
-//! branch-free; write-back masks the padding off. The first K panel
-//! overwrites `C` and later panels accumulate, so `C` needs no pre-zeroing.
+//! # Micro-kernel dispatch
+//!
+//! The micro-kernel is selected **once per process** at first use, by
+//! runtime CPU feature detection (`is_x86_feature_detected!`), so one
+//! portable binary runs everywhere and still saturates wide vector units
+//! where they exist:
+//!
+//! * `Avx2Fma` — an explicit `std::arch::x86_64` kernel: per k step, two
+//!   8-lane loads of the packed `A` strip and eight broadcast
+//!   `_mm256_fmadd_ps` chains into the register tile
+//!   (`micro_kernel_avx2`).
+//! * `ScalarFma` — the generic tile loop compiled with the `fma` feature
+//!   enabled for that one function, so `mul_add` lowers to hardware FMA.
+//! * `Scalar` — the fully portable generic tile loop; the baseline for any
+//!   target and the kernel behind [`force_scalar_kernel`].
+//!
+//! **FP-contract determinism:** all three kernels contract each output
+//! element in the *same pinned order* — `k` ascending within a panel, one
+//! multiply-add per step, panel sums combined in panel order — and never
+//! reassociate. Kernels that fuse (`Avx2Fma`, `ScalarFma`, and `Scalar` when
+//! the build itself enables FMA) are therefore **bit-identical** to each
+//! other; the unfused portable `Scalar` kernel rounds each multiply and add
+//! separately and may differ from the fused kernels in the last ulp. Within
+//! one process the selection is pinned, so every run is bit-reproducible;
+//! A/B flags ([`force_scalar_kernel`], `SWT_FORCE_SCALAR_KERNEL=1`) change
+//! the kernel and may change low-order bits — they are benchmark/CI tools,
+//! not run-time tuning knobs.
+//!
+//! Edges are zero-padded inside the packed buffers, so the micro-kernels are
+//! branch-free (padding lanes compute `fma(0, b, acc) = acc` and are masked
+//! off at write-back). The first K panel overwrites `C` and later panels
+//! accumulate, so `C` needs no pre-zeroing.
 //!
 //! One stride-generic driver serves all three entry points — [`matmul`]
 //! (`A·B`), [`matmul_at`] (`Aᵀ·B`, the weight gradient) and [`matmul_bt`]
@@ -31,6 +60,7 @@ use crate::parallel;
 use crate::tensor::Tensor;
 use crate::workspace::{with_thread_workspace, Workspace};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 /// Benchmark-only escape hatch: when set, every GEMM entry point (including
 /// the conv lowering) runs the textbook triple loop instead of the blocked
@@ -38,15 +68,83 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// before/after on the same build; it is not meant for production use.
 static FORCE_NAIVE: AtomicBool = AtomicBool::new(false);
 
+/// Benchmark/CI escape hatch: when set, the blocked driver runs the portable
+/// scalar micro-kernel even where the SIMD kernel is available, mirroring
+/// [`force_naive_gemm`]. `scripts/check.sh` also runs the whole test suite
+/// with `SWT_FORCE_SCALAR_KERNEL=1` so the fallback kernel stays exercised
+/// on SIMD-capable CI hosts.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
 /// Route all GEMMs through the naive reference kernel (`on = true`) or the
 /// blocked kernel (`on = false`, the default).
 pub fn force_naive_gemm(on: bool) {
     FORCE_NAIVE.store(on, Ordering::Relaxed);
 }
 
+/// Route the blocked driver through the portable scalar micro-kernel
+/// (`on = true`) instead of the runtime-detected SIMD kernel. A/B tool for
+/// benchmarks and CI; note the scalar kernel may differ from the fused SIMD
+/// kernels in low-order bits (see the module docs).
+pub fn force_scalar_kernel(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Which micro-kernel the dispatch table selected (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelKind {
+    /// Portable generic tile loop (fused only if the build enables FMA).
+    Scalar,
+    /// Generic tile loop compiled with hardware FMA for this one function.
+    #[cfg(target_arch = "x86_64")]
+    ScalarFma,
+    /// Explicit AVX2+FMA `std::arch` kernel.
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+}
+
+/// The process-wide kernel selection, made once at first GEMM.
+static KERNEL: OnceLock<KernelKind> = OnceLock::new();
+
+fn detect_kernel() -> KernelKind {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // The env override exists so CI can run the *entire* suite on the
+        // portable kernel without touching process state in every test.
+        if std::env::var_os("SWT_FORCE_SCALAR_KERNEL").is_none() {
+            if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+                return KernelKind::Avx2Fma;
+            }
+            if std::is_x86_feature_detected!("fma") {
+                return KernelKind::ScalarFma;
+            }
+        }
+    }
+    KernelKind::Scalar
+}
+
+fn active_kernel() -> KernelKind {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        return KernelKind::Scalar;
+    }
+    *KERNEL.get_or_init(detect_kernel)
+}
+
+/// Human-readable name of the micro-kernel the dispatch table would run
+/// right now (`"avx2+fma"`, `"scalar+fma"` or `"scalar"`); benchmarks and
+/// run reports record it so numbers are attributable to a kernel.
+pub fn gemm_kernel_name() -> &'static str {
+    match active_kernel() {
+        KernelKind::Scalar => "scalar",
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::ScalarFma => "scalar+fma",
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => "avx2+fma",
+    }
+}
+
 /// Micro-kernel tile height (rows of `C` per register tile). Rows are the
 /// vectorised dimension: packed `A` strips are `MR`-contiguous, so one tile
-/// row-vector is a plain wide load.
+/// row-vector is two 8-lane loads.
 pub const MR: usize = 16;
 /// Micro-kernel tile width (columns of `C` per register tile); each column
 /// holds an independent FMA chain, hiding FMA latency.
@@ -185,7 +283,7 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     let ad = a.data();
     let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
+    let mut out = vec![0.0f32; m * n]; // alloc-gate: allow (cold oracle, not a hot path)
     for i in 0..m {
         for kk in 0..k {
             let aik = ad[i * k + kk];
@@ -238,8 +336,24 @@ pub(crate) fn gemm_bt_rowmajor(
 }
 
 /// Blocked driver: `C (m×n, row-major, fully overwritten) = A · B` for
-/// strided views `a` and `b`.
+/// strided views `a` and `b`, on the process's selected micro-kernel.
 fn gemm(m: usize, n: usize, k: usize, a: View, b: View, c: &mut [f32], ws: &mut Workspace) {
+    gemm_with_kernel(active_kernel(), m, n, k, a, b, c, ws)
+}
+
+/// [`gemm`] pinned to a specific micro-kernel (tests compare kernels
+/// pairwise through this).
+#[allow(clippy::too_many_arguments)]
+fn gemm_with_kernel(
+    kernel: KernelKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: View,
+    b: View,
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
     debug_assert_eq!(c.len(), m * n);
     if FORCE_NAIVE.load(Ordering::Relaxed) {
         swt_obs::counter!("tensor.gemm.naive").inc();
@@ -249,14 +363,23 @@ fn gemm(m: usize, n: usize, k: usize, a: View, b: View, c: &mut [f32], ws: &mut 
         swt_obs::counter!("tensor.gemm.small").inc();
         return gemm_small(m, n, k, a, b, c);
     }
-    swt_obs::counter!("tensor.gemm.blocked").inc();
+    match kernel {
+        KernelKind::Scalar => swt_obs::counter!("tensor.gemm.blocked.scalar").inc(),
+        #[cfg(target_arch = "x86_64")]
+        _ => swt_obs::counter!("tensor.gemm.blocked.simd").inc(),
+    }
 
     let n_strips = n.div_ceil(NR);
     let kc_max = KC.min(k);
-    let mut pb = ws.take(kc_max * n_strips * NR);
-    let mut pa = ws.take(MC.min(m).div_ceil(MR) * MR * kc_max);
+    // One packed-A task slice per worker thread (the parallel path hands
+    // them out per task), or a single slice for the serial path. Sized for
+    // the deepest panel so every panel's packing fits without reallocating.
+    let pa_task_len = MC.min(m).div_ceil(MR) * MR * kc_max;
     let row_blocks = m.div_ceil(MC);
     let go_parallel = parallel::max_threads() > 1 && row_blocks > 1 && m * n >= PAR_THRESHOLD;
+    let pack_tasks = if go_parallel { parallel::max_threads().min(row_blocks) } else { 1 };
+    let mut pb = ws.take(kc_max * n_strips * NR);
+    let mut pa = ws.take(pack_tasks * pa_task_len);
 
     let mut k0 = 0;
     while k0 < k {
@@ -264,23 +387,40 @@ fn gemm(m: usize, n: usize, k: usize, a: View, b: View, c: &mut [f32], ws: &mut 
         pack_b(b, k0, kc, n, &mut pb);
         let first = k0 == 0;
         if go_parallel {
-            // Row blocks are disjoint `MC×n` chunks of C; each task packs its
-            // own A block (a fresh buffer — rare path, amortised by size).
+            // Row blocks are disjoint `MC×n` chunks of C; each task packs
+            // its own A block into its thread's scratch slice, carved from
+            // the caller's Workspace — the hot loop never allocates.
             let pb_ref = &pb[..];
-            parallel::par_chunks_mut(c, MC * n, |ib, c_chunk| {
-                let m0 = ib * MC;
-                let mc = MC.min(m - m0);
-                let mut pa_local = vec![0.0f32; mc.div_ceil(MR) * MR * kc];
-                pack_a(a, m0, mc, k0, kc, &mut pa_local);
-                block_kernel(c_chunk, n, mc, kc, &pa_local, pb_ref, first);
-            });
+            parallel::par_chunks_mut_scratch(
+                c,
+                MC * n,
+                &mut pa,
+                pa_task_len,
+                |ib, c_chunk, pa_scratch| {
+                    let m0 = ib * MC;
+                    let mc = MC.min(m - m0);
+                    let pa_len = mc.div_ceil(MR) * MR * kc;
+                    let pa_scratch = &mut pa_scratch[..pa_len];
+                    pack_a(a, m0, mc, k0, kc, pa_scratch);
+                    block_kernel(kernel, c_chunk, n, mc, kc, pa_scratch, pb_ref, first);
+                },
+            );
         } else {
             for ib in 0..row_blocks {
                 let m0 = ib * MC;
                 let mc = MC.min(m - m0);
                 let pa_len = mc.div_ceil(MR) * MR * kc;
                 pack_a(a, m0, mc, k0, kc, &mut pa[..pa_len]);
-                block_kernel(&mut c[m0 * n..(m0 + mc) * n], n, mc, kc, &pa[..pa_len], &pb, first);
+                block_kernel(
+                    kernel,
+                    &mut c[m0 * n..(m0 + mc) * n],
+                    n,
+                    mc,
+                    kc,
+                    &pa[..pa_len],
+                    &pb,
+                    first,
+                );
             }
         }
         k0 += kc;
@@ -354,8 +494,10 @@ fn pack_b(b: View, k0: usize, kc: usize, n: usize, dst: &mut [f32]) {
 }
 
 /// Multiply one packed `mc×kc` A block by the packed `kc×n` B panel into the
-/// `mc×n` C block (`c` is row-major with row stride `n`).
+/// `mc×n` C block (`c` is row-major with row stride `n`), on `kernel`.
+#[allow(clippy::too_many_arguments)]
 fn block_kernel(
+    kernel: KernelKind,
     c: &mut [f32],
     n: usize,
     mc: usize,
@@ -376,7 +518,20 @@ fn block_kernel(
             // row dimension is then contiguous per column, so the tile stays
             // in registers instead of decaying to gather/scatter.
             let mut acc = [[0.0f32; MR]; NR];
-            micro_kernel(kc, pa_strip, pb_strip, &mut acc);
+            match kernel {
+                KernelKind::Scalar => micro_kernel(kc, pa_strip, pb_strip, &mut acc),
+                #[cfg(target_arch = "x86_64")]
+                // Safety: the dispatch table only selects these after
+                // `is_x86_feature_detected!` confirmed the features (tests
+                // gate the same way).
+                KernelKind::ScalarFma => unsafe {
+                    micro_kernel_scalar_fma(kc, pa_strip, pb_strip, &mut acc)
+                },
+                #[cfg(target_arch = "x86_64")]
+                KernelKind::Avx2Fma => unsafe {
+                    micro_kernel_avx2(kc, pa_strip, pb_strip, &mut acc)
+                },
+            }
             for r in 0..rows {
                 let crow = &mut c[(i + r) * n + j..(i + r) * n + j + cols];
                 if first {
@@ -393,36 +548,133 @@ fn block_kernel(
     }
 }
 
-/// One tile column: `acc[r] += a[r] * b` for all `MR` rows — a contiguous
-/// fixed-trip loop, i.e. exactly one (or two) wide broadcast-FMAs.
+/// One tile column: `acc[r] (+)= a[r] * b` for all `MR` rows — a contiguous
+/// fixed-trip loop, i.e. exactly one (or two) wide broadcast-FMAs. `FUSED`
+/// pins the per-step rounding: fused multiply-add (one rounding, matching
+/// the AVX2 kernel bit for bit) or separate multiply and add.
 #[inline(always)]
-fn fma_col(acc: &mut [f32; MR], a: &[f32; MR], b: f32) {
+fn fma_col<const FUSED: bool>(acc: &mut [f32; MR], a: &[f32; MR], b: f32) {
     for (o, &ai) in acc.iter_mut().zip(a) {
-        *o = fmadd(ai, b, *o);
+        *o = if FUSED { ai.mul_add(b, *o) } else { ai * b + *o };
     }
 }
 
-/// The `MR×NR` register tile: per k step, one contiguous `MR`-wide load of
-/// the packed `A` strip and `NR` broadcast-FMAs into the column-major tile.
+/// The generic `MR×NR` register tile: per k step, one contiguous `MR`-wide
+/// load of the packed `A` strip and `NR` broadcast-FMAs into the
+/// column-major tile.
 ///
 /// The columns are unrolled *in source*: with a `for j` loop here LLVM's
 /// loop vectorizer picks the column dimension (stride `MR`) and lowers the
 /// tile to gather/scatter; with named columns only the contiguous row loops
-/// remain, which vectorise to register-resident FMAs.
+/// remain, which vectorise to register-resident FMAs when the build has
+/// vector units to offer.
 #[inline(always)]
-fn micro_kernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+fn micro_kernel_generic<const FUSED: bool>(
+    kc: usize,
+    pa: &[f32],
+    pb: &[f32],
+    acc: &mut [[f32; MR]; NR],
+) {
     let [c0, c1, c2, c3, c4, c5, c6, c7] = acc;
     for kk in 0..kc {
         let a: &[f32; MR] = pa[kk * MR..kk * MR + MR].try_into().unwrap();
         let b: &[f32; NR] = pb[kk * NR..kk * NR + NR].try_into().unwrap();
-        fma_col(c0, a, b[0]);
-        fma_col(c1, a, b[1]);
-        fma_col(c2, a, b[2]);
-        fma_col(c3, a, b[3]);
-        fma_col(c4, a, b[4]);
-        fma_col(c5, a, b[5]);
-        fma_col(c6, a, b[6]);
-        fma_col(c7, a, b[7]);
+        fma_col::<FUSED>(c0, a, b[0]);
+        fma_col::<FUSED>(c1, a, b[1]);
+        fma_col::<FUSED>(c2, a, b[2]);
+        fma_col::<FUSED>(c3, a, b[3]);
+        fma_col::<FUSED>(c4, a, b[4]);
+        fma_col::<FUSED>(c5, a, b[5]);
+        fma_col::<FUSED>(c6, a, b[6]);
+        fma_col::<FUSED>(c7, a, b[7]);
+    }
+}
+
+/// The portable scalar micro-kernel: fused only when the whole build targets
+/// FMA hardware (`-C target-cpu=…`), separate mul+add otherwise — `mul_add`
+/// without hardware FMA would fall back to a libm call per element.
+#[inline(always)]
+fn micro_kernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    micro_kernel_generic::<{ cfg!(target_feature = "fma") }>(kc, pa, pb, acc)
+}
+
+/// The generic tile loop compiled with the `fma` target feature enabled for
+/// this one function, so `mul_add` lowers to hardware FMA (and the fixed-trip
+/// row loops autovectorise against it). Bit-identical to [`micro_kernel_avx2`]
+/// by the pinned contraction order.
+///
+/// # Safety
+/// Caller must have verified `is_x86_feature_detected!("fma")`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn micro_kernel_scalar_fma(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    micro_kernel_generic::<true>(kc, pa, pb, acc)
+}
+
+/// The explicit AVX2+FMA micro-kernel: per k step, the `MR = 16` packed `A`
+/// lanes are two 8-lane vectors, and each of the `NR = 8` packed `B` values
+/// is broadcast and fused-multiply-added into its column's pair of
+/// accumulators.
+///
+/// The tile is processed in **two passes of four columns** (`j0 = 0, 4`):
+/// a full 16×8 tile needs 16 ymm accumulators, which together with the two
+/// `A` vectors and the broadcast register exceeds the 16 architectural ymm
+/// registers and spills every iteration; 8 accumulators + 2 loads + 1
+/// broadcast fit with room to spare. The second pass re-streams the packed
+/// `A` strip from L1 (≤ 16 KiB), which is far cheaper than per-iteration
+/// spills.
+///
+/// Partial tiles need no masking here: packing zero-pads ragged edges, the
+/// padded lanes compute `fma(0, b, acc) = acc`, and write-back
+/// ([`block_kernel`]) slices the padding off.
+///
+/// # Safety
+/// Caller must have verified `is_x86_feature_detected!("avx2")` and
+/// `("fma")`. `pa` must hold at least `kc·MR` and `pb` at least `kc·NR`
+/// elements (debug-asserted).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_kernel_avx2(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(pa.len() >= kc * MR);
+    debug_assert!(pb.len() >= kc * NR);
+    let pa = pa.as_ptr();
+    let pb = pb.as_ptr();
+    for half in 0..2 {
+        let j0 = half * (NR / 2);
+        let mut c0l = _mm256_setzero_ps();
+        let mut c0h = _mm256_setzero_ps();
+        let mut c1l = _mm256_setzero_ps();
+        let mut c1h = _mm256_setzero_ps();
+        let mut c2l = _mm256_setzero_ps();
+        let mut c2h = _mm256_setzero_ps();
+        let mut c3l = _mm256_setzero_ps();
+        let mut c3h = _mm256_setzero_ps();
+        for kk in 0..kc {
+            let a_lo = _mm256_loadu_ps(pa.add(kk * MR));
+            let a_hi = _mm256_loadu_ps(pa.add(kk * MR + 8));
+            let bk = pb.add(kk * NR + j0);
+            let b0 = _mm256_broadcast_ss(&*bk);
+            c0l = _mm256_fmadd_ps(a_lo, b0, c0l);
+            c0h = _mm256_fmadd_ps(a_hi, b0, c0h);
+            let b1 = _mm256_broadcast_ss(&*bk.add(1));
+            c1l = _mm256_fmadd_ps(a_lo, b1, c1l);
+            c1h = _mm256_fmadd_ps(a_hi, b1, c1h);
+            let b2 = _mm256_broadcast_ss(&*bk.add(2));
+            c2l = _mm256_fmadd_ps(a_lo, b2, c2l);
+            c2h = _mm256_fmadd_ps(a_hi, b2, c2h);
+            let b3 = _mm256_broadcast_ss(&*bk.add(3));
+            c3l = _mm256_fmadd_ps(a_lo, b3, c3l);
+            c3h = _mm256_fmadd_ps(a_hi, b3, c3h);
+        }
+        _mm256_storeu_ps(acc[j0].as_mut_ptr(), c0l);
+        _mm256_storeu_ps(acc[j0].as_mut_ptr().add(8), c0h);
+        _mm256_storeu_ps(acc[j0 + 1].as_mut_ptr(), c1l);
+        _mm256_storeu_ps(acc[j0 + 1].as_mut_ptr().add(8), c1h);
+        _mm256_storeu_ps(acc[j0 + 2].as_mut_ptr(), c2l);
+        _mm256_storeu_ps(acc[j0 + 2].as_mut_ptr().add(8), c2h);
+        _mm256_storeu_ps(acc[j0 + 3].as_mut_ptr(), c3l);
+        _mm256_storeu_ps(acc[j0 + 3].as_mut_ptr().add(8), c3h);
     }
 }
 
@@ -433,6 +685,31 @@ mod tests {
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         matmul_naive(a, b)
+    }
+
+    /// Run the full strided driver pinned to one kernel (bypassing the
+    /// small-problem cutoff is deliberate: tests want the blocked path).
+    fn blocked_with(kernel: KernelKind, a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = dims2(a, "lhs");
+        let (_, n) = dims2(b, "rhs");
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0f32; m * n];
+        gemm_with_kernel(
+            kernel,
+            m,
+            n,
+            k,
+            View { data: a.data(), rs: k, cs: 1 },
+            View { data: b.data(), rs: n, cs: 1 },
+            &mut out,
+            &mut ws,
+        );
+        Tensor::from_vec([m, n], out)
+    }
+
+    fn bitwise_eq(x: &Tensor, y: &Tensor) -> bool {
+        x.shape() == y.shape()
+            && x.data().iter().zip(y.data()).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
     #[test]
@@ -485,6 +762,64 @@ mod tests {
         }
     }
 
+    /// Every `(m % MR, n % NR, k % KC)` residue class: the SIMD and
+    /// scalar-FMA kernels must agree **bitwise** (same pinned contraction
+    /// order, same fused rounding), the portable scalar kernel agrees within
+    /// unfused-vs-fused rounding, and all three match the naive oracle.
+    #[test]
+    fn remainder_paths_all_kernels_agree() {
+        let mut rng = Rng::seed(31);
+        // Residues 0, 1 and max for each tile dimension, plus a multi-panel
+        // k so the panel-accumulate path is covered in every kernel.
+        let ms = [MR, MR + 1, 2 * MR - 1, 3];
+        let ns = [NR, NR + 1, 2 * NR - 1, 5];
+        let ks = [1, 2, KC - 1, KC, KC + 1, 2 * KC + 3];
+        for &m in &ms {
+            for &n in &ns {
+                for &k in &ks {
+                    let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+                    let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+                    let scalar = blocked_with(KernelKind::Scalar, &a, &b);
+                    let reference = naive(&a, &b);
+                    assert!(scalar.approx_eq(&reference, 1e-3), "scalar ({m},{n},{k})");
+                    #[cfg(target_arch = "x86_64")]
+                    if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+                    {
+                        let simd = blocked_with(KernelKind::Avx2Fma, &a, &b);
+                        let scalar_fma = blocked_with(KernelKind::ScalarFma, &a, &b);
+                        assert!(
+                            bitwise_eq(&simd, &scalar_fma),
+                            "SIMD vs scalar-FMA bits diverged at ({m},{n},{k})"
+                        );
+                        assert!(simd.approx_eq(&reference, 1e-3), "simd ({m},{n},{k})");
+                        // Unfused vs fused differ only in last-ulp rounding.
+                        assert!(simd.approx_eq(&scalar, 1e-4), "simd vs scalar ({m},{n},{k})");
+                        if cfg!(target_feature = "fma") {
+                            // A build that already targets FMA makes the
+                            // portable kernel fused too: all three bit-equal.
+                            assert!(bitwise_eq(&simd, &scalar), "({m},{n},{k})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The public entry point under the real dispatch table vs the pinned
+    /// scalar kernel: identical results up to FP contraction.
+    #[test]
+    fn forced_scalar_kernel_matches_dispatch() {
+        let mut rng = Rng::seed(33);
+        let a = Tensor::rand_normal([70, 90], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([90, 40], 0.0, 1.0, &mut rng);
+        let auto = matmul(&a, &b);
+        force_scalar_kernel(true);
+        let forced = matmul(&a, &b);
+        force_scalar_kernel(false);
+        assert!(forced.approx_eq(&auto, 1e-4));
+        assert!(!gemm_kernel_name().is_empty());
+    }
+
     #[test]
     fn at_variant_equals_explicit_transpose() {
         let mut rng = Rng::seed(4);
@@ -534,6 +869,25 @@ mod tests {
         let forced = matmul(&a, &b);
         force_naive_gemm(false);
         assert!(forced.approx_eq(&blocked, 1e-4));
+    }
+
+    /// The parallel row-block path (per-thread pack scratch) must produce
+    /// exactly the serial result: same packing, same kernels, disjoint C.
+    #[test]
+    fn parallel_row_blocks_match_serial_bitwise() {
+        let mut rng = Rng::seed(8);
+        // Two full MC row blocks plus a ragged one; wide enough to clear
+        // PAR_THRESHOLD with room (m*n = 2*MC*n ≥ 64k needs n ≥ 475).
+        let (m, k, n) = (2 * MC + 7, KC + 9, 512);
+        let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+        let prev = parallel::max_threads();
+        parallel::set_max_threads(1);
+        let serial = matmul(&a, &b);
+        parallel::set_max_threads(3);
+        let parallel_out = matmul(&a, &b);
+        parallel::set_max_threads(if prev == 0 { 0 } else { prev });
+        assert!(bitwise_eq(&serial, &parallel_out));
     }
 
     #[test]

@@ -108,6 +108,67 @@ where
     });
 }
 
+/// [`par_chunks_mut`] with per-thread scratch: `scratch` is split into
+/// disjoint `piece_len`-sized pieces, one owned by each worker thread, and
+/// `f(chunk_index, chunk, piece)` receives its worker's piece on every call.
+///
+/// This is how hot loops stay allocation-free under parallel dispatch: the
+/// caller sizes `scratch` from its [`crate::Workspace`] for
+/// `max_threads().min(n_chunks)` pieces and lends slices out, instead of
+/// every task allocating its own buffer. At most `scratch.len() / piece_len`
+/// threads run, so a short `scratch` degrades parallelism, never safety.
+pub fn par_chunks_mut_scratch<T, S, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    scratch: &mut [S],
+    piece_len: usize,
+    f: F,
+) where
+    T: Send,
+    S: Send,
+    F: Fn(usize, &mut [T], &mut [S]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(piece_len > 0 && scratch.len() >= piece_len, "scratch must hold >= 1 piece");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = threads_for(n_chunks).min(scratch.len() / piece_len);
+    if threads <= 1 {
+        swt_obs::counter!("tensor.pool.serial_chunks").add(n_chunks as u64);
+        let piece = &mut scratch[..piece_len];
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk, piece);
+        }
+        return;
+    }
+    swt_obs::counter!("tensor.pool.dispatches").inc();
+    swt_obs::counter!("tensor.pool.tasks").add(n_chunks as u64);
+    let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    let queue = &queue;
+    let f = &f;
+    std::thread::scope(|s| {
+        for piece in scratch.chunks_mut(piece_len).take(threads) {
+            s.spawn(move || {
+                let measure = swt_obs::enabled();
+                let mut idle_ns = 0u64;
+                loop {
+                    let wait = measure.then(Instant::now);
+                    let next = queue.lock().unwrap().next();
+                    if let Some(t0) = wait {
+                        idle_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    match next {
+                        Some((i, chunk)) => f(i, chunk, piece),
+                        None => break,
+                    }
+                }
+                if measure {
+                    swt_obs::histogram!("tensor.pool.idle_ns").observe(idle_ns);
+                }
+            });
+        }
+    });
+}
+
 /// Map `f(index, item)` over `items`, preserving order, in parallel when the
 /// thread budget allows.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -178,6 +239,24 @@ mod tests {
         par_chunks_mut(&mut data, 10, |i, chunk| {
             for v in chunk.iter_mut() {
                 *v += 1 + i as u32;
+            }
+        });
+        for (pos, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (pos / 10) as u32, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_scratch_visits_every_chunk_with_a_private_piece() {
+        let mut data = vec![0u32; 97];
+        // Scratch sized for at most 2 workers; pieces are tagged per use so
+        // the test catches any sharing of one piece by two live tasks.
+        let mut scratch = vec![0u32; 2 * 4];
+        par_chunks_mut_scratch(&mut data, 10, &mut scratch, 4, |i, chunk, piece| {
+            assert_eq!(piece.len(), 4);
+            piece.fill(i as u32 + 1);
+            for v in chunk.iter_mut() {
+                *v = piece[3];
             }
         });
         for (pos, &v) in data.iter().enumerate() {

@@ -4,32 +4,60 @@
 //! *transferable* iff their shapes are identical (Section IV-A), so `Shape`
 //! implements `Eq + Hash + Ord` and a display form matching the paper's
 //! `(f, w, h)` notation.
+//!
+//! Shapes are stored **inline** up to rank 4 (every model tensor in the
+//! repository is rank ≤ 4), so constructing a tensor's shape never touches
+//! the heap on the training hot path; higher ranks — possible only through
+//! externally decoded checkpoints — spill to a `Vec`.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Ranks up to this are stored without heap allocation.
+const INLINE_RANK: usize = 4;
+
+#[derive(Clone)]
+enum Dims {
+    Inline { len: u8, dims: [usize; INLINE_RANK] },
+    Heap(Vec<usize>),
+}
 
 /// A dense row-major tensor shape (dimension sizes, outermost first).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Shape(Vec<usize>);
+#[derive(Clone)]
+pub struct Shape(Dims);
 
 impl Shape {
     /// Build a shape from dimension sizes.
-    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
-        Shape(dims.into())
+    pub fn new(dims: impl Into<Shape>) -> Self {
+        dims.into()
+    }
+
+    fn from_slice(d: &[usize]) -> Self {
+        if d.len() <= INLINE_RANK {
+            let mut dims = [0usize; INLINE_RANK];
+            dims[..d.len()].copy_from_slice(d);
+            Shape(Dims::Inline { len: d.len() as u8, dims })
+        } else {
+            Shape(Dims::Heap(d.to_vec()))
+        }
     }
 
     /// A scalar shape (rank 0, one element).
     pub fn scalar() -> Self {
-        Shape(Vec::new())
+        Shape::from_slice(&[])
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.dims().len()
     }
 
     /// Dimension sizes.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        match &self.0 {
+            Dims::Inline { len, dims } => &dims[..*len as usize],
+            Dims::Heap(v) => v,
+        }
     }
 
     /// Size of dimension `i`.
@@ -37,19 +65,20 @@ impl Shape {
     /// # Panics
     /// Panics if `i >= rank()`.
     pub fn dim(&self, i: usize) -> usize {
-        self.0[i]
+        self.dims()[i]
     }
 
     /// Total number of elements (1 for a scalar).
     pub fn numel(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Row-major strides (elements, not bytes).
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.0.len()];
-        for i in (0..self.0.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+        let dims = self.dims();
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
         }
         strides
     }
@@ -60,12 +89,13 @@ impl Shape {
     /// Panics if the index rank mismatches or any coordinate is out of range.
     pub fn offset(&self, index: &[usize]) -> usize {
         assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let dims = self.dims();
         let mut off = 0;
         let mut stride = 1;
-        for i in (0..self.rank()).rev() {
-            assert!(index[i] < self.0[i], "index {index:?} out of shape {self}");
+        for i in (0..dims.len()).rev() {
+            assert!(index[i] < dims[i], "index {index:?} out of shape {self}");
             off += index[i] * stride;
-            stride *= self.0[i];
+            stride *= dims[i];
         }
         off
     }
@@ -77,10 +107,45 @@ impl Shape {
     }
 }
 
+// Equality, ordering and hashing go through `dims()` so the two storage
+// representations are indistinguishable (hashing a slice matches `Vec`'s
+// `Hash`, and slice `Ord` is the lexicographic order the matchers expect).
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims() == other.dims()
+    }
+}
+
+impl Eq for Shape {}
+
+impl Hash for Shape {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.dims().hash(state);
+    }
+}
+
+impl PartialOrd for Shape {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Shape {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dims().cmp(other.dims())
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape({:?})", self.dims())
+    }
+}
+
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -92,13 +157,23 @@ impl fmt::Display for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        if dims.len() > INLINE_RANK {
+            Shape(Dims::Heap(dims))
+        } else {
+            Shape::from_slice(&dims)
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::from_slice(dims)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape(dims.to_vec())
+        Shape::from_slice(&dims)
     }
 }
 
@@ -157,5 +232,30 @@ mod tests {
     #[test]
     fn size_bytes() {
         assert_eq!(Shape::new([10, 10]).size_bytes(), 400);
+    }
+
+    #[test]
+    fn inline_and_heap_representations_are_indistinguishable() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Rank 5 spills to the heap; rank ≤ 4 stays inline. Behaviour must
+        // not depend on which representation a shape landed in.
+        let heap = Shape::new(vec![2, 3, 4, 5, 6]);
+        assert_eq!(heap.rank(), 5);
+        assert_eq!(heap.numel(), 720);
+        assert_eq!(heap.to_string(), "(2, 3, 4, 5, 6)");
+        assert_eq!(heap, Shape::new([2usize, 3, 4, 5, 6]));
+        assert!(Shape::new([2, 3, 4, 5]) < heap);
+
+        let a = Shape::new([7, 8]);
+        let b = Shape::new(vec![7, 8]);
+        assert_eq!(a, b);
+        let hash = |s: &Shape| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert_eq!(format!("{a:?}"), "Shape([7, 8])");
     }
 }

@@ -31,6 +31,7 @@ pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
 #[derive(Debug, Default)]
 pub struct Workspace {
     free: Vec<Vec<f32>>,
+    alloc_misses: u64,
 }
 
 impl Workspace {
@@ -90,11 +91,19 @@ impl Workspace {
         self.free.len()
     }
 
+    /// How many `take`s had to hit the allocator (pool empty, or no pooled
+    /// buffer large enough). At steady state on a warmed arena this stops
+    /// moving; the allocation-discipline tests pin that.
+    pub fn alloc_misses(&self) -> u64 {
+        self.alloc_misses
+    }
+
     /// Pop the smallest pooled buffer whose capacity covers `len`; if none
     /// fits, pop the largest (its one realloc upgrades the pool for next
     /// time); if the pool is empty, allocate fresh.
     fn pop_fit(&mut self, len: usize) -> Vec<f32> {
         if self.free.is_empty() {
+            self.alloc_misses += 1;
             return Vec::with_capacity(len);
         }
         let mut best: Option<usize> = None; // smallest capacity >= len
@@ -108,6 +117,10 @@ impl Workspace {
             if buf.capacity() >= self.free[largest].capacity() {
                 largest = i;
             }
+        }
+        if best.is_none() {
+            // The largest pooled buffer still has to grow for this request.
+            self.alloc_misses += 1;
         }
         self.free.swap_remove(best.unwrap_or(largest))
     }
@@ -147,6 +160,23 @@ mod tests {
         let buf = ws.take(100);
         assert_eq!(buf.capacity(), 256);
         assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn alloc_misses_stop_once_the_pool_is_warm() {
+        let mut ws = Workspace::new();
+        let b = ws.take(512);
+        assert_eq!(ws.alloc_misses(), 1);
+        ws.give(b);
+        let b = ws.take(256); // pooled buffer covers it
+        assert_eq!(ws.alloc_misses(), 1);
+        ws.give(b);
+        let b = ws.take(1024); // largest pooled buffer must grow
+        assert_eq!(ws.alloc_misses(), 2);
+        ws.give(b);
+        let b = ws.take(1024);
+        assert_eq!(ws.alloc_misses(), 2);
+        ws.give(b);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! GEMM hot-loop allocation discipline.
+//!
+//! The blocked driver's pack buffers come from the caller's `Workspace`
+//! (per-thread scratch slices under parallel dispatch — see
+//! `parallel::par_chunks_mut_scratch`), so at steady state the hot loop must
+//! not touch the heap. Two pins:
+//!
+//! * **serial path**: a counting global allocator proves a warmed
+//!   `matmul_ws` performs literally zero heap allocations;
+//! * **parallel path**: scoped thread spawns do allocate (stacks, join
+//!   handles — unavoidable with std scoped threads), so the pin is the
+//!   arena's own miss counter: once warm, pack-buffer requests never fall
+//!   through to the allocator.
+//!
+//! One `#[test]` on purpose: both checks mutate the process-wide thread
+//! budget and the allocation counter, and the default multi-threaded test
+//! runner would interleave them.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use swt_tensor::{matmul_ws, parallel, Rng, Tensor, Workspace};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_gemm_hot_loop_never_allocates() {
+    let mut rng = Rng::seed(42);
+    // Big enough for the blocked path (> SMALL_FLOPS) and, at n = 512, for
+    // parallel dispatch over multiple MC row blocks (> PAR_THRESHOLD).
+    let a = Tensor::rand_normal([160, 300], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal([300, 512], 0.0, 1.0, &mut rng);
+
+    // --- Serial path: zero heap allocations once warm. ---
+    parallel::set_max_threads(1);
+    let mut ws = Workspace::new();
+    // Two warm-up passes: kernel detection, obs handle registration and the
+    // arena's first-touch allocations all happen here.
+    for _ in 0..2 {
+        let c = matmul_ws(&a, &b, &mut ws);
+        ws.recycle(c);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..3 {
+        let c = matmul_ws(&a, &b, &mut ws);
+        ws.recycle(c);
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(during, 0, "warmed serial GEMM must not allocate ({during} allocations)");
+
+    // --- Parallel path: pack buffers never miss the arena once warm. ---
+    parallel::set_max_threads(3);
+    for _ in 0..2 {
+        let c = matmul_ws(&a, &b, &mut ws);
+        ws.recycle(c);
+    }
+    let misses_before = ws.alloc_misses();
+    for _ in 0..3 {
+        let c = matmul_ws(&a, &b, &mut ws);
+        ws.recycle(c);
+    }
+    let misses = ws.alloc_misses() - misses_before;
+    parallel::set_max_threads(0);
+    assert_eq!(misses, 0, "warmed parallel GEMM pack buffers fell through to the allocator");
+}

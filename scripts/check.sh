@@ -18,6 +18,9 @@ cargo build --workspace --all-targets
 echo "==> cargo test"
 cargo test --workspace
 
+echo "==> cargo test (forced scalar micro-kernel: the portable fallback must stay correct)"
+SWT_FORCE_SCALAR_KERNEL=1 cargo test --workspace --quiet
+
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -46,6 +49,25 @@ cargo test --release --quiet -p swt-checkpoint wtc1
 
 echo "==> bench_ckpt smoke (transfer-path read >= 3x WTC1 full decode; NAS A/B identical)"
 cargo run --release --quiet -p swt-bench --bin bench_ckpt -- --smoke
+
+echo "==> bench_batch smoke (batched window reproduces the unbatched canonical trace)"
+batch_json=$(mktemp)
+cargo run --release --quiet -p swt-bench --bin bench_batch -- --smoke "$batch_json"
+rm -f "$batch_json"
+
+echo "==> GEMM alloc gate (matmul.rs hot paths draw from the Workspace, not the heap)"
+# The blocked driver's pack buffers must come from the caller's Workspace;
+# a `vec!`/`Vec::new` in matmul.rs is a hot-loop allocation unless the line
+# is annotated `alloc-gate: allow` (cold oracles like the naive reference).
+# The `#[cfg(test)]` module is exempt — tests may allocate freely.
+allocs=$(awk '/#\[cfg\(test\)\]/ { exit }
+  /vec!|Vec::new/ && !/alloc-gate: allow/ { print FILENAME ":" FNR ": " $0 }' \
+  crates/tensor/src/matmul.rs)
+if [ -n "$allocs" ]; then
+  echo "heap allocation in crates/tensor/src/matmul.rs hot path (annotate cold paths with 'alloc-gate: allow'):" >&2
+  echo "$allocs" >&2
+  exit 1
+fi
 
 echo "==> no-panic gate (swt-dist must degrade on malformed input, never unwrap)"
 panics=$(grep -rnE '\.unwrap\(\)|\.expect\(|panic!\(' crates/dist/src --include='*.rs' || true)
