@@ -27,6 +27,7 @@
 //! making one `RunReport::capture()` cover the whole multi-process run.
 
 use crate::frame::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
+use crate::live::LiveRunView;
 use crate::spawn::{find_worker_exe, spawn_worker};
 use crate::wire::{Msg, RunSpec, WorkerMetrics};
 use crate::{DistConfig, DistRunStats, JoinPlan, KillPlan};
@@ -103,6 +104,9 @@ pub struct DistBackend {
     reassigned: usize,
     /// Set by [`DistBackend::finish`]; makes `Drop` a no-op.
     finished: bool,
+    /// In-flight run view; streamed `Telemetry` frames fold into it.
+    /// Monitoring only — nothing here feeds back into scheduling.
+    live: Arc<LiveRunView>,
 }
 
 impl DistBackend {
@@ -188,6 +192,12 @@ impl DistBackend {
             }
         }
 
+        let live = dist.live.clone().unwrap_or_else(|| Arc::new(LiveRunView::new()));
+        live.set_meta("app", dist.app.name());
+        live.set_meta("scale", format!("{:?}", dist.scale));
+        live.set_meta("addr", &addr);
+        live.set_window(window);
+
         let (tx, rx) = mpsc::channel();
         let mut backend = DistBackend {
             listener,
@@ -215,6 +225,7 @@ impl DistBackend {
             lost: 0,
             reassigned: 0,
             finished: false,
+            live,
         };
         for (child, stream) in children.into_iter().zip(streams) {
             let (Some(child), Some(stream)) = (child, stream) else {
@@ -242,7 +253,15 @@ impl DistBackend {
             rtt: swt_obs::registry::global().histogram(&format!("dist.rtt_ns.w{worker}")),
             stats: None,
         });
+        self.live.worker_added(worker);
         Ok(worker)
+    }
+
+    /// Push the current dispatch picture into the live view: candidates
+    /// still queued vs. handed to a worker.
+    fn sync_live_queue(&self) {
+        let queued = self.pending.len();
+        self.live.set_queue(queued, self.inflight.len().saturating_sub(queued));
     }
 
     fn live_workers(&self) -> usize {
@@ -285,6 +304,8 @@ impl DistBackend {
                 self.pending.push_front(cand.clone());
             }
         }
+        self.live.worker_lost(worker);
+        self.sync_live_queue();
         if self.slots.iter().any(|s| s.alive) {
             Ok(())
         } else {
@@ -308,6 +329,13 @@ impl DistBackend {
             let _ = child.kill();
             let _ = child.wait();
         }
+        self.live.worker_lost(worker);
+    }
+
+    /// The run view telemetry folds into (the one from
+    /// [`DistConfig::live`] when set, otherwise backend-private).
+    pub fn live(&self) -> Arc<LiveRunView> {
+        Arc::clone(&self.live)
     }
 
     /// Hand pending candidates to idle live workers.
@@ -328,7 +356,11 @@ impl DistBackend {
             };
             let id = cand.id;
             match self.send_to(worker, &Msg::Task { cand: cand.clone() }) {
-                Ok(()) => self.slots[worker].current = Some(id),
+                Ok(()) => {
+                    self.slots[worker].current = Some(id);
+                    self.live.set_current(worker, Some(id));
+                    self.sync_live_queue();
+                }
                 Err(e) => {
                     self.pending.push_front(cand);
                     self.mark_lost(worker, &format!("task write failed: {e}"))?;
@@ -544,7 +576,11 @@ impl DistBackend {
             match self.rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(Event::Msg { worker, msg }) => match msg {
                     Msg::Stats { stats } | Msg::Result { stats, .. } => {
+                        self.live.fold_metrics(worker, &stats);
                         self.slots[worker].stats = Some(stats);
+                    }
+                    Msg::Telemetry { telemetry } => {
+                        self.live.apply_telemetry(worker, &telemetry);
                     }
                     _ => {}
                 },
@@ -573,6 +609,12 @@ impl DistBackend {
             .enumerate()
             .filter_map(|(i, s)| s.stats.clone().map(|m| (i, m)))
             .collect();
+        // Settle the live view on exactly the snapshots the run report will
+        // use, so a final `/status` poll and `report.json` agree.
+        for (worker, metrics) in &per_worker {
+            self.live.fold_metrics(*worker, metrics);
+        }
+        self.sync_live_queue();
         // Fold worker-process totals into this process's registry so one
         // `RunReport::capture()` after the run reports whole-run sums.
         // Gated: a disabled-observability run must stay metrics-silent.
@@ -604,6 +646,7 @@ impl EvalBackend for DistBackend {
         let t_submit = self.start.elapsed().as_secs_f64();
         self.inflight.insert(cand.id, (cand.clone(), t_submit));
         self.pending.push_back(cand);
+        self.sync_live_queue();
         self.flush()?;
         self.maybe_inject_join()?;
         self.maybe_inject_kill();
@@ -615,6 +658,7 @@ impl EvalBackend for DistBackend {
             match self.rx.recv_timeout(self.interval) {
                 Ok(Event::Msg { worker, msg }) => match msg {
                     Msg::Result { id, outcome, stats } => {
+                        self.live.fold_metrics(worker, &stats);
                         self.slots[worker].stats = Some(stats);
                         if self.slots[worker].current == Some(id) {
                             self.slots[worker].current = None;
@@ -627,7 +671,14 @@ impl EvalBackend for DistBackend {
                         self.maybe_inject_kill();
                         self.flush()?;
                         let t_end = self.start.elapsed().as_secs_f64();
+                        self.live.record_result(worker, t_end - t_start);
+                        self.sync_live_queue();
                         return Ok(BackendResult { cand, t_start, t_end, outcome });
+                    }
+                    Msg::Telemetry { telemetry } => {
+                        // Monitoring stream: fold and keep going. A stale
+                        // seq is counted by the view, never an error.
+                        self.live.apply_telemetry(worker, &telemetry);
                     }
                     Msg::Pong { nonce } => {
                         let slot = &mut self.slots[worker];

@@ -14,7 +14,12 @@ use std::io::{self, Read, Write};
 /// v2: `Result` frames carry the worker's cumulative metrics snapshot, a
 /// `Stats` frame (0x09) delivers the final snapshot at shutdown, and
 /// `HelloAck`'s `RunSpec` gains the per-worker provider-cache byte budget.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: a `Telemetry` frame (0x0A) streams seq-numbered span/gauge snapshots
+/// plus timeline event batches between `Result`s. The addition is purely
+/// additive — every v2 frame decodes unchanged — but the version is bumped
+/// because v2 peers would drop the connection on the unknown type byte.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on a frame's payload. The largest legitimate frame is a
 /// `Task` (a few hundred bytes of architecture sequence); 1 MiB leaves room

@@ -18,17 +18,20 @@
 //!
 //! Modules: [`frame`] (framing + errors), [`wire`] (typed messages),
 //! [`coordinator`] ([`DistBackend`]), [`worker`] (the `swt dist-worker`
-//! loop), [`spawn`] (child-process management).
+//! loop), [`spawn`] (child-process management), [`live`] (the streamed
+//! in-flight run view behind `swt dist-run --serve`).
 
 pub mod coordinator;
 pub mod frame;
+pub mod live;
 pub mod spawn;
 pub mod wire;
 pub mod worker;
 
 pub use coordinator::DistBackend;
 pub use frame::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use wire::{Msg, RunSpec, WorkerMetrics};
+pub use live::{LiveRunView, WorkerView};
+pub use wire::{Msg, RunSpec, Telemetry, WorkerMetrics};
 pub use worker::worker_main;
 
 use std::io;
@@ -124,6 +127,11 @@ pub struct DistConfig {
     pub max_workers: usize,
     /// Optional scale-out injection for benches/tests.
     pub join_after: Option<JoinPlan>,
+    /// Live run view the coordinator folds streamed telemetry into. Pass a
+    /// view that is also handed to an [`swt_obs::ObsServer`] to watch the
+    /// run over HTTP; when `None` the backend keeps a private one (the
+    /// stream is always folded — monitoring must not change behaviour).
+    pub live: Option<Arc<LiveRunView>>,
 }
 
 impl DistConfig {
@@ -144,6 +152,7 @@ impl DistConfig {
             initial_workers: None,
             max_workers: 64,
             join_after: None,
+            live: None,
         }
     }
 }

@@ -13,7 +13,7 @@
 //! coordinator logs a cause instead of a bare EOF.
 
 use crate::frame::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
-use crate::wire::{Msg, RunSpec, WorkerMetrics};
+use crate::wire::{Msg, RunSpec, Telemetry, WorkerMetrics};
 use std::net::TcpStream;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -27,14 +27,44 @@ fn send(stream: &Mutex<TcpStream>, msg: &Msg) -> Result<(), WireError> {
     write_frame(&mut *guard, msg.frame_type(), &payload)
 }
 
+/// Shared live-telemetry stream state: the per-frame sequence number and
+/// the timeline-drain cursor. Both the main loop (after each `Result`) and
+/// the reader thread (after each `Pong`, i.e. at heartbeat cadence) emit
+/// frames, so the pair lives behind one mutex to keep seqs strictly
+/// increasing and drains non-overlapping.
+struct TelemetryState {
+    seq: u64,
+    cursor: u64,
+    slot: usize,
+}
+
+/// Capture and send one telemetry frame. Cheap enough for heartbeat
+/// cadence: a registry walk plus a bounded ring drain.
+fn send_telemetry(
+    stream: &Mutex<TcpStream>,
+    state: &Mutex<TelemetryState>,
+) -> Result<(), WireError> {
+    let telemetry = {
+        let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+        st.seq += 1;
+        let (seq, slot) = (st.seq, st.slot);
+        Telemetry::capture(seq, slot, &mut st.cursor)
+    };
+    send(stream, &Msg::Telemetry { telemetry })
+}
+
 /// Run the worker protocol loop on an established connection. Returns when
 /// the coordinator sends `Shutdown` or the connection fails.
 pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
     // Metrics are recorded process-locally and shipped to the coordinator as
     // cumulative snapshots (one per `Result`, a final one in `Stats`);
     // without this the worker's GEMM/checkpoint/cache counters stay zero and
-    // the merged run report under-counts.
+    // the merged run report under-counts. The timeline rings are bounded
+    // (staleness, not growth, on overflow), so they stay on unconditionally
+    // too: live `Telemetry` frames then need no extra negotiation.
     swt_obs::enable();
+    swt_obs::timeline::enable();
+    swt_obs::span::set_worker(worker_id as usize);
     stream.set_nodelay(true)?;
     let reader_stream = stream.try_clone()?;
     let writer = Arc::new(Mutex::new(stream));
@@ -87,14 +117,26 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
     // on Shutdown, a protocol violation, or a dead socket — ends the main
     // loop below.
     let (task_tx, task_rx) = mpsc::channel::<Candidate>();
+    // One telemetry stream per worker, shared by both sending sites: the
+    // heartbeat responder below (steady cadence even mid-evaluation) and
+    // the main loop (fresh snapshot right after each `Result`).
+    let telemetry = Arc::new(Mutex::new(TelemetryState {
+        seq: 0,
+        cursor: 0,
+        slot: swt_obs::registry::SpanStat::slot_for(Some(worker_id as usize)),
+    }));
     let ping_writer = Arc::clone(&writer);
+    let ping_telemetry = Arc::clone(&telemetry);
     let reader = std::thread::spawn(move || -> Result<(), WireError> {
         let mut reader_stream = reader_stream;
         let mut buf = Vec::new();
         loop {
             let ty = read_frame(&mut reader_stream, &mut buf)?;
             match Msg::decode(ty, &buf) {
-                Ok(Msg::Ping { nonce }) => send(&ping_writer, &Msg::Pong { nonce })?,
+                Ok(Msg::Ping { nonce }) => {
+                    send(&ping_writer, &Msg::Pong { nonce })?;
+                    send_telemetry(&ping_writer, &ping_telemetry)?;
+                }
                 Ok(Msg::Task { cand }) => {
                     if task_tx.send(cand).is_err() {
                         return Ok(()); // main loop gone; nothing left to do
@@ -119,11 +161,28 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
     // `evaluate` (store write failure, poisoned state) intentionally kills
     // the process — the coordinator reassigns.
     let mut eval_err = None;
-    while let Ok(cand) = task_rx.recv() {
+    loop {
+        // Mirror the in-process pool's span names so a live view shows the
+        // same queue_wait / eval / result_send split either way.
+        let cand = {
+            let _wait_span = swt_obs::span!("nas.queue_wait");
+            match task_rx.recv() {
+                Ok(cand) => cand,
+                Err(_) => break,
+            }
+        };
         let id = cand.id;
         let outcome = evaluator.evaluate(&cand);
         let stats = WorkerMetrics::capture();
-        if let Err(e) = send(&writer, &Msg::Result { id, outcome, stats }) {
+        let sent = {
+            let _send_span = swt_obs::span!("nas.result_send");
+            send(&writer, &Msg::Result { id, outcome, stats })
+        };
+        if let Err(e) = sent {
+            eval_err = Some(e);
+            break;
+        }
+        if let Err(e) = send_telemetry(&writer, &telemetry) {
             eval_err = Some(e);
             break;
         }
@@ -133,6 +192,9 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
     // lost, so a dead socket here must not turn a clean shutdown into an
     // error.
     if eval_err.is_none() {
+        // Final telemetry first: the `Stats` frame is what the coordinator
+        // treats as the authoritative last snapshot, so it goes last.
+        let _ = send_telemetry(&writer, &telemetry);
         let _ = send(&writer, &Msg::Stats { stats: WorkerMetrics::capture() });
     }
     // Unblock the reader if we exited first (send failure): closing the

@@ -9,15 +9,18 @@ use std::io::Cursor as IoCursor;
 use swt_core::{TransferScheme, TransferStats};
 use swt_data::{AppKind, DataScale};
 use swt_dist::frame::{read_frame, write_frame};
-use swt_dist::wire::{Msg, RunSpec, WorkerMetrics};
+use swt_dist::wire::{
+    GaugeSnap, Msg, RunSpec, SpanTotalRow, Telemetry, WireEvent, WorkerMetrics,
+    MAX_TELEMETRY_EVENTS, MAX_TELEMETRY_NAMES,
+};
 use swt_dist::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use swt_nas::{Candidate, EvalOutcome};
 use swt_obs::report::{CounterRow, HistogramRow};
 use swt_space::ArchSeq;
 use swt_tensor::Rng;
 
-/// Every known frame-type byte (0x01 Hello … 0x09 Stats).
-const FRAME_TYPES: std::ops::RangeInclusive<u8> = 0x01..=0x09;
+/// Every known frame-type byte (0x01 Hello … 0x0A Telemetry).
+const FRAME_TYPES: std::ops::RangeInclusive<u8> = 0x01..=0x0A;
 
 /// One valid message of every frame type — the fuzz corpus seeds.
 fn corpus() -> Vec<Msg> {
@@ -72,6 +75,20 @@ fn corpus() -> Vec<Msg> {
         Msg::Shutdown,
         Msg::Error { message: "checkpoint store unreachable".into() },
         Msg::Stats { stats },
+        Msg::Telemetry {
+            telemetry: Telemetry {
+                seq: u64::MAX - 1, // hostile-adjacent seq must survive the trip
+                uptime_ns: 123_456_789,
+                spans: vec![SpanTotalRow { path: "nas.eval".into(), count: 4, total_ns: 99 }],
+                gauges: vec![GaugeSnap { name: "pool.queue_depth".into(), value: -1, max: 8 }],
+                names: vec!["nas.eval".into(), "nas.dispatch".into()],
+                events: vec![
+                    WireEvent { name: 0, kind: 0, t_ns: 10, dur_ns: 5, delta: 0 },
+                    WireEvent { name: 1, kind: 1, t_ns: 20, dur_ns: 0, delta: -3 },
+                ],
+                dropped_events: 7,
+            },
+        },
     ]
 }
 
@@ -162,6 +179,50 @@ fn hostile_counts_cannot_force_large_allocations() {
     bad.extend_from_slice(&0u64.to_le_bytes()); // parent raw
     bad.extend_from_slice(&u16::MAX.to_le_bytes()); // claims 65535 choices
     assert!(Msg::decode(0x03, &bad).is_err());
+}
+
+#[test]
+fn hostile_telemetry_payloads_are_rejected_without_allocation() {
+    // Header: seq + uptime + dropped, then empty span/gauge tables.
+    let header = |out: &mut Vec<u8>| {
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&2u64.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // spans
+        out.extend_from_slice(&0u32.to_le_bytes()); // gauges
+    };
+
+    // An event batch claiming more than the cap: rejected outright, even
+    // though the (length-capped) payload could never hold it anyway.
+    let mut bad = Vec::new();
+    header(&mut bad);
+    bad.extend_from_slice(&0u32.to_le_bytes()); // names
+    bad.extend_from_slice(&((MAX_TELEMETRY_EVENTS as u32) + 1).to_le_bytes());
+    assert!(matches!(Msg::decode(0x0A, &bad), Err(WireError::Malformed(_))));
+
+    // Same for the name table.
+    let mut bad = Vec::new();
+    header(&mut bad);
+    bad.extend_from_slice(&((MAX_TELEMETRY_NAMES as u32) + 1).to_le_bytes());
+    assert!(matches!(Msg::decode(0x0A, &bad), Err(WireError::Malformed(_))));
+
+    // An event pointing past the name table, and one with an unknown kind:
+    // both must be typed errors, not panics or silent acceptance.
+    for (name_idx, kind) in [(5u16, 0u8), (0, 9)] {
+        let mut bad = Vec::new();
+        header(&mut bad);
+        bad.extend_from_slice(&1u32.to_le_bytes()); // one name
+        bad.extend_from_slice(&1u16.to_le_bytes());
+        bad.push(b'x');
+        bad.extend_from_slice(&1u32.to_le_bytes()); // one event
+        bad.extend_from_slice(&name_idx.to_le_bytes());
+        bad.push(kind);
+        bad.extend_from_slice(&[0u8; 24]); // t_ns + dur_ns + delta
+        assert!(
+            matches!(Msg::decode(0x0A, &bad), Err(WireError::Malformed(_))),
+            "name_idx={name_idx} kind={kind} must be rejected"
+        );
+    }
 }
 
 #[test]

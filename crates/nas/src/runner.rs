@@ -234,6 +234,7 @@ pub fn run_nas_with_backend<B: EvalBackend>(
         };
         backend.submit(cand)?;
         swt_obs::counter!("nas.candidates_dispatched").inc();
+        swt_obs::event!("nas.dispatch", 1);
         Ok::<(), io::Error>(())
     };
 
@@ -272,6 +273,7 @@ pub fn run_nas_with_backend<B: EvalBackend>(
                 transfer_bytes: res.outcome.transfer.bytes,
             });
             next_report += 1;
+            swt_obs::event!("nas.report", 1);
             if dispatched < total {
                 dispatch_one(&mut strategy, &mut rng, backend)?;
                 dispatched += 1;

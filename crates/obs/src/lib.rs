@@ -19,6 +19,13 @@
 //! * **Run reports** — [`RunReport::capture`] snapshots the registry into a
 //!   serializable per-worker breakdown written as `report.json` next to the
 //!   NAS trace CSV.
+//! * **Event timeline** — [`timeline`] keeps individual span completions
+//!   and [`event!`] counter-delta marks in bounded per-worker-slot rings,
+//!   drainable as deltas-since-seq and exportable as Chrome `trace_event`
+//!   JSON. Off by default behind its own switch on top of [`enabled`].
+//! * **Live endpoints** — [`serve`] is a tiny single-threaded HTTP
+//!   listener (`/status`, `/metrics`, `/trace`) over any [`serve::ServeSource`],
+//!   used by `swt dist-run --serve` and `swt dist-top`.
 //!
 //! Instrumentation is **disabled by default** and must stay off the tensor
 //! hot path: every recording primitive first checks one relaxed atomic load
@@ -31,13 +38,17 @@ pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod report;
+pub mod serve;
 pub mod span;
+pub mod timeline;
 
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::Registry;
 pub use report::RunReport;
+pub use serve::{ObsServer, ServeSource};
 pub use span::SpanGuard;
+pub use timeline::TimelineEvent;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -81,6 +92,21 @@ pub fn reset() {
 macro_rules! span {
     ($name:expr) => {
         $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// Record a counter-delta mark on the event timeline, attributed to the
+/// current thread's worker. Two relaxed loads when the timeline (or all
+/// instrumentation) is off; unlike [`counter!`] this records a discrete
+/// *event* (when/where), not an aggregate.
+///
+/// ```
+/// swt_obs::event!("nas.dispatch", 1);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr, $delta:expr) => {
+        $crate::timeline::mark($name, $delta)
     };
 }
 

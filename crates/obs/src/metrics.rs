@@ -173,7 +173,26 @@ impl Gauge {
             return;
         }
         let now = self.current.fetch_add(delta, Ordering::Relaxed) + delta;
-        self.max.fetch_max(now, Ordering::Relaxed);
+        self.raise_max(now);
+    }
+
+    /// Raise the high-watermark to `candidate` if it is higher, via an
+    /// explicit CAS loop so a concurrent raise can never overwrite a
+    /// larger peak with a smaller one.
+    #[inline]
+    fn raise_max(&self, candidate: i64) {
+        let mut seen = self.max.load(Ordering::Relaxed);
+        while candidate > seen {
+            match self.max.compare_exchange_weak(
+                seen,
+                candidate,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => seen = actual,
+            }
+        }
     }
 
     #[inline]
@@ -192,7 +211,7 @@ impl Gauge {
             return;
         }
         self.current.store(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.raise_max(value);
     }
 
     pub fn get(&self) -> i64 {
@@ -257,6 +276,55 @@ mod tests {
         let g = Gauge::new();
         g.inc();
         assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_high_watermark_survives_concurrent_adds() {
+        let _lock = crate::test_lock();
+        crate::enable();
+        // Monotone adds from many threads: the peak is, by construction,
+        // the final value — any missed intermediate max manifests as
+        // max < current at the end. Mixed up/down traffic then checks the
+        // watermark never exceeds what was simultaneously outstanding.
+        let g = std::sync::Arc::new(Gauge::new());
+        const THREADS: usize = 8;
+        const ADDS: i64 = 2_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let g = std::sync::Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..ADDS {
+                        g.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let total = THREADS as i64 * ADDS;
+        assert_eq!(g.get(), total);
+        assert_eq!(g.max(), total, "CAS watermark must capture the true peak");
+
+        let g = std::sync::Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let g = std::sync::Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..ADDS {
+                        g.inc();
+                        g.dec();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        assert_eq!(g.get(), 0);
+        assert!(g.max() >= 1, "at least one increment was observed");
+        assert!(g.max() <= THREADS as i64, "peak bounded by concurrent holders");
+        crate::disable();
     }
 
     #[test]

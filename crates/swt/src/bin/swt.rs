@@ -3,16 +3,22 @@
 //! Modes:
 //! * `swt dist-run …` — launch a distributed NAS run: this process becomes
 //!   the coordinator and spawns `--workers` child processes of itself.
+//!   `--serve ADDR` additionally exposes the in-flight run as `/status`,
+//!   `/metrics` and `/trace` on a local HTTP listener.
+//! * `swt dist-top --addr ADDR` — poll a serving coordinator's `/status`
+//!   and render a refreshing per-worker table (a `top` for the run).
 //! * `swt dist-worker --connect ADDR --worker-id N` — internal: the worker
 //!   side, spawned by the coordinator (not for direct use).
 //!
 //! See EXPERIMENTS.md §"Distributed runs" for walkthroughs, including the
-//! kill-a-worker fault-tolerance demo.
+//! kill-a-worker fault-tolerance demo and §"Watching a run live".
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use swt::prelude::*;
-use swt_dist::{DistConfig, JoinPlan, KillPlan};
+use swt_dist::{DistConfig, JoinPlan, KillPlan, LiveRunView};
+use swt_obs::json::Json;
 
 const USAGE: &str = "\
 usage:
@@ -37,6 +43,16 @@ usage:
     --max-workers N              refuse joins beyond N live workers   [64]
     --initial-workers N          processes at launch (may be < --workers;
                                  the dispatch window stays --workers)
+    --serve ADDR                 serve the live run view over HTTP
+                                 (/status JSON, /metrics Prometheus text,
+                                 /trace Chrome trace JSON), e.g. 127.0.0.1:0
+    --chrome-trace FILE.json     write the run's event timeline as Chrome
+                                 trace JSON (chrome://tracing, Perfetto)
+  swt dist-top --addr HOST:PORT  watch a serving coordinator
+    --interval-ms N              poll cadence                   [500]
+    --iterations N               stop after N polls (0 = forever)    [0]
+    --fetch PATH                 fetch PATH once, print the raw body, exit
+                                 (scripting/CI helper; no curl needed)
   swt dist-worker --connect ADDR --worker-id N    (internal)
 ";
 
@@ -44,6 +60,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("dist-run") => dist_run(&args[1..]),
+        Some("dist-top") => dist_top(&args[1..]),
         Some("dist-worker") => dist_worker(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -156,7 +173,39 @@ fn try_dist_run(args: &[String]) -> Result<(), String> {
         dist.initial_workers = Some(initial);
     }
 
+    // Live view + timeline only when someone will read them: the canonical
+    // schedule (and trace) is identical either way, this only adds export.
+    let chrome_trace = opt(args, "--chrome-trace").map(PathBuf::from);
+    let serve_addr = opt(args, "--serve");
+    let live = if serve_addr.is_some() || chrome_trace.is_some() {
+        let live = Arc::new(LiveRunView::new());
+        dist.live = Some(Arc::clone(&live));
+        Some(live)
+    } else {
+        None
+    };
+
     swt_obs::enable();
+    let _server = match (serve_addr, &live) {
+        (Some(bind), Some(live)) => {
+            swt_obs::timeline::enable();
+            let source: Arc<dyn ServeSource> = Arc::clone(live) as Arc<dyn ServeSource>;
+            let server = ObsServer::start(bind, source)
+                .map_err(|e| format!("cannot serve on {bind}: {e}"))?;
+            println!(
+                "live: http://{0}/status  http://{0}/metrics  http://{0}/trace",
+                server.addr()
+            );
+            Some(server)
+        }
+        _ => {
+            if live.is_some() {
+                swt_obs::timeline::enable();
+            }
+            None
+        }
+    };
+
     let t0 = std::time::Instant::now();
     let (trace, stats) =
         swt_dist::run_nas_dist_with_stats(&nas, &dist).map_err(|e| e.to_string())?;
@@ -219,5 +268,103 @@ fn try_dist_run(args: &[String]) -> Result<(), String> {
         report.write_json(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("report: {}", path.display());
     }
+    if let (Some(path), Some(live)) = (chrome_trace, &live) {
+        std::fs::write(&path, live.trace_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("chrome trace: {}", path.display());
+    }
     Ok(())
+}
+
+fn dist_top(args: &[String]) -> ExitCode {
+    match try_dist_top(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dist-top: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_dist_top(args: &[String]) -> Result<(), String> {
+    let Some(addr) = opt(args, "--addr") else {
+        return Err(format!("--addr HOST:PORT required\n{USAGE}"));
+    };
+    if let Some(path) = opt(args, "--fetch") {
+        // One-shot raw fetch: the scripting/CI path (the container has no
+        // curl; this keeps smoke tests std-only too).
+        let body = swt_obs::serve::http_get(addr, path).map_err(|e| e.to_string())?;
+        println!("{body}");
+        return Ok(());
+    }
+    let interval: u64 = parse(args, "--interval-ms", 500)?;
+    let iterations: usize = parse(args, "--iterations", 0)?;
+    let mut polls = 0usize;
+    loop {
+        let body = swt_obs::serve::http_get(addr, "/status").map_err(|e| e.to_string())?;
+        let status = Json::parse(&body).map_err(|e| format!("bad /status payload: {e}"))?;
+        // ANSI clear + home, then the freshly rendered table.
+        print!("\x1b[2J\x1b[H{}", render_top(&status));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        polls += 1;
+        if iterations > 0 && polls >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(50)));
+    }
+}
+
+/// Render one `/status` document as the refreshing per-worker table.
+fn render_top(status: &Json) -> String {
+    let num = |k: &str| status.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let app = status.get("meta").and_then(|m| m.get("app")).and_then(Json::as_str).unwrap_or("?");
+    let mut out = format!(
+        "swt dist-top — app {app}  uptime {:.1}s  window {}  workers live {}\n\
+         results {}  queued {}  in flight {}  ewma/candidate {:.3}s\n\n",
+        num("uptime_secs"),
+        num("window") as u64,
+        num("workers_live") as u64,
+        num("results") as u64,
+        num("queue_depth") as u64,
+        num("inflight") as u64,
+        num("ewma_candidate_secs"),
+    );
+    out.push_str(&format!(
+        "{:>3} {:>5} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>10} {:>8}\n",
+        "id", "alive", "seq", "frames", "results", "current", "wait_s", "eval_s", "send_s", "drop"
+    ));
+    let workers = status.get("workers").and_then(Json::as_array).unwrap_or(&[]);
+    for w in workers {
+        let wf = |k: &str| w.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let span_secs = |path: &str| {
+            w.get("spans")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .find(|s| s.get("path").and_then(Json::as_str) == Some(path))
+                .and_then(|s| s.get("total_secs"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        let alive = matches!(w.get("alive"), Some(Json::Bool(true)));
+        let current = match w.get("current").and_then(Json::as_u64) {
+            Some(id) => format!("c{id}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:>3} {:>5} {:>6} {:>7} {:>8} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>8}\n",
+            wf("id") as u64,
+            if alive { "yes" } else { "no" },
+            wf("seq") as u64,
+            wf("frames") as u64,
+            wf("results") as u64,
+            current,
+            span_secs("nas.queue_wait"),
+            span_secs("nas.eval"),
+            span_secs("nas.result_send"),
+            wf("dropped_events") as u64,
+        ));
+    }
+    out
 }

@@ -51,7 +51,7 @@ pub mod prelude {
     pub use swt_data::{AppKind, AppProblem, DataScale};
     pub use swt_dist::{
         run_nas_dist, run_nas_dist_with_stats, DistBackend, DistConfig, DistRunStats, JoinPlan,
-        KillPlan, WorkerMetrics,
+        KillPlan, LiveRunView, Telemetry, WorkerMetrics, WorkerView,
     };
     pub use swt_nas::{
         full_train_top_k, run_nas, run_nas_with_backend, run_pair_experiment, BatchEval, Candidate,
@@ -62,7 +62,7 @@ pub mod prelude {
         Activation, Dataset, LayerSpec, Loss, Metric, Model, ModelSpec, NodeSpec, TrainConfig,
         Trainer,
     };
-    pub use swt_obs::RunReport;
+    pub use swt_obs::{ObsServer, RunReport, ServeSource};
     pub use swt_space::{distance, ArchSeq, SearchSpace};
     pub use swt_stats::{geometric_mean, kendall_tau, SlotBinner, Summary};
     pub use swt_tensor::{Rng, Shape, Tensor};

@@ -69,10 +69,11 @@ if [ -n "$allocs" ]; then
   exit 1
 fi
 
-echo "==> no-panic gate (swt-dist must degrade on malformed input, never unwrap)"
-panics=$(grep -rnE '\.unwrap\(\)|\.expect\(|panic!\(' crates/dist/src --include='*.rs' || true)
+echo "==> no-panic gate (swt-dist and the live HTTP server must degrade, never unwrap)"
+panics=$(grep -rnE '\.unwrap\(\)|\.expect\(|panic!\(' \
+  crates/dist/src crates/obs/src/serve.rs --include='*.rs' || true)
 if [ -n "$panics" ]; then
-  echo "panicking call in crates/dist/src (coordinator and workers must return WireError):" >&2
+  echo "panicking call in crates/dist/src or crates/obs/src/serve.rs (degrade with errors, never panic):" >&2
   echo "$panics" >&2
   exit 1
 fi
@@ -86,7 +87,8 @@ cargo test --release --quiet -p swt-dist --test fuzz_decode
 
 echo "==> elastic smoke (late join must not change the canonical trace)"
 elastic_dir=$(mktemp -d)
-trap 'rm -rf "$elastic_dir"' EXIT
+live_dir=$(mktemp -d)
+trap 'rm -rf "$elastic_dir" "$live_dir"' EXIT
 ./target/release/swt dist-run --app uno --scheme lcs --candidates 8 \
   --workers 2 --store "$elastic_dir/fixed_store" \
   --canonical-trace "$elastic_dir/fixed.csv" >/dev/null
@@ -97,6 +99,52 @@ trap 'rm -rf "$elastic_dir"' EXIT
 if ! cmp -s "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv"; then
   echo "elastic smoke: canonical trace changed when a worker joined mid-run" >&2
   diff "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv" >&2 || true
+  exit 1
+fi
+
+echo "==> live endpoint smoke (/status answers mid-run; /metrics counters match report.json)"
+./target/release/swt dist-run --app uno --scheme lcs --candidates 12 \
+  --workers 2 --store "$live_dir/store" --serve 127.0.0.1:0 \
+  --report "$live_dir/report.json" > "$live_dir/out.txt" &
+live_pid=$!
+# The run picks a free port and prints the live URL; wait for it.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's|^live: http://\([^/]*\)/status.*|\1|p' "$live_dir/out.txt")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "live smoke: the run never printed its live URL" >&2
+  kill "$live_pid" 2>/dev/null || true
+  exit 1
+fi
+# Poll /status until every connected worker has streamed telemetry
+# (workers are listed, and none is still at frames:0), grabbing /metrics
+# in the same breath so both captures are genuinely mid-run.
+ok=""
+metrics=""
+for _ in $(seq 1 400); do
+  status=$(./target/release/swt dist-top --addr "$addr" --fetch /status 2>/dev/null || true)
+  if echo "$status" | grep -q '"frames":' && ! echo "$status" | grep -q '"frames":0[,}]'; then
+    metrics=$(./target/release/swt dist-top --addr "$addr" --fetch /metrics 2>/dev/null || true)
+    [ -n "$metrics" ] && ok=1 && break
+  fi
+  sleep 0.05
+done
+wait "$live_pid"
+if [ -z "$ok" ]; then
+  echo "live smoke: workers never reported over /status (or /metrics never answered)" >&2
+  exit 1
+fi
+# Every counter family the live endpoint exported must exist in the
+# final merged report -- the stream may be stale, never invented.
+missing=""
+for name in $(echo "$metrics" | sed -n 's/^swt_counter{name="\([^"]*\)".*/\1/p' | sort -u); do
+  grep -q "\"$name\"" "$live_dir/report.json" || missing="$missing $name"
+done
+if [ -n "$missing" ]; then
+  echo "live smoke: /metrics exported counters absent from report.json:$missing" >&2
   exit 1
 fi
 
