@@ -25,6 +25,7 @@ fn bench_one_epoch_estimate(h: &mut Harness) {
             adam: AdamConfig { lr: problem.lr, ..Default::default() },
             shuffle_seed: 3,
             early_stop: None,
+            convergence: None,
         };
         h.bench_with_setup(
             &format!("one_epoch_estimate.train.{}", app.name()),

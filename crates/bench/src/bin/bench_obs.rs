@@ -99,6 +99,7 @@ fn main() {
         adam: AdamConfig { lr: problem.lr, ..Default::default() },
         shuffle_seed: 3,
         early_stop: None,
+        convergence: None,
     };
     h.bench_with_setup(
         "obs.train.one_epoch.disabled",

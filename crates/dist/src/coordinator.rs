@@ -138,6 +138,9 @@ impl DistBackend {
             store_dir: dist.store_dir.to_string_lossy().into_owned(),
             threads: (hardware / window).max(1) as u32,
             cache_bytes: nas.cache_bytes / window as u64,
+            prefilter_quantile: nas.fidelity.prefilter_quantile,
+            conv_window: nas.fidelity.convergence.map_or(0, |c| c.window as u32),
+            conv_min_delta: nas.fidelity.convergence.map_or(0.0, |c| c.min_delta),
         };
 
         let mut children = Vec::with_capacity(n);
@@ -657,7 +660,7 @@ impl EvalBackend for DistBackend {
         loop {
             match self.rx.recv_timeout(self.interval) {
                 Ok(Event::Msg { worker, msg }) => match msg {
-                    Msg::Result { id, outcome, stats } => {
+                    Msg::Result { id, outcome, stats, .. } => {
                         self.live.fold_metrics(worker, &stats);
                         self.slots[worker].stats = Some(stats);
                         if self.slots[worker].current == Some(id) {

@@ -19,7 +19,14 @@ use std::io::{self, Read, Write};
 /// plus timeline event batches between `Result`s. The addition is purely
 /// additive — every v2 frame decodes unchanged — but the version is bumped
 /// because v2 peers would drop the connection on the unknown type byte.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4: multi-fidelity fields travel as *optional tails* — fixed-size field
+/// groups appended after each frame's v3 payload. `HelloAck` gains the run's
+/// fidelity knobs (prefilter quantile, convergence window/min-delta), `Task`
+/// the candidate's rung and per-task epoch override, and `Result` the
+/// worker's stop reason plus echoed rung. A v3-shaped payload (no tail)
+/// still decodes, with fidelity-off defaults; a *partial* tail is malformed.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on a frame's payload. The largest legitimate frame is a
 /// `Task` (a few hundred bytes of architecture sequence); 1 MiB leaves room
@@ -161,6 +168,13 @@ impl<'a> Cursor<'a> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid utf-8"))
+    }
+
+    /// Whether the payload is fully consumed — the probe that makes wire-v4
+    /// optional tails possible: a decoder reads its mandatory (v3) fields,
+    /// then takes the tail only when bytes remain.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
     }
 
     /// Decoding must consume the whole payload: trailing bytes mean the

@@ -30,7 +30,7 @@ pub mod worker;
 
 pub use coordinator::DistBackend;
 pub use frame::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use live::{LiveRunView, WorkerView};
+pub use live::{LiveRunView, WorkerView, STOP_COUNTER_KINDS};
 pub use wire::{Msg, RunSpec, Telemetry, WorkerMetrics};
 pub use worker::worker_main;
 

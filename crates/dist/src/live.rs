@@ -59,10 +59,22 @@ pub struct WorkerView {
     pub metrics: Option<WorkerMetrics>,
 }
 
+/// The stop-reason counter suffixes a worker reports under
+/// `fidelity.stopped.*`. `pruned` is decided coordinator-side (after each
+/// rung's ranking), so its per-worker count stays 0 by design — it is kept
+/// in the table so `/status` and `dist-top` render a stable schema.
+pub const STOP_COUNTER_KINDS: [&str; 3] = ["converged", "pruned", "prefiltered"];
+
 impl WorkerView {
     /// Cumulative nanoseconds under `path` in the latest snapshot.
     pub fn span_total_ns(&self, path: &str) -> u64 {
         self.spans.iter().find(|s| s.path == path).map_or(0, |s| s.total_ns)
+    }
+
+    /// This worker's `fidelity.stopped.{kind}` count from its latest
+    /// metrics snapshot (0 when absent or fidelity is off).
+    pub fn stopped(&self, kind: &str) -> u64 {
+        self.metrics.as_ref().map_or(0, |m| m.counter(&format!("fidelity.stopped.{kind}")))
     }
 
     /// Nanoseconds under `path` gained between the last two snapshots.
@@ -306,6 +318,15 @@ impl ServeSource for LiveRunView {
                     ),
                     ("results".to_string(), Json::Num(w.results as f64)),
                     ("uptime_secs".to_string(), Json::Num(w.uptime_ns as f64 / 1e9)),
+                    (
+                        "stopped".to_string(),
+                        Json::Obj(
+                            STOP_COUNTER_KINDS
+                                .iter()
+                                .map(|k| (k.to_string(), Json::Num(w.stopped(k) as f64)))
+                                .collect(),
+                        ),
+                    ),
                     ("spans".to_string(), Json::Arr(spans)),
                     ("gauges".to_string(), Json::Arr(gauges)),
                 ])
@@ -413,6 +434,47 @@ mod tests {
         let status = Json::parse(&live.status_json())?;
         let ewma = status.get("ewma_candidate_secs").and_then(Json::as_f64).unwrap_or(0.0);
         assert!((ewma - 1.2).abs() < 1e-9, "ewma(1, 2) with α=0.2 → 1.2, got {ewma}");
+        Ok(())
+    }
+
+    #[test]
+    fn stop_reason_counts_surface_in_status() -> Result<(), String> {
+        use swt_obs::report::CounterRow;
+        let live = LiveRunView::new();
+        live.worker_added(0);
+        // No metrics yet: the schema is stable, the counts zero.
+        let status = Json::parse(&live.status_json())?;
+        let stopped = |s: &Json, i: usize| {
+            s.get("workers")
+                .and_then(Json::as_array)
+                .and_then(|w| w.get(i))
+                .and_then(|w| w.get("stopped"))
+                .cloned()
+                .ok_or_else(|| "worker stopped object missing from /status".to_string())
+        };
+        let stopped0 = stopped(&status, 0)?;
+        for kind in STOP_COUNTER_KINDS {
+            assert_eq!(stopped0.get(kind).and_then(Json::as_f64), Some(0.0));
+        }
+        // Fold a snapshot carrying fidelity counters.
+        live.fold_metrics(
+            0,
+            &WorkerMetrics {
+                counters: vec![
+                    CounterRow { name: "fidelity.stopped.converged".into(), value: 3 },
+                    CounterRow { name: "fidelity.stopped.prefiltered".into(), value: 5 },
+                    CounterRow { name: "nas.candidates_evaluated".into(), value: 9 },
+                ],
+                histograms: vec![],
+            },
+        );
+        assert_eq!(live.workers()[0].stopped("converged"), 3);
+        assert_eq!(live.workers()[0].stopped("prefiltered"), 5);
+        assert_eq!(live.workers()[0].stopped("pruned"), 0);
+        let status = Json::parse(&live.status_json())?;
+        let stopped0 = stopped(&status, 0)?;
+        assert_eq!(stopped0.get("converged").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(stopped0.get("prefiltered").and_then(Json::as_f64), Some(5.0));
         Ok(())
     }
 

@@ -15,11 +15,17 @@
 //!
 //! All integers little-endian; floats as IEEE-754 bit patterns (scores must
 //! round-trip bit-exactly — the A/B identity gate compares them with `==`).
+//!
+//! Wire v4 appends fixed-size *fidelity tails*: `HelloAck` carries the run's
+//! prefilter/convergence knobs, `Task` the candidate's rung and per-task
+//! epoch override, `Result` the stop reason plus echoed rung. Decoders probe
+//! [`Cursor::at_end`] after the v3 fields, so a v3-shaped payload still
+//! decodes (fidelity-off defaults) while a partial tail is malformed.
 
 use crate::frame::{put_string, Cursor, WireError};
 use swt_core::{TransferScheme, TransferStats};
 use swt_data::{AppKind, DataScale};
-use swt_nas::{Candidate, EvalOutcome};
+use swt_nas::{Candidate, Convergence, EvalFidelity, EvalOutcome, StopReason, MAX_RUNGS};
 use swt_obs::metrics::{bucket_bound, bucket_index, HIST_BUCKETS};
 use swt_obs::report::{CounterRow, HistogramRow};
 use swt_obs::RunReport;
@@ -52,6 +58,29 @@ pub struct RunSpec {
     /// Sized coordinator-side as the run's cache budget split across the
     /// dispatch window, mirroring the in-process shared cache.
     pub cache_bytes: u64,
+    /// Zero-cost pre-filter quantile in `[0, 1)`; 0 disables the filter
+    /// (wire v4, defaults when the peer sends a v3-shaped `HelloAck`).
+    pub prefilter_quantile: f64,
+    /// Convergence window in epochs; 0 disables per-candidate early
+    /// stopping (wire v4).
+    pub conv_window: u32,
+    /// Loss-delta threshold paired with `conv_window` (wire v4).
+    pub conv_min_delta: f64,
+}
+
+impl RunSpec {
+    /// The evaluator-side fidelity knobs carried by this spec — what a
+    /// worker passes to `Evaluator::set_fidelity` so its evaluations match
+    /// the coordinator's in-process ones bit for bit.
+    pub fn eval_fidelity(&self) -> EvalFidelity {
+        EvalFidelity {
+            prefilter_quantile: self.prefilter_quantile,
+            convergence: (self.conv_window > 0).then_some(Convergence {
+                window: self.conv_window as usize,
+                min_delta: self.conv_min_delta,
+            }),
+        }
+    }
 }
 
 /// A worker process's cumulative counter/histogram snapshot, shipped in
@@ -417,6 +446,11 @@ pub enum Msg {
         id: u64,
         outcome: EvalOutcome,
         stats: WorkerMetrics,
+        /// The rung of the task this result answers, echoed by the worker
+        /// (wire v4; 0 from a v3-shaped payload). Scheduling ignores it —
+        /// the coordinator tracks rungs in its in-flight table — but it
+        /// keeps `Result` frames self-describing for monitors and logs.
+        rung: u8,
     },
     Ping {
         nonce: u64,
@@ -517,6 +551,10 @@ impl Msg {
                 put_string(&mut out, &run.store_dir)?;
                 out.extend_from_slice(&run.threads.to_le_bytes());
                 out.extend_from_slice(&run.cache_bytes.to_le_bytes());
+                // v4 fidelity tail.
+                out.extend_from_slice(&run.prefilter_quantile.to_bits().to_le_bytes());
+                out.extend_from_slice(&run.conv_window.to_le_bytes());
+                out.extend_from_slice(&run.conv_min_delta.to_bits().to_le_bytes());
             }
             Msg::Task { cand } => {
                 out.extend_from_slice(&cand.id.to_le_bytes());
@@ -529,8 +567,21 @@ impl Msg {
                 for &c in choices {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
+                // v4 fidelity tail: rung + optional per-task epoch override.
+                if cand.rung as usize >= MAX_RUNGS {
+                    return Err(WireError::Malformed("rung index out of range"));
+                }
+                out.push(cand.rung);
+                out.push(u8::from(cand.epochs.is_some()));
+                let epochs = match cand.epochs {
+                    Some(e) => {
+                        u32::try_from(e).map_err(|_| WireError::Malformed("epochs too large"))?
+                    }
+                    None => 0,
+                };
+                out.extend_from_slice(&epochs.to_le_bytes());
             }
-            Msg::Result { id, outcome, stats } => {
+            Msg::Result { id, outcome, stats, rung } => {
                 out.extend_from_slice(&id.to_le_bytes());
                 out.extend_from_slice(&outcome.score.to_bits().to_le_bytes());
                 out.extend_from_slice(&outcome.train_secs.to_bits().to_le_bytes());
@@ -542,6 +593,12 @@ impl Msg {
                 out.extend_from_slice(&(outcome.transfer.skipped as u64).to_le_bytes());
                 out.extend_from_slice(&(outcome.epochs as u32).to_le_bytes());
                 stats.encode_into(&mut out)?;
+                // v4 fidelity tail: stop reason + echoed rung.
+                out.push(outcome.stop.code());
+                if *rung as usize >= MAX_RUNGS {
+                    return Err(WireError::Malformed("rung index out of range"));
+                }
+                out.push(*rung);
             }
             Msg::Ping { nonce } | Msg::Pong { nonce } => {
                 out.extend_from_slice(&nonce.to_le_bytes());
@@ -582,6 +639,21 @@ impl Msg {
                 let store_dir = c.string()?;
                 let threads = c.u32()?;
                 let cache_bytes = c.u64()?;
+                // v4 fidelity tail; fidelity-off defaults for v3 payloads.
+                let (prefilter_quantile, conv_window, conv_min_delta) = if c.at_end() {
+                    (0.0, 0, 0.0)
+                } else {
+                    let q = c.f64()?;
+                    if !(0.0..1.0).contains(&q) {
+                        return Err(WireError::Malformed("prefilter quantile out of range"));
+                    }
+                    let window = c.u32()?;
+                    let min_delta = c.f64()?;
+                    if min_delta.is_nan() || min_delta < 0.0 {
+                        return Err(WireError::Malformed("negative convergence min-delta"));
+                    }
+                    (q, window, min_delta)
+                };
                 Msg::HelloAck {
                     version,
                     run: RunSpec {
@@ -595,6 +667,9 @@ impl Msg {
                         store_dir,
                         threads,
                         cache_bytes,
+                        prefilter_quantile,
+                        conv_window,
+                        conv_min_delta,
                     },
                 }
             }
@@ -612,7 +687,26 @@ impl Msg {
                 for _ in 0..n {
                     choices.push(c.u16()?);
                 }
-                Msg::Task { cand: Candidate { id, arch: ArchSeq::new(choices), parent } }
+                // v4 fidelity tail; rung-0 full-budget defaults for v3.
+                let (rung, epochs) = if c.at_end() {
+                    (0, None)
+                } else {
+                    let rung = c.u8()?;
+                    if rung as usize >= MAX_RUNGS {
+                        return Err(WireError::Malformed("rung index out of range"));
+                    }
+                    let has_epochs = c.u8()?;
+                    let epochs_raw = c.u32()?;
+                    let epochs = match has_epochs {
+                        0 => None,
+                        1 => Some(epochs_raw as usize),
+                        _ => return Err(WireError::Malformed("invalid epochs flag")),
+                    };
+                    (rung, epochs)
+                };
+                Msg::Task {
+                    cand: Candidate { id, arch: ArchSeq::new(choices), parent, rung, epochs },
+                }
             }
             0x04 => {
                 let id = c.u64()?;
@@ -626,6 +720,18 @@ impl Msg {
                 let skipped = c.u64()? as usize;
                 let epochs = c.u32()? as usize;
                 let stats = WorkerMetrics::decode_from(&mut c)?;
+                // v4 fidelity tail; budget-exhausted rung-0 defaults for v3.
+                let (stop, rung) = if c.at_end() {
+                    (StopReason::BudgetExhausted, 0)
+                } else {
+                    let stop = StopReason::from_code(c.u8()?)
+                        .ok_or(WireError::Malformed("unknown stop reason"))?;
+                    let rung = c.u8()?;
+                    if rung as usize >= MAX_RUNGS {
+                        return Err(WireError::Malformed("rung index out of range"));
+                    }
+                    (stop, rung)
+                };
                 Msg::Result {
                     id,
                     outcome: EvalOutcome {
@@ -637,8 +743,10 @@ impl Msg {
                         checkpoint_bytes,
                         transfer: TransferStats { tensors, bytes, skipped },
                         epochs,
+                        stop,
                     },
                     stats,
+                    rung,
                 }
             }
             0x05 => Msg::Ping { nonce: c.u64()? },
@@ -669,27 +777,26 @@ mod tests {
     #[test]
     fn all_frames_round_trip() -> Result<(), WireError> {
         round_trip(Msg::Hello { version: PROTOCOL_VERSION, worker_id: 3, pid: 4242 })?;
+        round_trip(Msg::HelloAck { version: PROTOCOL_VERSION, run: sample_run() })?;
         round_trip(Msg::HelloAck {
             version: PROTOCOL_VERSION,
             run: RunSpec {
-                app: AppKind::Uno,
-                scale: DataScale::Quick,
-                data_seed: 11,
-                scheme: TransferScheme::Lcs,
-                epochs: 1,
-                run_seed: 9,
-                namespace: "dist_".into(),
-                store_dir: "/tmp/swt_store".into(),
-                threads: 1,
-                cache_bytes: 1 << 22,
+                prefilter_quantile: 0.25,
+                conv_window: 3,
+                conv_min_delta: 1e-4,
+                ..sample_run()
             },
         })?;
         round_trip(Msg::Task {
-            cand: Candidate { id: 7, arch: ArchSeq::new(vec![1, 0, 4, 2]), parent: Some(3) },
+            cand: Candidate {
+                id: 7,
+                arch: ArchSeq::new(vec![1, 0, 4, 2]),
+                parent: Some(3),
+                rung: 2,
+                epochs: Some(4),
+            },
         })?;
-        round_trip(Msg::Task {
-            cand: Candidate { id: 0, arch: ArchSeq::new(vec![2]), parent: None },
-        })?;
+        round_trip(Msg::Task { cand: Candidate::new(0, ArchSeq::new(vec![2]), None) })?;
         round_trip(Msg::Result {
             id: 7,
             outcome: EvalOutcome {
@@ -701,8 +808,10 @@ mod tests {
                 checkpoint_bytes: 1 << 20,
                 transfer: TransferStats { tensors: 5, bytes: 4096, skipped: 1 },
                 epochs: 1,
+                stop: StopReason::Converged,
             },
             stats: sample_metrics(),
+            rung: 1,
         })?;
         round_trip(Msg::Ping { nonce: u64::MAX })?;
         round_trip(Msg::Pong { nonce: 0 })?;
@@ -713,6 +822,24 @@ mod tests {
         round_trip(Msg::Telemetry { telemetry: sample_telemetry() })?;
         round_trip(Msg::Telemetry { telemetry: Telemetry::default() })?;
         Ok(())
+    }
+
+    fn sample_run() -> RunSpec {
+        RunSpec {
+            app: AppKind::Uno,
+            scale: DataScale::Quick,
+            data_seed: 11,
+            scheme: TransferScheme::Lcs,
+            epochs: 1,
+            run_seed: 9,
+            namespace: "dist_".into(),
+            store_dir: "/tmp/swt_store".into(),
+            threads: 1,
+            cache_bytes: 1 << 22,
+            prefilter_quantile: 0.0,
+            conv_window: 0,
+            conv_min_delta: 0.0,
+        }
     }
 
     fn sample_telemetry() -> Telemetry {
@@ -836,8 +963,10 @@ mod tests {
                     checkpoint_bytes: 0,
                     transfer: TransferStats::default(),
                     epochs: 0,
+                    stop: StopReason::BudgetExhausted,
                 },
                 stats: WorkerMetrics::default(),
+                rung: 0,
             };
             let decoded = Msg::decode(0x04, &msg.encode()?)?;
             let Msg::Result { outcome, .. } = decoded else {
@@ -846,6 +975,131 @@ mod tests {
             assert_eq!(outcome.score.to_bits(), bits);
         }
         Ok(())
+    }
+
+    #[test]
+    fn v3_shaped_payloads_decode_with_fidelity_defaults() -> Result<(), WireError> {
+        // Truncating a v4 payload at the v3 boundary (dropping the whole
+        // tail) must decode with fidelity-off defaults — that is the
+        // backward-decode contract.
+        let mut p = Msg::HelloAck { version: PROTOCOL_VERSION, run: sample_run() }.encode()?;
+        p.truncate(p.len() - 20); // f64 + u32 + f64
+        let Msg::HelloAck { run, .. } = Msg::decode(0x02, &p)? else { unreachable!() };
+        assert_eq!(run, sample_run());
+        assert_eq!(run.eval_fidelity(), EvalFidelity::default());
+
+        let cand = Candidate {
+            rung: 1,
+            epochs: Some(2),
+            ..Candidate::new(5, ArchSeq::new(vec![3, 1]), None)
+        };
+        let mut p = Msg::Task { cand }.encode()?;
+        p.truncate(p.len() - 6); // u8 + u8 + u32
+        let Msg::Task { cand } = Msg::decode(0x03, &p)? else { unreachable!() };
+        assert_eq!((cand.rung, cand.epochs), (0, None));
+
+        let msg = Msg::Result {
+            id: 2,
+            outcome: EvalOutcome {
+                id: 2,
+                score: 0.5,
+                train_secs: 0.0,
+                transfer_secs: 0.0,
+                save_secs: 0.0,
+                checkpoint_bytes: 0,
+                transfer: TransferStats::default(),
+                epochs: 1,
+                stop: StopReason::Pruned,
+            },
+            stats: WorkerMetrics::default(),
+            rung: 3,
+        };
+        let mut p = msg.encode()?;
+        p.truncate(p.len() - 2); // stop + rung
+        let Msg::Result { outcome, rung, .. } = Msg::decode(0x04, &p)? else { unreachable!() };
+        assert_eq!((outcome.stop, rung), (StopReason::BudgetExhausted, 0));
+        Ok(())
+    }
+
+    #[test]
+    fn hostile_fidelity_tails_are_rejected() -> Result<(), WireError> {
+        // Unknown stop discriminant.
+        let msg = Msg::Result {
+            id: 1,
+            outcome: EvalOutcome {
+                id: 1,
+                score: 0.0,
+                train_secs: 0.0,
+                transfer_secs: 0.0,
+                save_secs: 0.0,
+                checkpoint_bytes: 0,
+                transfer: TransferStats::default(),
+                epochs: 0,
+                stop: StopReason::BudgetExhausted,
+            },
+            stats: WorkerMetrics::default(),
+            rung: 0,
+        };
+        let p = msg.encode()?;
+        let mut bad = p.clone();
+        let n = bad.len();
+        bad[n - 2] = 4; // first invalid StopReason code
+        assert!(matches!(
+            Msg::decode(0x04, &bad),
+            Err(WireError::Malformed("unknown stop reason"))
+        ));
+        // Out-of-range rung in a Result.
+        let mut bad = p.clone();
+        bad[n - 1] = MAX_RUNGS as u8;
+        assert!(matches!(Msg::decode(0x04, &bad), Err(WireError::Malformed(_))));
+        // Partial tail (stop present, rung missing) is malformed, not a
+        // silent default: only the exact v3 boundary is a valid prefix.
+        let mut bad = p;
+        bad.truncate(n - 1);
+        assert!(matches!(Msg::decode(0x04, &bad), Err(WireError::Malformed(_))));
+
+        // Out-of-range rung / bogus epochs flag in a Task.
+        let p = Msg::Task { cand: Candidate::new(1, ArchSeq::new(vec![2]), None) }.encode()?;
+        let n = p.len();
+        let mut bad = p.clone();
+        bad[n - 6] = MAX_RUNGS as u8;
+        assert!(matches!(Msg::decode(0x03, &bad), Err(WireError::Malformed(_))));
+        let mut bad = p;
+        bad[n - 5] = 2;
+        assert!(matches!(
+            Msg::decode(0x03, &bad),
+            Err(WireError::Malformed("invalid epochs flag"))
+        ));
+
+        // Quantile ≥ 1 / NaN min-delta in a HelloAck.
+        let bad_run = Msg::HelloAck {
+            version: PROTOCOL_VERSION,
+            run: RunSpec { prefilter_quantile: 0.5, ..sample_run() },
+        }
+        .encode()?;
+        let n = bad_run.len();
+        let mut bad = bad_run.clone();
+        bad[n - 20..n - 12].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
+        let mut bad = bad_run;
+        bad[n - 8..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
+        Ok(())
+    }
+
+    #[test]
+    fn run_spec_fidelity_maps_onto_evaluator_knobs() {
+        let run = RunSpec {
+            prefilter_quantile: 0.25,
+            conv_window: 3,
+            conv_min_delta: 1e-4,
+            ..sample_run()
+        };
+        let f = run.eval_fidelity();
+        assert_eq!(f.prefilter_quantile, 0.25);
+        assert_eq!(f.convergence, Some(Convergence { window: 3, min_delta: 1e-4 }));
+        assert!(f.enabled());
+        assert!(!sample_run().eval_fidelity().enabled());
     }
 
     #[test]

@@ -172,11 +172,12 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
             }
         };
         let id = cand.id;
+        let rung = cand.rung;
         let outcome = evaluator.evaluate(&cand);
         let stats = WorkerMetrics::capture();
         let sent = {
             let _send_span = swt_obs::span!("nas.result_send");
-            send(&writer, &Msg::Result { id, outcome, stats })
+            send(&writer, &Msg::Result { id, outcome, stats, rung })
         };
         if let Err(e) = sent {
             eval_err = Some(e);
@@ -232,7 +233,7 @@ fn build_evaluator(run: &RunSpec) -> Result<Evaluator, WireError> {
     } else {
         Arc::new(dir)
     };
-    Ok(Evaluator::with_namespace(
+    let mut evaluator = Evaluator::with_namespace(
         problem,
         space,
         store,
@@ -240,7 +241,12 @@ fn build_evaluator(run: &RunSpec) -> Result<Evaluator, WireError> {
         run.epochs as usize,
         run.run_seed,
         run.namespace.clone(),
-    ))
+    );
+    // The fidelity knobs travel in the RunSpec so every worker applies the
+    // same pre-filter threshold and convergence rule the in-process pool
+    // would — the off-switch identity gate depends on this symmetry.
+    evaluator.set_fidelity(run.eval_fidelity());
+    Ok(evaluator)
 }
 
 /// Entry point for the `swt dist-worker` bin mode: connect and run.

@@ -14,7 +14,7 @@ use swt_dist::wire::{
     MAX_TELEMETRY_EVENTS, MAX_TELEMETRY_NAMES,
 };
 use swt_dist::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-use swt_nas::{Candidate, EvalOutcome};
+use swt_nas::{Candidate, EvalOutcome, StopReason, MAX_RUNGS};
 use swt_obs::report::{CounterRow, HistogramRow};
 use swt_space::ArchSeq;
 use swt_tensor::Rng;
@@ -51,10 +51,19 @@ fn corpus() -> Vec<Msg> {
                 store_dir: "/tmp/swt_store".into(),
                 threads: 1,
                 cache_bytes: 1 << 22,
+                prefilter_quantile: 0.25,
+                conv_window: 3,
+                conv_min_delta: 1e-4,
             },
         },
         Msg::Task {
-            cand: Candidate { id: 7, arch: ArchSeq::new(vec![1, 0, 4, 2]), parent: Some(3) },
+            cand: Candidate {
+                id: 7,
+                arch: ArchSeq::new(vec![1, 0, 4, 2]),
+                parent: Some(3),
+                rung: 2,
+                epochs: Some(4),
+            },
         },
         Msg::Result {
             id: 7,
@@ -67,8 +76,10 @@ fn corpus() -> Vec<Msg> {
                 checkpoint_bytes: 1 << 20,
                 transfer: TransferStats { tensors: 5, bytes: 4096, skipped: 1 },
                 epochs: 1,
+                stop: StopReason::Converged,
             },
             stats: stats.clone(),
+            rung: 2,
         },
         Msg::Ping { nonce: u64::MAX },
         Msg::Pong { nonce: 0 },
@@ -92,21 +103,130 @@ fn corpus() -> Vec<Msg> {
     ]
 }
 
+/// Byte length of a frame type's wire-v4 fidelity tail (0 = no tail).
+/// Frames with a tail have exactly one decodable strict prefix — the v3
+/// boundary — which decodes with fidelity-off defaults by design.
+fn tail_len(ty: u8) -> usize {
+    match ty {
+        0x02 => 20, // prefilter f64 + conv_window u32 + conv_min_delta f64
+        0x03 => 6,  // rung u8 + has_epochs u8 + epochs u32
+        0x04 => 2,  // stop u8 + rung u8
+        _ => 0,
+    }
+}
+
 #[test]
 fn every_truncation_of_every_frame_is_a_typed_error() {
     for msg in corpus() {
         let payload = msg.encode().expect("corpus must encode");
         assert_eq!(Msg::decode(msg.frame_type(), &payload).expect("corpus round-trip"), msg);
+        let v3_boundary = payload.len() - tail_len(msg.frame_type());
         // Every strict prefix either starves a fixed-width read or leaves a
-        // count without its elements; none may decode, none may panic.
+        // count without its elements; none may decode, none may panic. The
+        // one carve-out: optional-tail frames (HelloAck/Task/Result) decode
+        // at exactly the v3 boundary — that is the backward-decode contract.
         for cut in 0..payload.len() {
-            assert!(
-                Msg::decode(msg.frame_type(), &payload[..cut]).is_err(),
-                "type {:#04x} truncated to {cut}/{} bytes decoded successfully",
-                msg.frame_type(),
-                payload.len()
-            );
+            let got = Msg::decode(msg.frame_type(), &payload[..cut]);
+            if cut == v3_boundary && cut != payload.len() {
+                assert!(
+                    got.is_ok(),
+                    "type {:#04x} must decode its v3-shaped prefix ({cut} bytes)",
+                    msg.frame_type()
+                );
+            } else {
+                assert!(
+                    got.is_err(),
+                    "type {:#04x} truncated to {cut}/{} bytes decoded successfully",
+                    msg.frame_type(),
+                    payload.len()
+                );
+            }
         }
+    }
+}
+
+#[test]
+fn v3_boundary_prefixes_decode_with_fidelity_defaults() {
+    for msg in corpus() {
+        let ty = msg.frame_type();
+        if tail_len(ty) == 0 {
+            continue;
+        }
+        let payload = msg.encode().expect("corpus must encode");
+        let prefix = &payload[..payload.len() - tail_len(ty)];
+        match Msg::decode(ty, prefix).expect("v3-shaped prefix must decode") {
+            Msg::HelloAck { run, .. } => {
+                assert_eq!(run.prefilter_quantile, 0.0);
+                assert_eq!((run.conv_window, run.conv_min_delta), (0, 0.0));
+                assert!(!run.eval_fidelity().enabled());
+            }
+            Msg::Task { cand } => assert_eq!((cand.rung, cand.epochs), (0, None)),
+            Msg::Result { outcome, rung, .. } => {
+                assert_eq!(outcome.stop, StopReason::BudgetExhausted);
+                assert_eq!(rung, 0);
+            }
+            other => panic!("unexpected decode variant for tag {:#04x}: {other:?}", ty),
+        }
+    }
+}
+
+#[test]
+fn hostile_fidelity_tails_are_typed_errors() {
+    let corpus = corpus();
+    let task = corpus.iter().find(|m| matches!(m, Msg::Task { .. })).unwrap();
+    let result = corpus.iter().find(|m| matches!(m, Msg::Result { .. })).unwrap();
+
+    // Out-of-range rung discriminants in Task tails (rung byte sits 6 from
+    // the end) and Result tails (last byte).
+    for rung in [MAX_RUNGS as u8, 0x80, 0xFF] {
+        let mut p = task.encode().unwrap();
+        let n = p.len();
+        p[n - 6] = rung;
+        assert!(
+            matches!(Msg::decode(0x03, &p), Err(WireError::Malformed(_))),
+            "task rung {rung} must be rejected"
+        );
+        let mut p = result.encode().unwrap();
+        let n = p.len();
+        p[n - 1] = rung;
+        assert!(
+            matches!(Msg::decode(0x04, &p), Err(WireError::Malformed(_))),
+            "result rung {rung} must be rejected"
+        );
+    }
+
+    // Every out-of-range stop discriminant (codes 0–3 are the enum).
+    for stop in 4..=u8::MAX {
+        let mut p = result.encode().unwrap();
+        let n = p.len();
+        p[n - 2] = stop;
+        assert!(
+            matches!(Msg::decode(0x04, &p), Err(WireError::Malformed(_))),
+            "stop discriminant {stop} must be rejected"
+        );
+    }
+
+    // Bogus epochs flag in a Task tail.
+    for flag in [2u8, 0xFF] {
+        let mut p = task.encode().unwrap();
+        let n = p.len();
+        p[n - 5] = flag;
+        assert!(matches!(Msg::decode(0x03, &p), Err(WireError::Malformed(_))));
+    }
+
+    // HelloAck tails smuggling NaN/out-of-range knobs.
+    let ack = corpus.iter().find(|m| matches!(m, Msg::HelloAck { .. })).unwrap();
+    let good = ack.encode().unwrap();
+    let n = good.len();
+    for bits in [f64::NAN.to_bits(), 1.0f64.to_bits(), (-0.5f64).to_bits()] {
+        let mut p = good.clone();
+        p[n - 20..n - 12].copy_from_slice(&bits.to_le_bytes());
+        assert!(matches!(Msg::decode(0x02, &p), Err(WireError::Malformed(_))));
+    }
+    for bits in [f64::NAN.to_bits(), (-1e-9f64).to_bits()] {
+        let mut p = good.clone();
+        p[n - 8..].copy_from_slice(&bits.to_le_bytes());
+        assert!(matches!(Msg::decode(0x02, &p), Err(WireError::Malformed(_))));
     }
 }
 

@@ -66,6 +66,7 @@ fn main() {
                 adam: AdamConfig { lr: problem.lr, ..Default::default() },
                 shuffle_seed: seed,
                 early_stop: None,
+                convergence: None,
             };
             let score_of = |ckpt: Option<&[(String, swt_tensor::Tensor)]>| -> f64 {
                 let mut model = Model::build(&receiver_spec, seed).unwrap();

@@ -162,12 +162,13 @@ impl ThreadPoolBackend {
         let task_rx = Arc::new(Mutex::new(task_rx));
         let (result_tx, result_rx) = mpsc::channel::<BackendResult>();
 
+        let fidelity = cfg.fidelity.eval_fidelity();
         let mut handles = Vec::with_capacity(slots);
         for slot in 0..slots {
             let task_rx = Arc::clone(&task_rx);
             let result_tx = result_tx.clone();
             let mut unit = BatchedEval::new(slot, lanes, || {
-                Evaluator::with_namespace(
+                let mut ev = Evaluator::with_namespace(
                     Arc::clone(&problem),
                     Arc::clone(&space),
                     Arc::clone(&store),
@@ -175,7 +176,9 @@ impl ThreadPoolBackend {
                     cfg.epochs,
                     cfg.seed,
                     cfg.namespace.clone(),
-                )
+                );
+                ev.set_fidelity(fidelity);
+                ev
             });
             handles.push(std::thread::spawn(move || {
                 // Attribute this thread's spans (queue wait, evaluation and
@@ -299,7 +302,7 @@ mod tests {
         assert_eq!(be.capacity(), 2);
         let mut rng = Rng::seed(5);
         for id in 0..4 {
-            be.submit(Candidate { id, arch: space.sample(&mut rng), parent: None }).unwrap();
+            be.submit(Candidate::new(id, space.sample(&mut rng), None)).unwrap();
         }
         let mut ids: Vec<u64> = (0..4).map(|_| be.next_result().unwrap().cand.id).collect();
         ids.sort_unstable();
@@ -323,7 +326,7 @@ mod tests {
         assert_eq!(be.slots(), 2);
         let mut rng = Rng::seed(5);
         for id in 0..8 {
-            be.submit(Candidate { id, arch: space.sample(&mut rng), parent: None }).unwrap();
+            be.submit(Candidate::new(id, space.sample(&mut rng), None)).unwrap();
         }
         let mut ids: Vec<u64> = (0..8).map(|_| be.next_result().unwrap().cand.id).collect();
         ids.sort_unstable();

@@ -35,7 +35,7 @@ impl SearchStrategy for RandomSearch {
     fn next(&mut self, rng: &mut Rng) -> Candidate {
         let id = self.next_id;
         self.next_id += 1;
-        Candidate { id, arch: self.space.sample(rng), parent: None }
+        Candidate::new(id, self.space.sample(rng), None)
     }
 
     fn report(&mut self, _scored: ScoredCandidate) {}
@@ -132,7 +132,7 @@ impl SearchStrategy for RegularizedEvolution {
         // Warm-up phase: random candidates from scratch until the population
         // is filled (|P| >= N, Algorithm 1 line 5).
         if self.population.len() < self.population_size {
-            return Candidate { id, arch: self.space.sample(rng), parent: None };
+            return Candidate::new(id, self.space.sample(rng), None);
         }
         // Tournament: sample S of N, best wins (lines 6-7).
         let indices = rng.sample_indices(self.population.len(), self.sample_size);
@@ -157,7 +157,7 @@ impl SearchStrategy for RegularizedEvolution {
                 swt_core::select_nearest(&child_arch, &pool).map(|e| e.id)
             }
         };
-        Candidate { id, arch: child_arch, parent: provider }
+        Candidate::new(id, child_arch, provider)
     }
 
     fn report(&mut self, scored: ScoredCandidate) {

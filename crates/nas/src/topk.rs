@@ -113,6 +113,7 @@ pub fn full_train_top_k(
                 adam: AdamConfig { lr: problem.lr, ..Default::default() },
                 shuffle_seed: trace.seed ^ event.id ^ 0xF011,
                 early_stop: None,
+                convergence: None,
             };
             // Early-stopping run.
             let mut model = restore_candidate(&space, &*store, trace.seed, event.id, &event.arch);
@@ -161,6 +162,7 @@ pub fn full_train_sample(
             adam: AdamConfig { lr: problem.lr, ..Default::default() },
             shuffle_seed: trace.seed ^ event.id ^ 0x516,
             early_stop: Some(problem.early_stop),
+            convergence: None,
         };
         let report = trainer.fit(&mut model, &problem.train, &problem.val, &cfg);
         (event.score, report.final_metric)

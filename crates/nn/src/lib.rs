@@ -29,4 +29,7 @@ pub use loss::{Loss, Metric};
 pub use model::Model;
 pub use optimizer::{Adam, AdamConfig, Sgd};
 pub use spec::{Activation, LayerSpec, ModelSpec, NodeSpec, SpecError};
-pub use trainer::{EarlyStop, EpochRecord, TrainConfig, TrainReport, Trainer};
+pub use trainer::{
+    Convergence, ConvergenceTracker, EarlyStop, EpochRecord, TrainConfig, TrainReport, TrainStop,
+    Trainer,
+};

@@ -26,6 +26,63 @@ impl EarlyStop {
     }
 }
 
+/// Loss-delta convergence rule for multi-fidelity evaluation: training stops
+/// at a clean epoch boundary once the last `window` train losses span at most
+/// `min_delta`. Unlike [`EarlyStop`] (which watches the *validation* metric
+/// with a patience counter), this watches the *training* loss over a sliding
+/// window — cheap, monotone-friendly, and what a rung budget wants to cut on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Number of trailing epoch losses that must agree.
+    pub window: usize,
+    /// Maximum spread (max − min) across the window that counts as flat.
+    pub min_delta: f64,
+}
+
+/// Sliding-window observer for [`Convergence`]: feed one train loss per
+/// epoch; `observe` reports `true` once the window is full and flat.
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    rule: Convergence,
+    window: Vec<f64>,
+}
+
+impl ConvergenceTracker {
+    pub fn new(rule: Convergence) -> Self {
+        ConvergenceTracker { rule, window: Vec::with_capacity(rule.window.max(1)) }
+    }
+
+    /// Record the epoch's train loss; `true` means the loss has converged
+    /// (the last `window` observations span at most `min_delta`).
+    pub fn observe(&mut self, loss: f64) -> bool {
+        let cap = self.rule.window.max(1);
+        if self.window.len() == cap {
+            self.window.remove(0);
+        }
+        self.window.push(loss);
+        if self.window.len() < cap || self.window.iter().any(|l| !l.is_finite()) {
+            return false;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &l in &self.window {
+            lo = lo.min(l);
+            hi = hi.max(l);
+        }
+        (hi - lo) <= self.rule.min_delta
+    }
+}
+
+/// Why training ended, for propagation into `EvalOutcome` stop reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainStop {
+    /// Ran the full epoch budget.
+    Budget,
+    /// The paper's validation-metric plateau rule ([`EarlyStop`]) fired.
+    Plateau,
+    /// The loss-delta [`Convergence`] rule fired.
+    Converged,
+}
+
 /// Training configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
@@ -35,6 +92,8 @@ pub struct TrainConfig {
     /// Seed for epoch shuffling (weight init is seeded at model build).
     pub shuffle_seed: u64,
     pub early_stop: Option<EarlyStop>,
+    /// Loss-delta convergence cut, checked at epoch boundaries only.
+    pub convergence: Option<Convergence>,
 }
 
 impl Default for TrainConfig {
@@ -45,6 +104,7 @@ impl Default for TrainConfig {
             adam: AdamConfig::default(),
             shuffle_seed: 0,
             early_stop: None,
+            convergence: None,
         }
     }
 }
@@ -63,6 +123,9 @@ pub struct TrainReport {
     pub records: Vec<EpochRecord>,
     pub epochs_run: usize,
     pub early_stopped: bool,
+    /// Why the loop ended; `early_stopped` stays `true` for any non-budget
+    /// stop so existing callers keep working.
+    pub stop: TrainStop,
     /// Validation objective after the final epoch.
     pub final_metric: f64,
 }
@@ -94,6 +157,8 @@ impl Trainer {
         let mut flat_epochs = 0usize;
         let mut prev_metric: Option<f64> = None;
         let mut early_stopped = false;
+        let mut stop = TrainStop::Budget;
+        let mut tracker = cfg.convergence.map(ConvergenceTracker::new);
 
         for epoch in 0..cfg.epochs {
             let _epoch_span = swt_obs::span!("epoch");
@@ -124,11 +189,8 @@ impl Trainer {
             swt_obs::counter!("nn.batches_trained").add(batches as u64);
             swt_obs::counter!("nn.epochs_trained").inc();
             let val_metric = self.evaluate(model, val, cfg.batch_size);
-            records.push(EpochRecord {
-                epoch,
-                train_loss: loss_sum / batches.max(1) as f64,
-                val_metric,
-            });
+            let train_loss = loss_sum / batches.max(1) as f64;
+            records.push(EpochRecord { epoch, train_loss, val_metric });
             if let Some(es) = cfg.early_stop {
                 if let Some(prev) = prev_metric {
                     if (val_metric - prev).abs() <= es.threshold {
@@ -138,14 +200,22 @@ impl Trainer {
                     }
                     if flat_epochs >= es.patience {
                         early_stopped = true;
+                        stop = TrainStop::Plateau;
                         break;
                     }
                 }
                 prev_metric = Some(val_metric);
             }
+            if let Some(t) = tracker.as_mut() {
+                if t.observe(train_loss) && epoch + 1 < cfg.epochs {
+                    early_stopped = true;
+                    stop = TrainStop::Converged;
+                    break;
+                }
+            }
         }
         let final_metric = records.last().map(|r| r.val_metric).unwrap_or(0.0);
-        TrainReport { epochs_run: records.len(), records, early_stopped, final_metric }
+        TrainReport { epochs_run: records.len(), records, early_stopped, stop, final_metric }
     }
 
     /// Batched evaluation of the objective metric on a dataset.
@@ -265,6 +335,91 @@ mod tests {
         let report = trainer.fit(&mut model, &train, &val, &cfg);
         assert_eq!(report.epochs_run, 3);
         assert!(report.early_stopped);
+    }
+
+    #[test]
+    fn convergence_tracker_needs_a_full_flat_window() {
+        let mut t = ConvergenceTracker::new(Convergence { window: 3, min_delta: 0.1 });
+        assert!(!t.observe(1.00), "window not yet full");
+        assert!(!t.observe(1.05), "window not yet full");
+        assert!(t.observe(1.04), "three losses within 0.1 converge");
+        let mut t = ConvergenceTracker::new(Convergence { window: 3, min_delta: 0.1 });
+        for loss in [2.0, 1.5, 1.0, 0.6, 0.55] {
+            assert!(!t.observe(loss), "spread above min_delta must not converge at {loss}");
+        }
+        assert!(t.observe(0.52), "window [0.6, 0.55, 0.52] spans 0.08 <= 0.1");
+    }
+
+    #[test]
+    fn convergence_tracker_ignores_non_finite_losses() {
+        let mut t = ConvergenceTracker::new(Convergence { window: 2, min_delta: 10.0 });
+        assert!(!t.observe(f64::NAN));
+        assert!(!t.observe(1.0), "a NaN in the window must never count as flat");
+        assert!(t.observe(1.0));
+    }
+
+    #[test]
+    fn convergence_stop_reports_its_reason() {
+        let train = blob_dataset(64, 11);
+        let val = blob_dataset(32, 12);
+        let mut model = mlp();
+        let trainer = Trainer::new(Loss::CategoricalCrossEntropy, Metric::Accuracy);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            // An infinitely tolerant spread: converges as soon as the
+            // two-epoch window fills, i.e. after epoch 2.
+            convergence: Some(Convergence { window: 2, min_delta: f64::INFINITY }),
+            ..Default::default()
+        };
+        let report = trainer.fit(&mut model, &train, &val, &cfg);
+        assert_eq!(report.epochs_run, 2);
+        assert!(report.early_stopped);
+        assert_eq!(report.stop, TrainStop::Converged);
+    }
+
+    #[test]
+    fn budget_and_plateau_stops_are_distinguished() {
+        let train = blob_dataset(64, 13);
+        let val = blob_dataset(32, 14);
+        let trainer = Trainer::new(Loss::CategoricalCrossEntropy, Metric::Accuracy);
+        let budget = trainer.fit(
+            &mut mlp(),
+            &train,
+            &val,
+            &TrainConfig { epochs: 2, batch_size: 16, ..Default::default() },
+        );
+        assert_eq!(budget.stop, TrainStop::Budget);
+        assert!(!budget.early_stopped);
+        let plateau = trainer.fit(
+            &mut mlp(),
+            &train,
+            &val,
+            &TrainConfig {
+                epochs: 30,
+                batch_size: 16,
+                early_stop: Some(EarlyStop { threshold: 1.0, patience: 2 }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(plateau.stop, TrainStop::Plateau);
+        assert!(plateau.early_stopped);
+    }
+
+    #[test]
+    fn convergence_on_the_final_epoch_counts_as_budget() {
+        let train = blob_dataset(64, 15);
+        let val = blob_dataset(32, 16);
+        let trainer = Trainer::new(Loss::CategoricalCrossEntropy, Metric::Accuracy);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            convergence: Some(Convergence { window: 1, min_delta: f64::INFINITY }),
+            ..Default::default()
+        };
+        let report = trainer.fit(&mut mlp(), &train, &val, &cfg);
+        assert_eq!(report.stop, TrainStop::Budget, "no epochs were saved, nothing converged away");
+        assert!(!report.early_stopped);
     }
 
     #[test]

@@ -171,3 +171,97 @@ fn fast_tau_matches_naive() {
         assert!((naive - fast).abs() < 1e-9, "case {case}: {naive} vs {fast}");
     }
 }
+
+/// Random samples drawn from a small bucket set so ties are plentiful.
+fn tied_vec(rng: &mut Rng, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = min_len + rng.below(max_len - min_len);
+    (0..len).map(|_| rng.below(6) as f64).collect()
+}
+
+#[test]
+fn tau_b_matches_tau_on_tie_free_data() {
+    let mut rng = Rng::seed(0x7B0);
+    for case in 0..100 {
+        // With no ties the correction term vanishes and both definitions
+        // reduce to (Nc - Nd) / N0.
+        let xs = distinct_vec(&mut rng, 2, 48);
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 7.31).sin() + x * 1e-9).collect();
+        let t = kendall_tau(&xs, &ys);
+        let tb = kendall_tau_b(&xs, &ys);
+        assert!((t - tb).abs() < 1e-12, "case {case}: {t} vs {tb}");
+    }
+}
+
+#[test]
+fn tau_b_is_one_under_monotone_maps_despite_ties() {
+    let mut rng = Rng::seed(0x7B1);
+    for case in 0..100 {
+        // A strictly increasing map preserves the tie pattern exactly, so
+        // every non-tied pair is concordant and tau-b is exactly 1 — this is
+        // the tie-awareness the paper's variant deliberately gives up.
+        let xs = tied_vec(&mut rng, 2, 40);
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp() + 2.0 * x).collect();
+        assert!((kendall_tau_b(&xs, &ys) - 1.0).abs() < 1e-12, "case {case}");
+    }
+}
+
+#[test]
+fn tau_b_is_symmetric_in_its_arguments() {
+    let mut rng = Rng::seed(0x7B2);
+    for case in 0..100 {
+        let xs = tied_vec(&mut rng, 2, 40);
+        let ys = tied_vec(&mut rng, xs.len().max(2), xs.len().max(2) + 1);
+        let ys = &ys[..xs.len()];
+        let ab = kendall_tau_b(&xs, ys);
+        let ba = kendall_tau_b(ys, &xs);
+        assert!((ab - ba).abs() < 1e-12, "case {case}: {ab} vs {ba}");
+    }
+}
+
+#[test]
+fn tau_b_invariant_under_monotone_transforms() {
+    let mut rng = Rng::seed(0x7B3);
+    for case in 0..100 {
+        // Rank statistics only see order: strictly increasing maps applied
+        // to either coordinate leave tau-b unchanged, ties and all.
+        let xs = tied_vec(&mut rng, 2, 40);
+        let ys: Vec<f64> = xs.iter().map(|x| ((x * 3.7).sin() * 2.0).round()).collect();
+        let fx: Vec<f64> = xs.iter().map(|x| x * 0.5 - 10.0).collect();
+        let gy: Vec<f64> = ys.iter().map(|y| y.powi(3) + y).collect();
+        let base = kendall_tau_b(&xs, &ys);
+        let mapped = kendall_tau_b(&fx, &gy);
+        assert!((base - mapped).abs() < 1e-12, "case {case}: {base} vs {mapped}");
+    }
+}
+
+#[test]
+fn tau_b_antisymmetric_under_negation_even_with_ties() {
+    let mut rng = Rng::seed(0x7B4);
+    for case in 0..100 {
+        // Negating one coordinate swaps concordant and discordant pairs and
+        // preserves every tie, so tau-b flips sign exactly.
+        let xs = tied_vec(&mut rng, 2, 40);
+        let ys: Vec<f64> = xs.iter().map(|x| ((x * 5.3).cos() * 3.0).round()).collect();
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        let t = kendall_tau_b(&xs, &ys);
+        let tn = kendall_tau_b(&xs, &neg);
+        assert!((t + tn).abs() < 1e-12, "case {case}: {t} vs {tn}");
+    }
+}
+
+#[test]
+fn tau_b_never_below_paper_tau_on_positively_ranked_data() {
+    let mut rng = Rng::seed(0x7B5);
+    for case in 0..100 {
+        // The paper's variant folds ties into the discordant count, so when
+        // the ranking agrees (Nc >= Nd) it can only under-report agreement
+        // relative to the tie-corrected tau-b.
+        let xs = tied_vec(&mut rng, 2, 40);
+        let ys: Vec<f64> = xs.iter().map(|x| x + ((x * 9.1).sin()).round()).collect();
+        let t = kendall_tau(&xs, &ys);
+        let tb = kendall_tau_b(&xs, &ys);
+        if t >= 0.0 {
+            assert!(tb >= t - 1e-12, "case {case}: tau {t} > tau-b {tb}");
+        }
+    }
+}

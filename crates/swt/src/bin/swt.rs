@@ -1,6 +1,8 @@
 //! The `swt` command-line tool.
 //!
 //! Modes:
+//! * `swt run …` — run an in-process NAS (thread-pool backend) with the
+//!   same knobs as `dist-run`, including the multi-fidelity pipeline.
 //! * `swt dist-run …` — launch a distributed NAS run: this process becomes
 //!   the coordinator and spawns `--workers` child processes of itself.
 //!   `--serve ADDR` additionally exposes the in-flight run as `/status`,
@@ -22,21 +24,30 @@ use swt_obs::json::Json;
 
 const USAGE: &str = "\
 usage:
-  swt dist-run [options]         run a distributed NAS (this process coordinates)
+  swt run [options]              run an in-process NAS (thread-pool backend)
     --app NAME                   cifar10|mnist|nt3|uno          [uno]
     --scale quick|full           dataset scale                  [quick]
     --scheme baseline|lp|lcs     weight-transfer scheme         [lcs]
     --candidates N               candidates to evaluate         [24]
-    --workers N                  worker processes               [2]
+    --workers N                  evaluator threads              [2]
     --epochs N                   epochs per estimate            [1]
     --seed N                     run seed                       [9]
     --data-seed N                synthetic dataset seed         [11]
-    --namespace S                checkpoint-id prefix           []
-    --store DIR                  shared checkpoint dir          [./swt_dist_store]
     --trace FILE.csv             write the run trace CSV
     --canonical-trace FILE.csv   write the deterministic-columns-only trace
-                                 (byte-identical across backends/failures/joins)
     --report FILE.json           write the observability report
+    multi-fidelity (also accepted by dist-run):
+    --rungs E1,E2,...            successive-halving epoch rungs (strictly
+                                 increasing; empty = single full-budget rung)
+    --eta N                      keep top 1/eta per rung        [2]
+    --prefilter Q                skip the bottom Q quantile by zero-cost
+                                 score at rung 0, Q in [0,1)    [0 = off]
+    --early-stop W:DELTA         stop a candidate when its train loss moves
+                                 < DELTA over a W-epoch window  [off]
+  swt dist-run [options]         run a distributed NAS (this process coordinates)
+    (accepts every `swt run` option above, plus:)
+    --namespace S                checkpoint-id prefix           []
+    --store DIR                  shared checkpoint dir          [./swt_dist_store]
     --kill-after W:K             fault demo: SIGKILL worker W after K results
     --join-after K[:C]           elastic demo: C extra workers (default 1)
                                  join after K results
@@ -59,6 +70,7 @@ usage:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("run") => run_local(&args[1..]),
         Some("dist-run") => dist_run(&args[1..]),
         Some("dist-top") => dist_top(&args[1..]),
         Some("dist-worker") => dist_worker(&args[1..]),
@@ -71,6 +83,128 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parse the shared multi-fidelity flags into a validated
+/// [`FidelityConfig`] (all off when none are given).
+fn parse_fidelity(args: &[String]) -> Result<FidelityConfig, String> {
+    let rungs: Vec<usize> = match opt(args, "--rungs") {
+        None => vec![],
+        Some(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse().map_err(|_| format!("invalid rung in `{raw}`")))
+            .collect::<Result<_, _>>()?,
+    };
+    let eta: usize = parse(args, "--eta", 2)?;
+    let prefilter: f64 = parse(args, "--prefilter", 0.0)?;
+    let convergence = match opt(args, "--early-stop") {
+        None => None,
+        Some(spec) => {
+            let (w, d) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("--early-stop wants W:DELTA, got `{spec}`"))?;
+            Some(Convergence {
+                window: w.parse().map_err(|_| format!("invalid window in `{spec}`"))?,
+                min_delta: d.parse().map_err(|_| format!("invalid delta in `{spec}`"))?,
+            })
+        }
+    };
+    FidelityConfig::new(eta, rungs, prefilter, convergence).map_err(|e| e.to_string())
+}
+
+fn run_local(args: &[String]) -> ExitCode {
+    match try_run_local(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("run: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_run_local(args: &[String]) -> Result<(), String> {
+    let app_raw = opt(args, "--app").unwrap_or("uno");
+    let app = AppKind::from_slug(app_raw).ok_or_else(|| format!("unknown app `{app_raw}`"))?;
+    let scale = match opt(args, "--scale").unwrap_or("quick") {
+        "quick" => DataScale::Quick,
+        "full" => DataScale::Full,
+        other => return Err(format!("unknown scale `{other}`")),
+    };
+    let scheme = match opt(args, "--scheme").unwrap_or("lcs") {
+        "baseline" => TransferScheme::Baseline,
+        "lp" => TransferScheme::Lp,
+        "lcs" => TransferScheme::Lcs,
+        other => return Err(format!("unknown scheme `{other}`")),
+    };
+    let candidates: usize = parse(args, "--candidates", 24)?;
+    let workers: usize = parse(args, "--workers", 2)?;
+    let epochs: usize = parse(args, "--epochs", 1)?;
+    let seed: u64 = parse(args, "--seed", 9)?;
+    let data_seed: u64 = parse(args, "--data-seed", 11)?;
+    if candidates == 0 || workers == 0 {
+        return Err("--candidates and --workers must be positive".into());
+    }
+    let mut nas = NasConfig::quick(scheme, candidates, workers, seed);
+    nas.epochs = epochs;
+    nas.fidelity = parse_fidelity(args)?;
+
+    swt_obs::enable();
+    let problem = Arc::new(app.problem(scale, data_seed));
+    let space = Arc::new(SearchSpace::for_app(app));
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+    let t0 = std::time::Instant::now();
+    let trace = run_nas(problem, space, store, &nas);
+    let wall = t0.elapsed();
+
+    println!(
+        "completed {} evaluation(s) of {} candidate(s) in {:.2?} ({} app, {} scheme, seed {})",
+        trace.events.len(),
+        candidates,
+        wall,
+        app.name(),
+        scheme.name(),
+        seed
+    );
+    if nas.fidelity.enabled() {
+        let report = RunReport::capture();
+        println!(
+            "fidelity: rungs {:?} eta {}  stopped converged {} / pruned {} / prefiltered {}",
+            nas.fidelity.rungs,
+            nas.fidelity.eta,
+            report.counter("fidelity.stopped.converged"),
+            report.counter("fidelity.stopped.pruned"),
+            report.counter("fidelity.stopped.prefiltered"),
+        );
+    }
+    if let Some(best) = trace.top_k(1).first() {
+        println!("best candidate: c{} score {:.6} arch {}", best.id, best.score, best.arch);
+    }
+    if let Some(path) = opt(args, "--trace") {
+        let path = PathBuf::from(path);
+        trace.write_csv(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("trace: {}", path.display());
+    }
+    if let Some(path) = opt(args, "--canonical-trace") {
+        let path = PathBuf::from(path);
+        trace
+            .write_canonical_csv(&path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("canonical trace: {}", path.display());
+    }
+    if let Some(path) = opt(args, "--report") {
+        let report = RunReport::capture()
+            .with_meta("mode", "run")
+            .with_meta("app", app.name())
+            .with_meta("scheme", scheme.name())
+            .with_meta("candidates", candidates)
+            .with_meta("workers", workers)
+            .with_meta("seed", seed);
+        let path = PathBuf::from(path);
+        report.write_json(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("report: {}", path.display());
+    }
+    Ok(())
 }
 
 /// Pull the value following `--key` out of an option list.
@@ -141,6 +275,7 @@ fn try_dist_run(args: &[String]) -> Result<(), String> {
     let mut nas = NasConfig::quick(scheme, candidates, workers, seed);
     nas.epochs = epochs;
     nas.namespace = opt(args, "--namespace").unwrap_or("").to_string();
+    nas.fidelity = parse_fidelity(args)?;
     let mut dist = DistConfig::new(app, scale, data_seed, store);
     if let Some(spec) = opt(args, "--kill-after") {
         let (w, k) =
@@ -331,12 +466,27 @@ fn render_top(status: &Json) -> String {
         num("ewma_candidate_secs"),
     );
     out.push_str(&format!(
-        "{:>3} {:>5} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>10} {:>8}\n",
-        "id", "alive", "seq", "frames", "results", "current", "wait_s", "eval_s", "send_s", "drop"
+        "{:>3} {:>5} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>10} {:>9} {:>8}\n",
+        "id",
+        "alive",
+        "seq",
+        "frames",
+        "results",
+        "current",
+        "wait_s",
+        "eval_s",
+        "send_s",
+        "stop c/f",
+        "drop"
     ));
     let workers = status.get("workers").and_then(Json::as_array).unwrap_or(&[]);
     for w in workers {
         let wf = |k: &str| w.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        // Worker-side stop reasons (converged / prefiltered counts; pruning
+        // happens coordinator-side, so it is not a per-worker number).
+        let stopped = |kind: &str| {
+            w.get("stopped").and_then(|s| s.get(kind)).and_then(Json::as_f64).unwrap_or(0.0) as u64
+        };
         let span_secs = |path: &str| {
             w.get("spans")
                 .and_then(Json::as_array)
@@ -353,7 +503,7 @@ fn render_top(status: &Json) -> String {
             None => "-".to_string(),
         };
         out.push_str(&format!(
-            "{:>3} {:>5} {:>6} {:>7} {:>8} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>8}\n",
+            "{:>3} {:>5} {:>6} {:>7} {:>8} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>9} {:>8}\n",
             wf("id") as u64,
             if alive { "yes" } else { "no" },
             wf("seq") as u64,
@@ -363,6 +513,7 @@ fn render_top(status: &Json) -> String {
             span_secs("nas.queue_wait"),
             span_secs("nas.eval"),
             span_secs("nas.result_send"),
+            format!("{}/{}", stopped("converged"), stopped("prefiltered")),
             wf("dropped_events") as u64,
         ));
     }

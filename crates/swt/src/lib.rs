@@ -55,8 +55,9 @@ pub mod prelude {
     };
     pub use swt_nas::{
         full_train_top_k, run_nas, run_nas_with_backend, run_pair_experiment, BatchEval, Candidate,
-        EvalBackend, NasConfig, NasTrace, PairSummary, ProviderPolicy, StrategyKind,
-        ThreadPoolBackend, TopKReport, TraceEvent,
+        Convergence, EvalBackend, EvalFidelity, FidelityConfig, FidelityError, NasConfig, NasTrace,
+        PairSummary, ProviderPolicy, StopReason, StrategyKind, ThreadPoolBackend, TopKReport,
+        TraceEvent,
     };
     pub use swt_nn::{
         Activation, Dataset, LayerSpec, Loss, Metric, Model, ModelSpec, NodeSpec, TrainConfig,
@@ -64,6 +65,6 @@ pub mod prelude {
     };
     pub use swt_obs::{ObsServer, RunReport, ServeSource};
     pub use swt_space::{distance, ArchSeq, SearchSpace};
-    pub use swt_stats::{geometric_mean, kendall_tau, SlotBinner, Summary};
+    pub use swt_stats::{geometric_mean, kendall_tau, kendall_tau_b, SlotBinner, Summary};
     pub use swt_tensor::{Rng, Shape, Tensor};
 }

@@ -72,6 +72,7 @@ fn main() {
         adam: AdamConfig { lr: 0.01, ..Default::default() },
         shuffle_seed: 1,
         early_stop: None,
+        convergence: None,
     };
 
     let mut provider = Model::build(&provider_spec, 1).unwrap();

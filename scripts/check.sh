@@ -55,6 +55,11 @@ batch_json=$(mktemp)
 cargo run --release --quiet -p swt-bench --bin bench_batch -- --smoke "$batch_json"
 rm -f "$batch_json"
 
+echo "==> bench_fidelity smoke (multi-fidelity pipeline engages: candidates pruned + prefiltered)"
+fidelity_json=$(mktemp)
+cargo run --release --quiet -p swt-bench --bin bench_fidelity -- --smoke "$fidelity_json"
+rm -f "$fidelity_json"
+
 echo "==> GEMM alloc gate (matmul.rs hot paths draw from the Workspace, not the heap)"
 # The blocked driver's pack buffers must come from the caller's Workspace;
 # a `vec!`/`Vec::new` in matmul.rs is a hot-loop allocation unless the line
@@ -102,8 +107,28 @@ if ! cmp -s "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv"; then
   exit 1
 fi
 
+echo "==> fidelity off-switch A/B (fidelity-off traces bit-identical to the pre-fidelity golden)"
+./target/release/swt run --app uno --scheme lcs --candidates 8 --workers 2 \
+  --canonical-trace "$elastic_dir/fidelity_off_local.csv" >/dev/null
+if ! cmp -s "$elastic_dir/fidelity_off_local.csv" tests/golden/canonical_uno_lcs_c8_w2.csv; then
+  echo "fidelity off-switch: in-process canonical trace drifted from the pre-fidelity golden" >&2
+  diff tests/golden/canonical_uno_lcs_c8_w2.csv "$elastic_dir/fidelity_off_local.csv" >&2 || true
+  exit 1
+fi
+# The elastic smoke above ran the identical config through the dist backend;
+# its trace must sit on the same golden bytes.
+if ! cmp -s "$elastic_dir/fixed.csv" tests/golden/canonical_uno_lcs_c8_w2.csv; then
+  echo "fidelity off-switch: dist canonical trace drifted from the pre-fidelity golden" >&2
+  diff tests/golden/canonical_uno_lcs_c8_w2.csv "$elastic_dir/fixed.csv" >&2 || true
+  exit 1
+fi
+
 echo "==> live endpoint smoke (/status answers mid-run; /metrics counters match report.json)"
-./target/release/swt dist-run --app uno --scheme lcs --candidates 12 \
+# The multi-fidelity flags both lengthen the run enough for the poller to
+# catch it mid-flight (a plain 12-candidate quick run now finishes in
+# ~100 ms) and exercise the fidelity stop counters over the wire.
+./target/release/swt dist-run --app uno --scheme lcs --candidates 16 \
+  --epochs 4 --rungs 2,4 --eta 2 --prefilter 0.25 \
   --workers 2 --store "$live_dir/store" --serve 127.0.0.1:0 \
   --report "$live_dir/report.json" > "$live_dir/out.txt" &
 live_pid=$!
@@ -135,6 +160,10 @@ done
 wait "$live_pid"
 if [ -z "$ok" ]; then
   echo "live smoke: workers never reported over /status (or /metrics never answered)" >&2
+  exit 1
+fi
+if ! echo "$status" | grep -q '"stopped"'; then
+  echo "live smoke: /status workers are missing the stop-reason count object" >&2
   exit 1
 fi
 # Every counter family the live endpoint exported must exist in the

@@ -75,6 +75,7 @@ fn transferred_model_still_trains_and_infers() {
         adam: Default::default(),
         shuffle_seed: 6,
         early_stop: None,
+        convergence: None,
     };
     let report = trainer.fit(&mut receiver, &problem.train, &problem.val, &cfg);
     assert!(report.final_metric.is_finite(), "post-transfer training diverged");
