@@ -1,0 +1,207 @@
+//! Networked checkpoint store benchmark, emitting `BENCH_ckptsrv.json`.
+//!
+//! Usage: `cargo run --release -p swt-bench --bin bench_ckptsrv [--smoke] [out.json]`
+//!
+//! Measures the wire the NAS workers actually pay when the shared store is
+//! `swt-ckpt-server` instead of a parallel file system:
+//!
+//! 1. **bytes on the wire**: what one provider read costs as a full
+//!    `GetRaw` transfer versus the selective path (`GetIndex` header plus a
+//!    `GetTensors` range response for only the matched subset) — the
+//!    paper's core claim, restated at the network layer,
+//! 2. **wall time**: full remote load versus the selective remote read,
+//!    over a loopback TCP session to an in-process server,
+//! 3. the selective read against a worker-side warmed [`CachedStore`]
+//!    wrapping the remote session — the steady state for elite parents.
+//!
+//! Exits non-zero if the selective read moves more than 5% of the full
+//! checkpoint's bytes, or if it is not at least 3x faster than the full
+//! remote load.
+//!
+//! `--smoke` writes the JSON to a temp directory instead of the repository
+//! root so CI checks do not dirty the tree.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use swt::prelude::*;
+
+/// The same provider shape `bench_ckpt` uses: a conv stack that transfers,
+/// a flatten-dependent dense giant that never does, and batch-norm running
+/// statistics the planner filters out.
+fn provider_entries() -> Vec<(String, Tensor)> {
+    let mut rng = Rng::seed(0xC4C4);
+    let t = |dims: &[usize], rng: &mut Rng| Tensor::rand_normal(dims.to_vec(), 0.0, 0.1, rng);
+    vec![
+        ("n1_conv2d/kernel".into(), t(&[3, 3, 16, 32], &mut rng)),
+        ("n1_conv2d/bias".into(), t(&[32], &mut rng)),
+        ("n2_conv2d/kernel".into(), t(&[3, 3, 32, 64], &mut rng)),
+        ("n2_conv2d/bias".into(), t(&[64], &mut rng)),
+        ("n3_batchnorm/gamma".into(), t(&[64], &mut rng)),
+        ("n3_batchnorm/beta".into(), t(&[64], &mut rng)),
+        ("n3_batchnorm/running_mean".into(), t(&[64], &mut rng)),
+        ("n3_batchnorm/running_var".into(), t(&[64], &mut rng)),
+        ("n4_conv2d/kernel".into(), t(&[3, 3, 64, 64], &mut rng)),
+        ("n4_conv2d/bias".into(), t(&[64], &mut rng)),
+        ("n5_dense/kernel".into(), t(&[6400, 512], &mut rng)),
+        ("n5_dense/bias".into(), t(&[512], &mut rng)),
+        ("n6_dense/kernel".into(), t(&[512, 10], &mut rng)),
+        ("n6_dense/bias".into(), t(&[10], &mut rng)),
+    ]
+}
+
+/// The tensors a d=1 mutated child actually receives.
+fn transfer_subset() -> Vec<String> {
+    [
+        "n1_conv2d/kernel",
+        "n1_conv2d/bias",
+        "n2_conv2d/kernel",
+        "n2_conv2d/bias",
+        "n3_batchnorm/gamma",
+        "n3_batchnorm/beta",
+        "n4_conv2d/kernel",
+        "n4_conv2d/bias",
+        "n6_dense/kernel",
+        "n6_dense/bias",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn counter(name: &str) -> u64 {
+    swt::obs::registry::global().counter(name).get()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_arg = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_arg = Some(arg);
+        }
+    }
+    let out_path = out_arg.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir().join("BENCH_ckptsrv.json").to_string_lossy().into_owned()
+        } else {
+            "BENCH_ckptsrv.json".to_string()
+        }
+    });
+    if let Err(e) = std::fs::write(&out_path, "{}\n") {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    swt::tensor::parallel::set_max_threads(1);
+    // Counters carry the byte accounting, so observability must be on.
+    swt::obs::enable();
+
+    let spill = std::env::temp_dir().join(format!("bench_ckptsrv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill);
+    let mut server = CkptServer::start(ServerConfig::new("127.0.0.1:0", &spill))
+        .expect("start in-process server");
+    let client = RemoteStore::connect(&server.addr().to_string(), "bench", "");
+
+    let entries = provider_entries();
+    let subset = transfer_subset();
+    let put_bytes = client.save("provider", &entries).expect("put provider");
+    println!(
+        "provider checkpoint on the server: {} tensors, {:.1} MiB container; transfer \
+         subset: {} tensors",
+        entries.len(),
+        put_bytes as f64 / (1 << 20) as f64,
+        subset.len()
+    );
+
+    // --- 1. bytes on the wire: one full read vs one selective read ----------
+    let full_before = counter("ckptsrv.client.full_bytes_rx");
+    black_box(client.load_raw("provider").expect("full read"));
+    let full_bytes = counter("ckptsrv.client.full_bytes_rx") - full_before;
+
+    let idx_before = counter("ckptsrv.client.index_bytes_rx");
+    let tns_before = counter("ckptsrv.client.tensor_bytes_rx");
+    black_box(client.load_index("provider").expect("index read"));
+    black_box(client.load_tensors("provider", &subset).expect("selective read"));
+    let selective_bytes = (counter("ckptsrv.client.index_bytes_rx") - idx_before)
+        + (counter("ckptsrv.client.tensor_bytes_rx") - tns_before);
+    let byte_ratio = selective_bytes as f64 / full_bytes as f64;
+    println!(
+        "network bytes per provider read: full {full_bytes} -> selective {selective_bytes} \
+         ({:.1}% of full)",
+        byte_ratio * 100.0
+    );
+
+    // --- 2. wall time over loopback TCP --------------------------------------
+    let mut h = swt_bench::Harness::new();
+    h.bench("ckptsrv.put", || {
+        client.save("provider", &entries).expect("put");
+    });
+    h.bench("ckptsrv.load.full", || {
+        black_box(client.load("provider").expect("full load"));
+    });
+    h.bench("ckptsrv.load.index", || {
+        black_box(client.load_index("provider").expect("index load"));
+    });
+    h.bench("ckptsrv.load.transfer", || {
+        let index = client.load_index("provider").expect("index load");
+        black_box(&index);
+        black_box(client.load_tensors("provider", &subset).expect("selective load"));
+    });
+
+    // --- 3. selective read through a warmed worker-side cache ----------------
+    let remote = Arc::new(RemoteStore::connect(&server.addr().to_string(), "bench", ""));
+    let cached = CachedStore::new(Arc::clone(&remote), 256 << 20);
+    cached.load_index("provider").expect("warm cache");
+    h.bench("ckptsrv.load.transfer.cached", || {
+        let index = cached.load_index("provider").expect("cached index");
+        black_box(&index);
+        black_box(cached.load_tensors("provider", &subset).expect("cached selective load"));
+    });
+
+    let full = h.get("ckptsrv.load.full").unwrap();
+    let transfer = h.get("ckptsrv.load.transfer").unwrap();
+    let cached_transfer = h.get("ckptsrv.load.transfer.cached").unwrap();
+    let provider_read_speedup = full / transfer;
+    let cache_speedup = full / cached_transfer;
+    println!();
+    println!(
+        "wire-level provider read: {provider_read_speedup:.1}x faster selective than full \
+         ({:.2} ms -> {:.3} ms); warm cache {cache_speedup:.1}x",
+        full / 1e6,
+        transfer / 1e6
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&spill);
+
+    let meta = [
+        ("bench", "ckptsrv".to_string()),
+        ("threads", "1".to_string()),
+        ("profile", if cfg!(debug_assertions) { "debug" } else { "release" }.to_string()),
+        ("full_read_bytes", full_bytes.to_string()),
+        ("selective_read_bytes", selective_bytes.to_string()),
+        ("selective_to_full_byte_ratio", format!("{byte_ratio:.4}")),
+        ("provider_read_speedup", format!("{provider_read_speedup:.2}")),
+        ("cache_hit_speedup", format!("{cache_speedup:.2}")),
+    ];
+    std::fs::write(&out_path, h.to_json(&meta)).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if byte_ratio > 0.05 {
+        eprintln!("FAIL: selective read moved {:.1}% of the full bytes (> 5%)", byte_ratio * 100.0);
+        failed = true;
+    }
+    if provider_read_speedup < 3.0 {
+        eprintln!("FAIL: wire-level provider read speedup {provider_read_speedup:.2}x < 3x");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: selective read is {:.1}% of full bytes and {provider_read_speedup:.1}x faster",
+        byte_ratio * 100.0
+    );
+}

@@ -22,7 +22,7 @@
 
 use crate::format::{decode, decode_tensors, parse_index};
 use crate::index::CheckpointIndex;
-use crate::store::CheckpointStore;
+use crate::store::{CheckpointStore, RawCheckpointStore};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,6 +110,14 @@ impl<S: CheckpointStore> CachedStore<S> {
         }
     }
 
+    /// Serve `id`'s encoded bytes *and* parsed index from the cache,
+    /// filling from the inner store on a miss. This is the server-side
+    /// range-read primitive: `swt-ckpt-server` answers `GetIndex` and
+    /// `GetTensors` straight off the returned pair without re-parsing.
+    pub fn raw_and_index(&self, id: &str) -> io::Result<(Arc<Vec<u8>>, Arc<CheckpointIndex>)> {
+        self.fetch(id)
+    }
+
     /// Serve `id` from the cache, filling from the inner store on a miss.
     fn fetch(&self, id: &str) -> io::Result<(Arc<Vec<u8>>, Arc<CheckpointIndex>)> {
         if let Some(hit) = self.lookup(id) {
@@ -164,6 +172,14 @@ impl<S: CheckpointStore> CachedStore<S> {
 
 fn format_err(e: crate::format::FormatError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+impl<S: RawCheckpointStore> RawCheckpointStore for CachedStore<S> {
+    fn save_raw(&self, id: &str, bytes: &[u8]) -> io::Result<u64> {
+        let n = self.inner.save_raw(id, bytes)?;
+        self.invalidate(id);
+        Ok(n)
+    }
 }
 
 impl<S: CheckpointStore> CheckpointStore for CachedStore<S> {
@@ -258,6 +274,20 @@ mod tests {
         store.save("c", &entries(2)).unwrap();
         let after = store.load("c").unwrap();
         assert!(!before[0].1.approx_eq(&after[0].1, 0.0), "stale bytes served after save");
+    }
+
+    #[test]
+    fn save_raw_invalidates_and_raw_and_index_serves_fresh_bytes() {
+        let store = cached(1 << 20);
+        store.save("c", &entries(1)).unwrap();
+        let before = store.load("c").unwrap();
+        let newer = crate::format::encode(&entries(2));
+        store.save_raw("c", &newer).unwrap();
+        let after = store.load("c").unwrap();
+        assert!(!before[0].1.approx_eq(&after[0].1, 0.0), "stale bytes served after save_raw");
+        let (raw, index) = store.raw_and_index("c").unwrap();
+        assert_eq!(raw.len(), newer.len());
+        assert_eq!(index.len(), 2);
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub use async_store::AsyncStore;
 pub use cache::CachedStore;
 pub use compress::QuantizedStore;
 pub use format::{
-    decode, decode_tensors, encode, encode_to, encode_v1, encoded_len, parse_index, FormatError,
+    decode, decode_tensors, encode, encode_to, encode_v1, encoded_len, parse_index,
+    tensor_from_payload, FormatError,
 };
 pub use index::{CheckpointIndex, TensorMeta};
-pub use store::{prune_except, CheckpointStore, DirStore, MemStore};
+pub use store::{prune_except, CheckpointStore, DirStore, MemStore, RawCheckpointStore};

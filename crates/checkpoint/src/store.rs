@@ -103,6 +103,28 @@ impl<T: CheckpointStore + ?Sized> CheckpointStore for Arc<T> {
     }
 }
 
+/// Stores that can ingest a checkpoint as already-encoded WTC bytes,
+/// without decoding tensors first. This is the write path of the networked
+/// store (`swt-ckpt-server`): a `Put` streams the client's encoded bytes,
+/// and re-decoding ~megabytes of tensors just to re-encode them would
+/// double the ingest cost. Implementations must be atomic with respect to
+/// concurrent readers (no torn observations) and must leave subsequent
+/// `load`/`load_index`/`load_tensors` calls indistinguishable from a
+/// [`CheckpointStore::save`] of the same entries.
+pub trait RawCheckpointStore: CheckpointStore {
+    /// Persist pre-encoded checkpoint bytes under `id`; returns the byte
+    /// count (== `bytes.len()`). The bytes are trusted to be a valid WTC
+    /// container — callers on untrusted paths validate via
+    /// [`crate::parse_index`] first.
+    fn save_raw(&self, id: &str, bytes: &[u8]) -> io::Result<u64>;
+}
+
+impl<T: RawCheckpointStore + ?Sized> RawCheckpointStore for Arc<T> {
+    fn save_raw(&self, id: &str, bytes: &[u8]) -> io::Result<u64> {
+        (**self).save_raw(id, bytes)
+    }
+}
+
 /// Retention helper: delete every checkpoint not in `keep`. Returns the
 /// number deleted. Typical use: after the top-K are selected, prune the
 /// thousands of non-elite candidate checkpoints.
@@ -293,6 +315,33 @@ impl CheckpointStore for DirStore {
     }
 }
 
+impl RawCheckpointStore for DirStore {
+    fn save_raw(&self, id: &str, bytes: &[u8]) -> io::Result<u64> {
+        let t0 = std::time::Instant::now();
+        let dst = self.path(id); // validates the id up front
+                                 // Same write-then-rename discipline as `save`: concurrent readers
+                                 // must never observe a torn file, and concurrent raw saves of the
+                                 // same id must not clobber each other's temp file.
+        let tmp = self.root.join(format!(
+            ".{id}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| -> io::Result<u64> {
+            std::fs::write(&tmp, bytes)?;
+            std::fs::rename(&tmp, &dst)?;
+            Ok(bytes.len() as u64)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        let n = result?;
+        swt_obs::histogram!("ckpt.dir.save_ns").observe(t0.elapsed().as_nanos() as u64);
+        swt_obs::counter!("ckpt.dir.saved_bytes").add(n);
+        Ok(n)
+    }
+}
+
 /// In-memory store for tests, pair experiments and the cluster simulator.
 #[derive(Default)]
 pub struct MemStore {
@@ -365,6 +414,15 @@ impl CheckpointStore for MemStore {
 
     fn delete(&self, id: &str) -> bool {
         self.map.write().unwrap().remove(id).is_some()
+    }
+}
+
+impl RawCheckpointStore for MemStore {
+    fn save_raw(&self, id: &str, bytes: &[u8]) -> io::Result<u64> {
+        let len = bytes.len() as u64;
+        self.map.write().unwrap().insert(id.to_string(), bytes.to_vec());
+        swt_obs::counter!("ckpt.mem.saved_bytes").add(len);
+        Ok(len)
     }
 }
 
@@ -573,6 +631,31 @@ mod tests {
             .filter(|n| n.ends_with(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_raw_round_trips_on_every_backend() {
+        // Bytes ingested verbatim must be indistinguishable from a `save`
+        // of the same entries on every read path.
+        let encoded = encode(&entries(5));
+        let mem = MemStore::new();
+        mem.save_raw("raw", &encoded).unwrap();
+        assert_eq!(mem.load_raw("raw").unwrap(), encoded);
+        assert_eq!(mem.load("raw").unwrap().len(), 2);
+
+        let dir = std::env::temp_dir().join(format!("swt_ckpt_raw_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DirStore::new(&dir).unwrap();
+        store.save_raw("raw", &encoded).unwrap();
+        assert_eq!(store.load_raw("raw").unwrap(), encoded);
+        assert_eq!(store.load_index("raw").unwrap().version(), 2);
+        let some = store.load_tensors("raw", &["a/bias".to_string()]).unwrap();
+        assert_eq!(some.len(), 1);
+        // Arc dispatch reaches the impl too.
+        let arc: Arc<DirStore> = Arc::new(store);
+        arc.save_raw("raw2", &encoded).unwrap();
+        assert!(arc.exists("raw2"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,58 @@
+//! Standalone checkpoint-server binary.
+//!
+//! `swt ckpt-server` embeds the same server behind the main CLI; this thin
+//! binary exists so a storage host needs nothing but `swt-ckpt-server` on
+//! it. The shared secret comes from `SWT_CKPT_SECRET` (never argv, which
+//! `ps` would show).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use swt_ckpt_server::{CkptServer, ServerConfig};
+
+const USAGE: &str = "usage: swt-ckpt-server --bind HOST:PORT --spill DIR \
+[--cache-bytes N] [--serve HOST:PORT] [--max-seconds N]
+  env: SWT_CKPT_SECRET  shared HMAC secret (empty/unset = open mode)";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let opt = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let bind = opt("--bind").unwrap_or_else(|| "127.0.0.1:7421".to_string());
+    let spill: PathBuf = opt("--spill").ok_or(format!("--spill is required\n{USAGE}"))?.into();
+    let mut cfg = ServerConfig::new(bind, spill);
+    if let Some(v) = opt("--cache-bytes") {
+        cfg.cache_bytes = v.parse().map_err(|e| format!("--cache-bytes: {e}"))?;
+    }
+    cfg.serve = opt("--serve");
+    cfg.secret = std::env::var("SWT_CKPT_SECRET").unwrap_or_default();
+    let max_seconds: Option<u64> = match opt("--max-seconds") {
+        Some(v) => Some(v.parse().map_err(|e| format!("--max-seconds: {e}"))?),
+        None => None,
+    };
+
+    let mut server = CkptServer::start(cfg).map_err(|e| format!("start: {e}"))?;
+    println!("ckpt-server listening on {}", server.addr());
+    match max_seconds {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    server.stop();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

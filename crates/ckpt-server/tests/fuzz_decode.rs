@@ -1,0 +1,266 @@
+//! Seeded fuzz coverage of the store protocol's decode surface, mirroring
+//! the dist wire's `fuzz_decode` suite: every store frame under
+//! truncation, bit flips, random payloads, unknown tags, hostile
+//! name-table indices and oversized length declarations must come back as
+//! a typed [`WireError`] or a valid [`StoreMsg`] — never a panic, never an
+//! unbounded allocation. Deterministic (fixed seeds) so a failure always
+//! reproduces.
+
+use swt_ckpt_server::proto::{
+    recv_chunks, ErrCode, RangeRow, StoreMsg, MAX_GET_NAMES, MAX_LIST_IDS, MAX_TRANSFER_LEN,
+};
+use swt_ckpt_server::STORE_PROTOCOL_VERSION;
+use swt_tensor::Rng;
+use swt_wire::WireError;
+
+/// Every known store frame-type byte (0x41 Hello … 0x52 Err).
+const STORE_TAGS: std::ops::RangeInclusive<u8> = 0x41..=0x52;
+
+/// One valid message of every store frame type — the fuzz corpus seeds.
+fn corpus() -> Vec<StoreMsg> {
+    vec![
+        StoreMsg::Hello {
+            version: STORE_PROTOCOL_VERSION,
+            bucket: "run_a".into(),
+            nonce: [7; 16],
+            mac: [9; 32],
+        },
+        StoreMsg::HelloAck { version: STORE_PROTOCOL_VERSION },
+        StoreMsg::Put { id: "cand_17".into(), total_len: 13_000_000 },
+        StoreMsg::Chunk(vec![1, 2, 3, 4, 5]),
+        StoreMsg::PutAck { bytes: 13_000_000 },
+        StoreMsg::GetIndex { id: "cand_17".into() },
+        StoreMsg::IndexResp { total_len: 300 },
+        StoreMsg::GetTensors {
+            id: "cand_17".into(),
+            names: vec!["a/kernel".into(), "a/bias".into(), "head/kernel".into()],
+        },
+        StoreMsg::Ranges {
+            version: 2,
+            names: vec!["a/kernel".into(), "a/bias".into()],
+            rows: vec![
+                RangeRow { name_idx: 0, dims: vec![16, 8], checksum: 77, payload_len: 512 },
+                RangeRow { name_idx: 1, dims: vec![8], checksum: 78, payload_len: 32 },
+            ],
+        },
+        StoreMsg::GetRaw { id: "cand_17".into() },
+        StoreMsg::Blob { total_len: 1 << 24 },
+        StoreMsg::Exists { id: "cand_17".into() },
+        StoreMsg::ExistsResp { exists: true, size: 13_000_000 },
+        StoreMsg::List,
+        StoreMsg::ListResp { ids: vec!["cand_1".into(), "cand_2".into()] },
+        StoreMsg::Delete { id: "cand_1".into() },
+        StoreMsg::DeleteResp { existed: true },
+        StoreMsg::Err { code: ErrCode::NotFound, message: "no such checkpoint".into() },
+    ]
+}
+
+#[test]
+fn corpus_covers_every_tag() {
+    let mut tags: Vec<u8> = corpus().iter().map(|m| m.encode().unwrap().0).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags, STORE_TAGS.collect::<Vec<_>>(), "corpus must seed every store tag");
+}
+
+#[test]
+fn every_truncation_of_every_frame_is_a_typed_error() {
+    for msg in corpus() {
+        let (ty, payload) = msg.encode().expect("corpus must encode");
+        assert_eq!(StoreMsg::decode(ty, &payload).expect("corpus round-trip"), msg);
+        // Chunk carries raw bytes with no structure: every prefix is itself
+        // a valid (shorter) chunk. Everything else must reject every strict
+        // prefix — a starved fixed-width read or a count without elements.
+        let is_chunk = matches!(msg, StoreMsg::Chunk(_));
+        for cut in 0..payload.len() {
+            let got = StoreMsg::decode(ty, &payload[..cut]);
+            if is_chunk {
+                assert!(got.is_ok(), "chunk prefix of {cut} bytes must decode");
+            } else {
+                assert!(
+                    got.is_err(),
+                    "tag {ty:#04x} truncated to {cut}/{} bytes decoded successfully",
+                    payload.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    let mut rng = Rng::seed(0x5708E);
+    for msg in corpus() {
+        let (ty, payload) = msg.encode().expect("corpus must encode");
+        if payload.is_empty() {
+            continue; // List: nothing to corrupt
+        }
+        for _ in 0..256 {
+            let mut mutated = payload.clone();
+            let flips = 1 + rng.below(4);
+            for _ in 0..flips {
+                let byte = rng.below(mutated.len());
+                let bit = rng.below(8);
+                mutated[byte] ^= 1 << bit;
+            }
+            // A flip in a value field may still decode (to another message);
+            // a flip in structure must fail. Both are fine — never a panic.
+            match StoreMsg::decode(ty, &mutated) {
+                Ok(_) | Err(_) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn random_payloads_against_every_tag_never_panic() {
+    let mut rng = Rng::seed(0xCAB1E);
+    for ty in 0x38..=0x5Au8 {
+        for round in 0..128usize {
+            let len = rng.below(96) * (1 + round % 3);
+            let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            match StoreMsg::decode(ty, &payload) {
+                Ok(_) | Err(_) => {}
+            }
+        }
+    }
+    // Tags outside the store range are always UnknownType — including every
+    // dist-protocol tag, so a cross-wired connection fails loudly.
+    for ty in 0x00..=0xFFu8 {
+        if !STORE_TAGS.contains(&ty) {
+            assert!(
+                matches!(StoreMsg::decode(ty, &[]), Err(WireError::UnknownType(t)) if t == ty),
+                "tag {ty:#04x} must be rejected as unknown"
+            );
+        }
+    }
+}
+
+#[test]
+fn hostile_name_table_indices_are_rejected() {
+    let (ty, payload) = StoreMsg::Ranges {
+        version: 2,
+        names: vec!["a".into(), "b".into()],
+        rows: vec![RangeRow { name_idx: 1, dims: vec![4], checksum: 0, payload_len: 16 }],
+    }
+    .encode()
+    .unwrap();
+    // The row's name_idx is the u16 right after the row count; the row body
+    // is idx(2) + rank(1) + one dim(4) + checksum(8) + payload_len(8).
+    let row_start = payload.len() - (2 + 1 + 4 + 8 + 8);
+    for idx in [2u16, 100, u16::MAX] {
+        let mut evil = payload.clone();
+        evil[row_start..row_start + 2].copy_from_slice(&idx.to_le_bytes());
+        assert!(
+            matches!(StoreMsg::decode(ty, &evil), Err(WireError::Malformed(_))),
+            "name_idx {idx} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn oversized_declarations_are_typed_errors() {
+    // Transfer headers declaring more than the cap: rejected at decode,
+    // before any receive loop could try to buffer them.
+    let over = MAX_TRANSFER_LEN + 1;
+    for msg in [
+        StoreMsg::Put { id: "x".into(), total_len: 1 },
+        StoreMsg::IndexResp { total_len: 1 },
+        StoreMsg::Blob { total_len: 1 },
+    ] {
+        let (ty, payload) = msg.encode().unwrap();
+        let mut evil = payload.clone();
+        let n = evil.len();
+        evil[n - 8..].copy_from_slice(&over.to_le_bytes());
+        assert!(
+            matches!(StoreMsg::decode(ty, &evil), Err(WireError::Malformed(_))),
+            "tag {ty:#04x} must reject an over-cap transfer length"
+        );
+    }
+
+    // A GetTensors claiming the maximum name count with no bytes behind it.
+    let (ty, payload) = StoreMsg::GetTensors { id: "x".into(), names: vec![] }.encode().unwrap();
+    let mut evil = payload.clone();
+    let n = evil.len();
+    evil[n - 2..].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert!(StoreMsg::decode(ty, &evil).is_err());
+    assert!(u16::MAX as usize > MAX_GET_NAMES);
+
+    // A ListResp claiming u32::MAX ids: the clamped capacity plus starved
+    // reads must reject it without ballooning.
+    let (ty, payload) = StoreMsg::ListResp { ids: vec![] }.encode().unwrap();
+    let mut evil = payload;
+    evil[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(StoreMsg::decode(ty, &evil).is_err());
+    assert!(u32::MAX as usize > MAX_LIST_IDS);
+
+    // A Ranges row declaring an over-cap payload_len.
+    let (ty, payload) = StoreMsg::Ranges {
+        version: 2,
+        names: vec!["a".into()],
+        rows: vec![RangeRow { name_idx: 0, dims: vec![], checksum: 0, payload_len: 1 }],
+    }
+    .encode()
+    .unwrap();
+    let mut evil = payload;
+    let n = evil.len();
+    evil[n - 8..].copy_from_slice(&over.to_le_bytes());
+    assert!(matches!(StoreMsg::decode(ty, &evil), Err(WireError::Malformed(_))));
+
+    // A hostile rank byte promising more dims than any tensor has.
+    let (ty, payload) = StoreMsg::Ranges {
+        version: 2,
+        names: vec!["a".into()],
+        rows: vec![RangeRow { name_idx: 0, dims: vec![1], checksum: 0, payload_len: 1 }],
+    }
+    .encode()
+    .unwrap();
+    let rank_at = payload.len() - (1 + 4 + 8 + 8);
+    let mut evil = payload;
+    evil[rank_at] = 0xFF;
+    assert!(matches!(StoreMsg::decode(ty, &evil), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn chunk_reassembly_rejects_desyncs_without_panicking() {
+    // A non-Chunk frame arriving mid-transfer is a protocol desync.
+    let frames: Vec<(u8, Vec<u8>)> =
+        vec![(0x44, vec![0u8; 4]), (0x45, 42u64.to_le_bytes().to_vec())];
+    let mut iter = frames.iter();
+    let got = recv_chunks(8, |buf| {
+        let (ty, payload) = iter.next().ok_or(WireError::Malformed("out of frames"))?;
+        buf.clear();
+        buf.extend_from_slice(payload);
+        Ok(*ty)
+    });
+    assert!(matches!(got, Err(WireError::Protocol(_))));
+
+    // A declared total over the transfer cap is rejected before any frame
+    // is pulled at all.
+    let got = recv_chunks(MAX_TRANSFER_LEN + 1, |_| {
+        Err(WireError::Malformed("receiver must not be called"))
+    });
+    assert!(matches!(got, Err(WireError::Malformed(_))));
+
+    // Random frame sequences: reassembly terminates with a value or a
+    // typed error, never a panic or a hang.
+    let mut rng = Rng::seed(0xC4A2);
+    for _ in 0..256 {
+        let total = rng.below(64) as u64;
+        let mut remaining = 8 + rng.below(8);
+        let got = recv_chunks(total, |buf| {
+            if remaining == 0 {
+                return Err(WireError::Malformed("stream ended"));
+            }
+            remaining -= 1;
+            let ty = if rng.below(4) == 0 { 0x45 } else { 0x44 };
+            buf.clear();
+            let n = rng.below(32);
+            buf.extend((0..n).map(|_| rng.next_u64() as u8));
+            Ok(ty)
+        });
+        if let Ok(bytes) = got {
+            assert_eq!(bytes.len() as u64, total);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! End-to-end sessions against a live [`CkptServer`]: selective reads,
+//! authentication (including the constant-time-rejection regression test),
+//! malformed-Hello hardening, and restart-with-durable-spill.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Instant;
+use swt_checkpoint::{encode, CheckpointStore};
+use swt_ckpt_server::auth::ct_eq;
+use swt_ckpt_server::{CkptServer, RemoteStore, ServerConfig};
+use swt_tensor::{Rng, Tensor};
+
+fn temp_spill(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("swt_ckptsrv_{tag}_{}", std::process::id()))
+}
+
+fn entries(seed: u64) -> Vec<(String, Tensor)> {
+    let mut rng = Rng::seed(seed);
+    vec![
+        ("a/kernel".into(), Tensor::rand_normal([16, 8], 0.0, 1.0, &mut rng)),
+        ("a/bias".into(), Tensor::rand_normal([8], 0.0, 1.0, &mut rng)),
+        ("b/kernel".into(), Tensor::rand_normal([8, 4], 0.0, 1.0, &mut rng)),
+    ]
+}
+
+fn start(tag: &str, secret: &str) -> (CkptServer, PathBuf) {
+    let spill = temp_spill(tag);
+    let mut cfg = ServerConfig::new("127.0.0.1:0", &spill);
+    cfg.secret = secret.to_string();
+    let server = CkptServer::start(cfg).expect("server must start");
+    (server, spill)
+}
+
+#[test]
+fn put_and_selective_reads_round_trip() {
+    swt_obs::enable();
+    let (server, spill) = start("roundtrip", "");
+    let client = RemoteStore::connect(&server.addr().to_string(), "tenant_a", "");
+
+    let saved = entries(7);
+    let raw = encode(&saved);
+    let n = client.save("cand_1", &saved).expect("save");
+    assert_eq!(n, raw.len() as u64);
+
+    // Full read returns the exact container bytes the client encoded.
+    assert_eq!(client.load_raw("cand_1").expect("load_raw"), raw);
+
+    // Header-only index read sees every tensor without the payload bytes.
+    let index = client.load_index("cand_1").expect("load_index");
+    assert_eq!(index.len(), saved.len());
+    assert_eq!(index.version(), 2);
+
+    // Selective read: exactly the requested subset, bit-identical values.
+    let names = vec!["a/kernel".to_string(), "b/kernel".to_string()];
+    let got = client.load_tensors("cand_1", &names).expect("load_tensors");
+    assert_eq!(got.len(), 2);
+    for (name, tensor) in &got {
+        let original = &saved.iter().find(|(n, _)| n == name).expect("requested name").1;
+        assert!(tensor.approx_eq(original, 0.0), "{name} must round-trip bit-exactly");
+    }
+
+    // Metadata surface.
+    assert!(client.exists("cand_1"));
+    assert_eq!(client.size_bytes("cand_1"), Some(raw.len() as u64));
+    assert_eq!(client.list(), vec!["cand_1".to_string()]);
+    assert!(!client.exists("cand_2"));
+    assert!(client.load_raw("cand_2").is_err());
+    assert!(client.delete("cand_1"));
+    assert!(!client.exists("cand_1"));
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(spill);
+}
+
+#[test]
+fn buckets_isolate_tenants() {
+    swt_obs::enable();
+    let (server, spill) = start("tenants", "");
+    let addr = server.addr().to_string();
+    let a = RemoteStore::connect(&addr, "tenant_a", "");
+    let b = RemoteStore::connect(&addr, "tenant_b", "");
+
+    a.save("cand_1", &entries(1)).expect("save into a");
+    assert!(a.exists("cand_1"));
+    assert!(!b.exists("cand_1"), "tenant_b must not observe tenant_a's ids");
+    assert!(b.list().is_empty());
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(spill);
+}
+
+#[test]
+fn wrong_secret_is_rejected_as_a_final_error() {
+    swt_obs::enable();
+    let (server, spill) = start("auth", "orchid-lattice");
+    let addr = server.addr().to_string();
+
+    let failures_before = swt_obs::counter!("ckptsrv.auth_failures").get();
+    let wrong = RemoteStore::connect(&addr, "tenant_a", "wrong-secret");
+    let err = wrong.save("cand_1", &entries(3)).expect_err("wrong secret must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied, "{err}");
+    let open = RemoteStore::connect(&addr, "tenant_a", "");
+    let err = open.save("cand_1", &entries(3)).expect_err("missing secret must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied, "{err}");
+    assert!(swt_obs::counter!("ckptsrv.auth_failures").get() >= failures_before + 2);
+
+    // The right secret works — and the failed attempts left nothing behind.
+    let right = RemoteStore::connect(&addr, "tenant_a", "orchid-lattice");
+    right.save("cand_1", &entries(3)).expect("correct secret must be accepted");
+    assert!(right.exists("cand_1"));
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(spill);
+}
+
+#[test]
+fn hostile_bucket_and_ids_are_final_errors() {
+    swt_obs::enable();
+    let (server, spill) = start("tokens", "");
+    let addr = server.addr().to_string();
+
+    // Path-traversal bucket: refused at Hello, surfaced as a final error
+    // (no retry loop — retrying cannot make "../evil" valid).
+    let evil_bucket = RemoteStore::connect(&addr, "../evil", "");
+    let t0 = Instant::now();
+    let err = evil_bucket.save("cand_1", &entries(4)).expect_err("bucket must be refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{err}");
+    assert!(t0.elapsed().as_secs() < 2, "final errors must not spin the backoff loop");
+
+    // Hostile checkpoint ids: refused per-request, session stays usable.
+    let client = RemoteStore::connect(&addr, "tenant_a", "");
+    for id in ["../escape", "", ".hidden", "a/b"] {
+        let err = client.put_raw(id, &encode(&entries(5))).expect_err("id must be refused");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "id {id:?}: {err}");
+    }
+    // Garbage bytes that are not a WTC container are refused server-side.
+    let err = client.put_raw("cand_1", b"definitely not a checkpoint").expect_err("bad container");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{err}");
+    client.save("cand_1", &entries(5)).expect("session must survive refused requests");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(spill);
+}
+
+#[test]
+fn malformed_hello_is_dropped_and_server_keeps_serving() {
+    swt_obs::enable();
+    let (server, spill) = start("badhello", "");
+    let addr = server.addr().to_string();
+    let bad_before = swt_obs::counter!("ckptsrv.bad_hello").get();
+
+    // Raw garbage: an HTTP-looking blast whose "length prefix" is absurd.
+    let mut garbage = TcpStream::connect(&addr).expect("connect");
+    garbage.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+    let _ = garbage.shutdown(std::net::Shutdown::Write);
+
+    // A well-framed frame that is not a Hello as the first frame.
+    let mut wrong_first = TcpStream::connect(&addr).expect("connect");
+    let (ty, payload) = swt_ckpt_server::StoreMsg::List.encode().expect("encode");
+    swt_wire::write_frame(&mut wrong_first, ty, &payload).expect("frame");
+    let _ = wrong_first.shutdown(std::net::Shutdown::Write);
+
+    // Both are dropped with a counter bump, and a real client still works —
+    // the joiner-hardening posture: garbage never wedges the accept loop.
+    let client = RemoteStore::connect(&addr, "tenant_a", "");
+    client.save("cand_1", &entries(6)).expect("server must still serve");
+    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+    while swt_obs::counter!("ckptsrv.bad_hello").get() < bad_before + 2 {
+        assert!(Instant::now() < deadline, "bad_hello counter must record both drops");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(spill);
+}
+
+#[test]
+fn restart_on_same_port_serves_spilled_state_to_a_live_client() {
+    swt_obs::enable();
+    let (mut server, spill) = start("restart", "");
+    let addr = server.addr().to_string();
+    let client = RemoteStore::connect(&addr, "tenant_a", "");
+
+    let saved = entries(9);
+    client.save("cand_1", &saved).expect("save before restart");
+    server.stop();
+
+    // Same port, same spill root: the restarted server rebuilds lazily
+    // from disk, and the same client rides the retry/backoff loop through
+    // the outage without any caller-visible error.
+    let mut cfg = ServerConfig::new(&addr, &spill);
+    cfg.secret = String::new();
+    let server2 = CkptServer::start(cfg).expect("rebind on the same port");
+    let names = vec!["a/kernel".to_string()];
+    let got = client.load_tensors("cand_1", &names).expect("read across restart");
+    assert_eq!(got.len(), 1);
+    assert!(got[0].1.approx_eq(&saved[0].1, 0.0), "spilled tensor must be bit-identical");
+
+    drop(server2);
+    let _ = std::fs::remove_dir_all(spill);
+}
+
+/// Median nanoseconds to run `iters` constant-time comparisons of
+/// `expected` against `candidate`.
+fn median_cmp_ns(expected: &[u8; 32], candidate: &[u8; 32]) -> u64 {
+    const ROUNDS: usize = 31;
+    const ITERS: usize = 20_000;
+    let mut samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        let mut acc = false;
+        for _ in 0..ITERS {
+            acc ^= ct_eq(std::hint::black_box(expected), std::hint::black_box(candidate));
+        }
+        std::hint::black_box(acc);
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[ROUNDS / 2]
+}
+
+#[test]
+fn rejection_time_does_not_reveal_where_the_mac_diverges() {
+    // A short-circuiting comparison rejects a first-byte mismatch ~32×
+    // faster than a last-byte mismatch — that gradient is exactly what an
+    // adversary uses to forge a MAC byte by byte. ct_eq folds every byte,
+    // so the two medians must be close. The 5× bound is deliberately
+    // generous: shared CI machines are noisy, and the regression this
+    // guards against (early exit) shows up as a far larger ratio.
+    let expected = swt_ckpt_server::auth::sha256(b"expected mac");
+    let mut first = expected;
+    first[0] ^= 0x01;
+    let mut last = expected;
+    last[31] ^= 0x01;
+
+    // Warm up, then measure.
+    let _ = median_cmp_ns(&expected, &first);
+    let early = median_cmp_ns(&expected, &first) as f64;
+    let late = median_cmp_ns(&expected, &last) as f64;
+    let ratio = if early > late { early / late } else { late / early };
+    assert!(
+        ratio < 5.0,
+        "divergence position must not change rejection time: byte-0 {early}ns vs byte-31 {late}ns"
+    );
+    // And it must still be a correct equality check.
+    assert!(ct_eq(&expected, &expected));
+    assert!(!ct_eq(&expected, &first) && !ct_eq(&expected, &last));
+}

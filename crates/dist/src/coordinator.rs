@@ -141,6 +141,7 @@ impl DistBackend {
             prefilter_quantile: nas.fidelity.prefilter_quantile,
             conv_window: nas.fidelity.convergence.map_or(0, |c| c.window as u32),
             conv_min_delta: nas.fidelity.convergence.map_or(0.0, |c| c.min_delta),
+            store_url: dist.store_url.clone().unwrap_or_default(),
         };
 
         let mut children = Vec::with_capacity(n);

@@ -1,12 +1,15 @@
-//! Frame layer of the wire protocol: `[u32 len LE][u8 type][payload]`.
+//! Frame layer of the dist wire protocol.
 //!
-//! `len` counts the payload bytes only (the type byte is part of the fixed
-//! 5-byte header). Frames are capped at [`MAX_FRAME_LEN`]; anything larger
-//! is a protocol violation, reported as a [`WireError`] — this module never
-//! panics on malformed input, whatever the peer sends.
+//! The mechanism — `[u32 len LE][u8 type][payload]` framing, the
+//! bounds-checked [`Cursor`], [`put_string`], and the typed [`WireError`] —
+//! lives in the shared `swt-wire` crate (the checkpoint server speaks the
+//! same framing). This module re-exports those primitives and layers the
+//! dist-specific pieces on top: the protocol version and the
+//! `dist.frames_tx` / `dist.frames_rx` counters.
 
-use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{Read, Write};
+
+pub use swt_wire::{put_string, Cursor, WireError, MAX_FRAME_LEN};
 
 /// Protocol version exchanged in the handshake. Bump on any frame-layout
 /// change; coordinator and worker refuse mismatched peers.
@@ -26,78 +29,17 @@ use std::io::{self, Read, Write};
 /// the candidate's rung and per-task epoch override, and `Result` the
 /// worker's stop reason plus echoed rung. A v3-shaped payload (no tail)
 /// still decodes, with fidelity-off defaults; a *partial* tail is malformed.
-pub const PROTOCOL_VERSION: u32 = 4;
-
-/// Upper bound on a frame's payload. The largest legitimate frame is a
-/// `Task` (a few hundred bytes of architecture sequence); 1 MiB leaves room
-/// for protocol growth while bounding what a confused peer can make us
-/// allocate.
-pub const MAX_FRAME_LEN: usize = 1 << 20;
-
-/// Everything that can go wrong on the wire. Self-describing (via
-/// `Display`) so failures surface as readable run errors, never panics.
-#[derive(Debug)]
-pub enum WireError {
-    /// Socket-level failure (includes EOF mid-frame).
-    Io(io::Error),
-    /// Peer announced a frame larger than [`MAX_FRAME_LEN`].
-    FrameTooLarge(u32),
-    /// Unknown frame-type byte.
-    UnknownType(u8),
-    /// Payload too short / trailing garbage / invalid field encoding.
-    Malformed(&'static str),
-    /// Handshake version disagreement.
-    VersionMismatch { ours: u32, theirs: u32 },
-    /// The peer reported an error, or sent a frame that is valid but
-    /// impossible in the current protocol state.
-    Protocol(String),
-}
-
-impl fmt::Display for WireError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
-            WireError::FrameTooLarge(n) => {
-                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
-            }
-            WireError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
-            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
-            WireError::VersionMismatch { ours, theirs } => {
-                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
-            }
-            WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
-
-impl From<io::Error> for WireError {
-    fn from(e: io::Error) -> Self {
-        WireError::Io(e)
-    }
-}
-
-impl From<WireError> for io::Error {
-    fn from(e: WireError) -> Self {
-        match e {
-            WireError::Io(e) => e,
-            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
-        }
-    }
-}
+///
+/// v5: `HelloAck`'s `RunSpec` gains a variable-length `store_url` tail
+/// (`[u16 len][bytes]`) after the v4 fidelity group, selecting the remote
+/// checkpoint store (`tcp://host:port`); empty or absent means the shared
+/// `DirStore` directory. Both the v3-shaped and v4-shaped payloads still
+/// decode (with an empty url); a partial url tail is malformed.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Write one frame. Counts `dist.frames_tx`.
 pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> Result<(), WireError> {
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(WireError::FrameTooLarge(payload.len() as u32));
-    }
-    let mut header = [0u8; 5];
-    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[4] = ty;
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.flush()?;
+    swt_wire::write_frame(w, ty, payload)?;
     swt_obs::counter!("dist.frames_tx").inc();
     Ok(())
 }
@@ -106,94 +48,9 @@ pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> Result<(), Wir
 /// byte. Counts `dist.frames_rx`. EOF before a complete header surfaces as
 /// `WireError::Io(UnexpectedEof)`.
 pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<u8, WireError> {
-    let mut header = [0u8; 5];
-    r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-    if len as usize > MAX_FRAME_LEN {
-        return Err(WireError::FrameTooLarge(len));
-    }
-    buf.clear();
-    buf.resize(len as usize, 0);
-    r.read_exact(buf)?;
+    let ty = swt_wire::read_frame(r, buf)?;
     swt_obs::counter!("dist.frames_rx").inc();
-    Ok(header[4])
-}
-
-/// Bounds-checked little-endian payload reader used by frame decoders.
-pub struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    pub fn new(buf: &'a [u8]) -> Self {
-        Cursor { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let end = self.pos.checked_add(n).ok_or(WireError::Malformed("length overflow"))?;
-        if end > self.buf.len() {
-            return Err(WireError::Malformed("truncated payload"));
-        }
-        let slice = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-
-    pub fn u16(&mut self) -> Result<u16, WireError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
-    pub fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    pub fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
-    }
-
-    pub fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// A `[u16 len][bytes]` string.
-    pub fn string(&mut self) -> Result<String, WireError> {
-        let len = self.u16()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid utf-8"))
-    }
-
-    /// Whether the payload is fully consumed — the probe that makes wire-v4
-    /// optional tails possible: a decoder reads its mandatory (v3) fields,
-    /// then takes the tail only when bytes remain.
-    pub fn at_end(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    /// Decoding must consume the whole payload: trailing bytes mean the
-    /// peer speaks a different dialect.
-    pub fn finish(&self) -> Result<(), WireError> {
-        if self.pos == self.buf.len() {
-            Ok(())
-        } else {
-            Err(WireError::Malformed("trailing bytes"))
-        }
-    }
-}
-
-/// Append a `[u16 len][bytes]` string to an encode buffer.
-pub fn put_string(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
-    let len = u16::try_from(s.len()).map_err(|_| WireError::Malformed("string too long"))?;
-    out.extend_from_slice(&len.to_le_bytes());
-    out.extend_from_slice(s.as_bytes());
-    Ok(())
+    Ok(ty)
 }
 
 #[cfg(test)]
@@ -232,6 +89,20 @@ mod tests {
         wire.truncate(wire.len() - 2);
         let mut buf = Vec::new();
         assert!(matches!(read_frame(&mut &wire[..], &mut buf), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn frame_counters_advance() -> Result<(), WireError> {
+        swt_obs::enable(); // counter mutators are gated on enabled()
+        let tx0 = swt_obs::counter!("dist.frames_tx").get();
+        let rx0 = swt_obs::counter!("dist.frames_rx").get();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x01, b"x")?;
+        let mut buf = Vec::new();
+        read_frame(&mut &wire[..], &mut buf)?;
+        assert!(swt_obs::counter!("dist.frames_tx").get() > tx0);
+        assert!(swt_obs::counter!("dist.frames_rx").get() > rx0);
+        Ok(())
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub struct DistConfig {
     pub data_seed: u64,
     /// Root of the shared on-disk checkpoint store.
     pub store_dir: PathBuf,
+    /// Networked checkpoint store endpoint (`tcp://host:port`). `None`
+    /// keeps the shared `DirStore` at `store_dir` — the default, and the
+    /// configuration whose traces the A/B identity gates pin. `Some` makes
+    /// every worker dial a `swt-ckpt-server` instead (secret from the
+    /// `SWT_CKPT_SECRET` env var; `NasConfig::namespace` is the bucket).
+    pub store_url: Option<String>,
     /// Ping cadence; also the coordinator's event-poll granularity.
     pub heartbeat_interval: Duration,
     /// An unanswered ping older than this marks the worker lost.
@@ -144,6 +150,7 @@ impl DistConfig {
             scale,
             data_seed,
             store_dir,
+            store_url: None,
             heartbeat_interval: Duration::from_millis(200),
             heartbeat_timeout: Duration::from_secs(5),
             connect_timeout: Duration::from_secs(30),

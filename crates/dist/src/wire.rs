@@ -21,6 +21,12 @@
 //! epoch override, `Result` the stop reason plus echoed rung. Decoders probe
 //! [`Cursor::at_end`] after the v3 fields, so a v3-shaped payload still
 //! decodes (fidelity-off defaults) while a partial tail is malformed.
+//!
+//! Wire v5 appends one more optional tail to `HelloAck`: the run's
+//! `store_url` (`[u16 len][bytes]`, after the fidelity group), selecting a
+//! networked checkpoint store. The same `at_end` probe runs again after the
+//! fidelity tail, so both v3- and v4-shaped payloads still decode (empty
+//! url = local `DirStore`), while a partial url tail is malformed.
 
 use crate::frame::{put_string, Cursor, WireError};
 use swt_core::{TransferScheme, TransferStats};
@@ -66,6 +72,12 @@ pub struct RunSpec {
     pub conv_window: u32,
     /// Loss-delta threshold paired with `conv_window` (wire v4).
     pub conv_min_delta: f64,
+    /// Checkpoint-store endpoint, e.g. `tcp://host:port` (wire v5, empty
+    /// when the peer sent a v3/v4-shaped `HelloAck`). Empty means "use the
+    /// shared `DirStore` at `store_dir`" — the pre-v5 behaviour; non-empty
+    /// means the worker dials a `swt-ckpt-server` and speaks the store
+    /// protocol, with `namespace` doubling as its tenant bucket.
+    pub store_url: String,
 }
 
 impl RunSpec {
@@ -555,6 +567,8 @@ impl Msg {
                 out.extend_from_slice(&run.prefilter_quantile.to_bits().to_le_bytes());
                 out.extend_from_slice(&run.conv_window.to_le_bytes());
                 out.extend_from_slice(&run.conv_min_delta.to_bits().to_le_bytes());
+                // v5 store tail.
+                put_string(&mut out, &run.store_url)?;
             }
             Msg::Task { cand } => {
                 out.extend_from_slice(&cand.id.to_le_bytes());
@@ -654,6 +668,9 @@ impl Msg {
                     }
                     (q, window, min_delta)
                 };
+                // v5 store tail; empty url (local DirStore) for v3/v4
+                // payloads.
+                let store_url = if c.at_end() { String::new() } else { c.string()? };
                 Msg::HelloAck {
                     version,
                     run: RunSpec {
@@ -670,6 +687,7 @@ impl Msg {
                         prefilter_quantile,
                         conv_window,
                         conv_min_delta,
+                        store_url,
                     },
                 }
             }
@@ -787,6 +805,10 @@ mod tests {
                 ..sample_run()
             },
         })?;
+        round_trip(Msg::HelloAck {
+            version: PROTOCOL_VERSION,
+            run: RunSpec { store_url: "tcp://127.0.0.1:7421".into(), ..sample_run() },
+        })?;
         round_trip(Msg::Task {
             cand: Candidate {
                 id: 7,
@@ -839,6 +861,7 @@ mod tests {
             prefilter_quantile: 0.0,
             conv_window: 0,
             conv_min_delta: 0.0,
+            store_url: String::new(),
         }
     }
 
@@ -982,11 +1005,23 @@ mod tests {
         // Truncating a v4 payload at the v3 boundary (dropping the whole
         // tail) must decode with fidelity-off defaults — that is the
         // backward-decode contract.
-        let mut p = Msg::HelloAck { version: PROTOCOL_VERSION, run: sample_run() }.encode()?;
-        p.truncate(p.len() - 20); // f64 + u32 + f64
+        let full = Msg::HelloAck {
+            version: PROTOCOL_VERSION,
+            run: RunSpec { store_url: "tcp://127.0.0.1:7421".into(), ..sample_run() },
+        }
+        .encode()?;
+        let mut p = full.clone();
+        p.truncate(p.len() - 22 - 20); // store tail (u16 + 20) + fidelity tail
         let Msg::HelloAck { run, .. } = Msg::decode(0x02, &p)? else { unreachable!() };
         assert_eq!(run, sample_run());
         assert_eq!(run.eval_fidelity(), EvalFidelity::default());
+
+        // Truncating at the v4 boundary (dropping only the v5 store tail)
+        // must keep the fidelity fields and default the url to empty.
+        let mut p = full;
+        p.truncate(p.len() - 22);
+        let Msg::HelloAck { run, .. } = Msg::decode(0x02, &p)? else { unreachable!() };
+        assert_eq!(run, sample_run());
 
         let cand = Candidate {
             rung: 1,
@@ -1071,7 +1106,8 @@ mod tests {
             Err(WireError::Malformed("invalid epochs flag"))
         ));
 
-        // Quantile ≥ 1 / NaN min-delta in a HelloAck.
+        // Quantile ≥ 1 / NaN min-delta in a HelloAck. The empty v5 store
+        // tail (2 bytes) sits after the fidelity group, shifting offsets.
         let bad_run = Msg::HelloAck {
             version: PROTOCOL_VERSION,
             run: RunSpec { prefilter_quantile: 0.5, ..sample_run() },
@@ -1079,10 +1115,15 @@ mod tests {
         .encode()?;
         let n = bad_run.len();
         let mut bad = bad_run.clone();
-        bad[n - 20..n - 12].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
+        bad[n - 22..n - 14].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
         assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
+        let mut bad = bad_run.clone();
+        bad[n - 10..n - 2].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
+        // Store-url tail whose length prefix promises more bytes than the
+        // payload holds: a partial tail is malformed, never a default.
         let mut bad = bad_run;
-        bad[n - 8..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        bad[n - 2..].copy_from_slice(&500u16.to_le_bytes());
         assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
         Ok(())
     }

@@ -18,6 +18,7 @@ use std::net::TcpStream;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use swt_checkpoint::{CachedStore, CheckpointStore, DirStore};
+use swt_ckpt_server::RemoteStore;
 use swt_nas::{Candidate, Evaluator};
 use swt_space::SearchSpace;
 
@@ -223,15 +224,31 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
 fn build_evaluator(run: &RunSpec) -> Result<Evaluator, WireError> {
     let problem = Arc::new(run.app.problem(run.scale, run.data_seed));
     let space = Arc::new(SearchSpace::for_app(run.app));
-    let dir = DirStore::new(&run.store_dir)?;
     // Each worker fronts the shared store with its own provider cache (its
     // slice of the run's byte budget): a parent checkpoint read for the
     // index and again for the tensors costs one store round-trip, not two,
-    // and repeat parents are served from memory entirely.
-    let store: Arc<dyn CheckpointStore> = if run.cache_bytes > 0 {
-        Arc::new(CachedStore::new(dir, run.cache_bytes))
+    // and repeat parents are served from memory entirely. The backend is
+    // the shared `DirStore` by default, or — when the coordinator sent a
+    // v5 `store_url` — a `RemoteStore` session with the checkpoint server,
+    // bucketed by the run's namespace.
+    let store: Arc<dyn CheckpointStore> = if run.store_url.is_empty() {
+        let dir = DirStore::new(&run.store_dir)?;
+        if run.cache_bytes > 0 {
+            Arc::new(CachedStore::new(dir, run.cache_bytes))
+        } else {
+            Arc::new(dir)
+        }
     } else {
-        Arc::new(dir)
+        let secret = std::env::var("SWT_CKPT_SECRET").unwrap_or_default();
+        // Bucket names must be valid tokens; an un-namespaced run shares
+        // the server's "default" bucket (ids are still unique per run).
+        let bucket = if run.namespace.is_empty() { "default" } else { run.namespace.as_str() };
+        let remote = RemoteStore::connect(&run.store_url, bucket, &secret);
+        if run.cache_bytes > 0 {
+            Arc::new(CachedStore::new(remote, run.cache_bytes))
+        } else {
+            Arc::new(remote)
+        }
     };
     let mut evaluator = Evaluator::with_namespace(
         problem,

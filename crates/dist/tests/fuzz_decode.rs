@@ -22,6 +22,10 @@ use swt_tensor::Rng;
 /// Every known frame-type byte (0x01 Hello … 0x0A Telemetry).
 const FRAME_TYPES: std::ops::RangeInclusive<u8> = 0x01..=0x0A;
 
+/// The corpus HelloAck's store endpoint — non-empty so the wire-v5 store
+/// tail is actually exercised by the truncation sweeps.
+const CORPUS_URL: &str = "tcp://127.0.0.1:9999";
+
 /// One valid message of every frame type — the fuzz corpus seeds.
 fn corpus() -> Vec<Msg> {
     let stats = WorkerMetrics {
@@ -54,6 +58,7 @@ fn corpus() -> Vec<Msg> {
                 prefilter_quantile: 0.25,
                 conv_window: 3,
                 conv_min_delta: 1e-4,
+                store_url: CORPUS_URL.into(),
             },
         },
         Msg::Task {
@@ -104,9 +109,7 @@ fn corpus() -> Vec<Msg> {
 }
 
 /// Byte length of a frame type's wire-v4 fidelity tail (0 = no tail).
-/// Frames with a tail have exactly one decodable strict prefix — the v3
-/// boundary — which decodes with fidelity-off defaults by design.
-fn tail_len(ty: u8) -> usize {
+fn fidelity_tail_len(ty: u8) -> usize {
     match ty {
         0x02 => 20, // prefilter f64 + conv_window u32 + conv_min_delta f64
         0x03 => 6,  // rung u8 + has_epochs u8 + epochs u32
@@ -115,22 +118,49 @@ fn tail_len(ty: u8) -> usize {
     }
 }
 
+/// Byte length of the corpus message's wire-v5 store tail (HelloAck only:
+/// u16 length prefix + url bytes).
+fn store_tail_len(ty: u8) -> usize {
+    if ty == 0x02 {
+        2 + CORPUS_URL.len()
+    } else {
+        0
+    }
+}
+
+/// The strict prefixes of a corpus payload that must still decode — the
+/// optional-tail version boundaries. Tail-less frames have none; fidelity
+/// frames have the v3 boundary; HelloAck additionally has the v4 boundary
+/// (fidelity kept, store tail dropped).
+fn valid_cuts(ty: u8, len: usize) -> Vec<usize> {
+    let mut cuts = Vec::new();
+    let (fid, store) = (fidelity_tail_len(ty), store_tail_len(ty));
+    if fid > 0 {
+        cuts.push(len - store - fid);
+    }
+    if store > 0 {
+        cuts.push(len - store);
+    }
+    cuts
+}
+
 #[test]
 fn every_truncation_of_every_frame_is_a_typed_error() {
     for msg in corpus() {
         let payload = msg.encode().expect("corpus must encode");
         assert_eq!(Msg::decode(msg.frame_type(), &payload).expect("corpus round-trip"), msg);
-        let v3_boundary = payload.len() - tail_len(msg.frame_type());
+        let cuts = valid_cuts(msg.frame_type(), payload.len());
         // Every strict prefix either starves a fixed-width read or leaves a
         // count without its elements; none may decode, none may panic. The
         // one carve-out: optional-tail frames (HelloAck/Task/Result) decode
-        // at exactly the v3 boundary — that is the backward-decode contract.
+        // at exactly their version boundaries — the backward-decode
+        // contract (v3 for all three, additionally v4 for HelloAck).
         for cut in 0..payload.len() {
             let got = Msg::decode(msg.frame_type(), &payload[..cut]);
-            if cut == v3_boundary && cut != payload.len() {
+            if cuts.contains(&cut) {
                 assert!(
                     got.is_ok(),
-                    "type {:#04x} must decode its v3-shaped prefix ({cut} bytes)",
+                    "type {:#04x} must decode its version-boundary prefix ({cut} bytes)",
                     msg.frame_type()
                 );
             } else {
@@ -149,16 +179,17 @@ fn every_truncation_of_every_frame_is_a_typed_error() {
 fn v3_boundary_prefixes_decode_with_fidelity_defaults() {
     for msg in corpus() {
         let ty = msg.frame_type();
-        if tail_len(ty) == 0 {
+        if fidelity_tail_len(ty) == 0 {
             continue;
         }
         let payload = msg.encode().expect("corpus must encode");
-        let prefix = &payload[..payload.len() - tail_len(ty)];
-        match Msg::decode(ty, prefix).expect("v3-shaped prefix must decode") {
+        let v3 = payload.len() - fidelity_tail_len(ty) - store_tail_len(ty);
+        match Msg::decode(ty, &payload[..v3]).expect("v3-shaped prefix must decode") {
             Msg::HelloAck { run, .. } => {
                 assert_eq!(run.prefilter_quantile, 0.0);
                 assert_eq!((run.conv_window, run.conv_min_delta), (0, 0.0));
                 assert!(!run.eval_fidelity().enabled());
+                assert!(run.store_url.is_empty(), "v3 prefix must default to DirStore");
             }
             Msg::Task { cand } => assert_eq!((cand.rung, cand.epochs), (0, None)),
             Msg::Result { outcome, rung, .. } => {
@@ -166,6 +197,17 @@ fn v3_boundary_prefixes_decode_with_fidelity_defaults() {
                 assert_eq!(rung, 0);
             }
             other => panic!("unexpected decode variant for tag {:#04x}: {other:?}", ty),
+        }
+        // HelloAck's v4 boundary keeps the fidelity knobs, drops the url.
+        if ty == 0x02 {
+            let v4 = payload.len() - store_tail_len(ty);
+            let Msg::HelloAck { run, .. } =
+                Msg::decode(ty, &payload[..v4]).expect("v4-shaped prefix must decode")
+            else {
+                panic!("HelloAck payload decoded to another variant");
+            };
+            assert_eq!(run.prefilter_quantile, 0.25);
+            assert!(run.store_url.is_empty());
         }
     }
 }
@@ -214,18 +256,27 @@ fn hostile_fidelity_tails_are_typed_errors() {
         assert!(matches!(Msg::decode(0x03, &p), Err(WireError::Malformed(_))));
     }
 
-    // HelloAck tails smuggling NaN/out-of-range knobs.
+    // HelloAck tails smuggling NaN/out-of-range knobs. The store tail
+    // (2 + CORPUS_URL.len() bytes) sits after the fidelity group.
     let ack = corpus.iter().find(|m| matches!(m, Msg::HelloAck { .. })).unwrap();
     let good = ack.encode().unwrap();
     let n = good.len();
+    let t = 2 + CORPUS_URL.len();
     for bits in [f64::NAN.to_bits(), 1.0f64.to_bits(), (-0.5f64).to_bits()] {
         let mut p = good.clone();
-        p[n - 20..n - 12].copy_from_slice(&bits.to_le_bytes());
+        p[n - t - 20..n - t - 12].copy_from_slice(&bits.to_le_bytes());
         assert!(matches!(Msg::decode(0x02, &p), Err(WireError::Malformed(_))));
     }
     for bits in [f64::NAN.to_bits(), (-1e-9f64).to_bits()] {
         let mut p = good.clone();
-        p[n - 8..].copy_from_slice(&bits.to_le_bytes());
+        p[n - t - 8..n - t].copy_from_slice(&bits.to_le_bytes());
+        assert!(matches!(Msg::decode(0x02, &p), Err(WireError::Malformed(_))));
+    }
+    // A store-url length prefix promising more bytes than the payload
+    // holds: a partial v5 tail is malformed, never silently defaulted.
+    for len in [CORPUS_URL.len() as u16 + 1, u16::MAX] {
+        let mut p = good.clone();
+        p[n - t..n - t + 2].copy_from_slice(&len.to_le_bytes());
         assert!(matches!(Msg::decode(0x02, &p), Err(WireError::Malformed(_))));
     }
 }

@@ -11,6 +11,9 @@
 //!   and render a refreshing per-worker table (a `top` for the run).
 //! * `swt dist-worker --connect ADDR --worker-id N` — internal: the worker
 //!   side, spawned by the coordinator (not for direct use).
+//! * `swt ckpt-server --spill DIR` — run the networked checkpoint store;
+//!   point `dist-run --store tcp://host:port` at it and workers fetch only
+//!   the selective transfer subset over the wire (DESIGN.md §12).
 //!
 //! See EXPERIMENTS.md §"Distributed runs" for walkthroughs, including the
 //! kill-a-worker fault-tolerance demo and §"Watching a run live".
@@ -47,7 +50,8 @@ usage:
   swt dist-run [options]         run a distributed NAS (this process coordinates)
     (accepts every `swt run` option above, plus:)
     --namespace S                checkpoint-id prefix           []
-    --store DIR                  shared checkpoint dir          [./swt_dist_store]
+    --store DIR|tcp://H:P        shared checkpoint dir, or a running
+                                 `swt ckpt-server` endpoint     [./swt_dist_store]
     --kill-after W:K             fault demo: SIGKILL worker W after K results
     --join-after K[:C]           elastic demo: C extra workers (default 1)
                                  join after K results
@@ -65,6 +69,16 @@ usage:
     --fetch PATH                 fetch PATH once, print the raw body, exit
                                  (scripting/CI helper; no curl needed)
   swt dist-worker --connect ADDR --worker-id N    (internal)
+  swt ckpt-server [options]      run the networked checkpoint store
+    --bind HOST:PORT             listen address                 [127.0.0.1:7421]
+    --spill DIR                  durable WTC2 spill directory   (required)
+    --cache-bytes N              in-RAM LRU budget              [268435456]
+    --serve HOST:PORT            expose /status, /metrics over HTTP
+    --max-seconds N              exit after N seconds (demos/CI; default: run
+                                 until killed)
+    env SWT_CKPT_SECRET          shared HMAC secret, checked on every client
+                                 Hello (empty/unset = open mode); set the same
+                                 value for dist-run so workers can connect
 ";
 
 fn main() -> ExitCode {
@@ -74,6 +88,7 @@ fn main() -> ExitCode {
         Some("dist-run") => dist_run(&args[1..]),
         Some("dist-top") => dist_top(&args[1..]),
         Some("dist-worker") => dist_worker(&args[1..]),
+        Some("ckpt-server") => ckpt_server(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -238,6 +253,53 @@ fn dist_worker(args: &[String]) -> ExitCode {
     }
 }
 
+fn ckpt_server(args: &[String]) -> ExitCode {
+    match try_ckpt_server(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ckpt-server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_ckpt_server(args: &[String]) -> Result<(), String> {
+    let bind = opt(args, "--bind").unwrap_or("127.0.0.1:7421").to_string();
+    let spill: PathBuf =
+        opt(args, "--spill").ok_or_else(|| format!("--spill DIR required\n{USAGE}"))?.into();
+    let mut cfg = ServerConfig::new(bind, spill);
+    cfg.cache_bytes = parse(args, "--cache-bytes", cfg.cache_bytes)?;
+    cfg.serve = opt(args, "--serve").map(str::to_string);
+    // The secret rides in the environment, not argv (which `ps` exposes).
+    cfg.secret = std::env::var("SWT_CKPT_SECRET").unwrap_or_default();
+    let max_seconds: Option<u64> = match opt(args, "--max-seconds") {
+        Some(raw) => {
+            Some(raw.parse().map_err(|_| format!("invalid value for --max-seconds: `{raw}`"))?)
+        }
+        None => None,
+    };
+
+    swt_obs::enable();
+    let mut server = CkptServer::start(cfg).map_err(|e| format!("start: {e}"))?;
+    println!(
+        "ckpt-server listening on {} (auth {})",
+        server.addr(),
+        if std::env::var("SWT_CKPT_SECRET").map_or(true, |s| s.is_empty()) {
+            "open"
+        } else {
+            "shared-secret"
+        }
+    );
+    match max_seconds {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    server.stop();
+    Ok(())
+}
+
 fn dist_run(args: &[String]) -> ExitCode {
     match try_dist_run(args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -267,7 +329,15 @@ fn try_dist_run(args: &[String]) -> Result<(), String> {
     let epochs: usize = parse(args, "--epochs", 1)?;
     let seed: u64 = parse(args, "--seed", 9)?;
     let data_seed: u64 = parse(args, "--data-seed", 11)?;
-    let store: PathBuf = parse(args, "--store", PathBuf::from("swt_dist_store"))?;
+    // `--store` is either a shared directory (the default DirStore path —
+    // what the A/B identity gates pin) or a `tcp://host:port` endpoint of a
+    // running `swt ckpt-server`.
+    let store_raw = opt(args, "--store").unwrap_or("swt_dist_store");
+    let (store_dir, store_url) = if store_raw.starts_with("tcp://") {
+        (PathBuf::from("swt_dist_store"), Some(store_raw.to_string()))
+    } else {
+        (PathBuf::from(store_raw), None)
+    };
     if candidates == 0 || workers == 0 {
         return Err("--candidates and --workers must be positive".into());
     }
@@ -276,7 +346,8 @@ fn try_dist_run(args: &[String]) -> Result<(), String> {
     nas.epochs = epochs;
     nas.namespace = opt(args, "--namespace").unwrap_or("").to_string();
     nas.fidelity = parse_fidelity(args)?;
-    let mut dist = DistConfig::new(app, scale, data_seed, store);
+    let mut dist = DistConfig::new(app, scale, data_seed, store_dir);
+    dist.store_url = store_url;
     if let Some(spec) = opt(args, "--kill-after") {
         let (w, k) =
             spec.split_once(':').ok_or_else(|| format!("--kill-after wants W:K, got `{spec}`"))?;

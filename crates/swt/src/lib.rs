@@ -25,10 +25,12 @@
 //! [`swt_core`] (LP/LCS transfer), [`swt_nas`] (runtime), [`swt_space`]
 //! (search spaces), [`swt_nn`] / [`swt_tensor`] (training substrate),
 //! [`swt_data`] (synthetic applications), [`swt_checkpoint`],
+//! [`swt_ckpt_server`] (networked checkpoint store),
 //! [`swt_cluster`] (scalability simulator), [`swt_stats`] and
 //! [`swt_obs`] (spans, metrics, logging, run reports).
 
 pub use swt_checkpoint as checkpoint;
+pub use swt_ckpt_server as ckpt_server;
 pub use swt_cluster as cluster;
 pub use swt_core as core;
 pub use swt_data as data;
@@ -43,6 +45,7 @@ pub use swt_tensor as tensor;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use swt_checkpoint::{CachedStore, CheckpointIndex, CheckpointStore, DirStore, MemStore};
+    pub use swt_ckpt_server::{CkptServer, RemoteStore, ServerConfig};
     pub use swt_cluster::{simulate, ClusterConfig, SimReport, TaskCost};
     pub use swt_core::{
         apply_transfer, lcs_match, lp_match, select_nearest, Matcher, ShapeSeq, TransferPlan,

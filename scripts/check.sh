@@ -74,11 +74,12 @@ if [ -n "$allocs" ]; then
   exit 1
 fi
 
-echo "==> no-panic gate (swt-dist and the live HTTP server must degrade, never unwrap)"
+echo "==> no-panic gate (networked code must degrade, never unwrap)"
 panics=$(grep -rnE '\.unwrap\(\)|\.expect\(|panic!\(' \
-  crates/dist/src crates/obs/src/serve.rs --include='*.rs' || true)
+  crates/dist/src crates/obs/src/serve.rs crates/wire/src crates/ckpt-server/src \
+  --include='*.rs' || true)
 if [ -n "$panics" ]; then
-  echo "panicking call in crates/dist/src or crates/obs/src/serve.rs (degrade with errors, never panic):" >&2
+  echo "panicking call in networked code (swt-dist, swt-wire, swt-ckpt-server, live server) — degrade with errors, never panic:" >&2
   echo "$panics" >&2
   exit 1
 fi
@@ -89,6 +90,12 @@ cargo run --release --quiet -p swt-bench --bin bench_dist -- --smoke
 
 echo "==> wire fuzz (every frame type under truncation/bit-flips/hostile prefixes)"
 cargo test --release --quiet -p swt-dist --test fuzz_decode
+
+echo "==> store wire fuzz (store frames: truncation, hostile name tables, oversized ranges)"
+cargo test --release --quiet -p swt-ckpt-server --test fuzz_decode
+
+echo "==> bench_ckptsrv smoke (selective read <= 5% of full bytes on the wire, >= 3x faster)"
+cargo run --release --quiet -p swt-bench --bin bench_ckptsrv -- --smoke
 
 echo "==> elastic smoke (late join must not change the canonical trace)"
 elastic_dir=$(mktemp -d)
@@ -106,6 +113,34 @@ if ! cmp -s "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv"; then
   diff "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv" >&2 || true
   exit 1
 fi
+
+echo "==> remote store smoke (dist-run over swt-ckpt-server reproduces the DirStore trace)"
+ckpt_dir=$(mktemp -d)
+# --max-seconds is a backstop so a failed smoke cannot leave the server behind.
+./target/release/swt ckpt-server --bind 127.0.0.1:0 --spill "$ckpt_dir/spill" \
+  --max-seconds 120 > "$ckpt_dir/out.txt" &
+ckpt_pid=$!
+srv_addr=""
+for _ in $(seq 1 100); do
+  srv_addr=$(sed -n 's/^ckpt-server listening on \([^ ]*\).*/\1/p' "$ckpt_dir/out.txt")
+  [ -n "$srv_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$srv_addr" ]; then
+  echo "remote store smoke: the server never printed its address" >&2
+  kill "$ckpt_pid" 2>/dev/null || true
+  exit 1
+fi
+./target/release/swt dist-run --app uno --scheme lcs --candidates 8 \
+  --workers 2 --store "tcp://$srv_addr" \
+  --canonical-trace "$ckpt_dir/remote.csv" >/dev/null
+kill "$ckpt_pid" 2>/dev/null || true
+if ! cmp -s "$elastic_dir/fixed.csv" "$ckpt_dir/remote.csv"; then
+  echo "remote store smoke: canonical trace changed when checkpoints moved through the server" >&2
+  diff "$elastic_dir/fixed.csv" "$ckpt_dir/remote.csv" >&2 || true
+  exit 1
+fi
+rm -rf "$ckpt_dir"
 
 echo "==> fidelity off-switch A/B (fidelity-off traces bit-identical to the pre-fidelity golden)"
 ./target/release/swt run --app uno --scheme lcs --candidates 8 --workers 2 \
