@@ -35,7 +35,15 @@ pub use swt_wire::{put_string, Cursor, WireError, MAX_FRAME_LEN};
 /// checkpoint store (`tcp://host:port`); empty or absent means the shared
 /// `DirStore` directory. Both the v3-shaped and v4-shaped payloads still
 /// decode (with an empty url); a partial url tail is malformed.
-pub const PROTOCOL_VERSION: u32 = 5;
+///
+/// v6: autoscaling. A `Retire` frame (0x0B) drains an idle worker out of the
+/// pool (same orderly teardown as `Shutdown`, but counted as a retirement),
+/// and `HelloAck`'s `RunSpec` gains an autoscale tail (`[u32 min_workers]`
+/// `[u32 max_workers]`) after the v5 store tail so workers can log that they
+/// joined an elastic pool. `(0, 0)` means autoscale off; any other pair must
+/// satisfy `1 ≤ min ≤ max ≤ MAX_POOL_WORKERS`. All earlier-shaped payloads
+/// still decode (autoscale off); a partial tail is malformed.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Write one frame. Counts `dist.frames_tx`.
 pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> Result<(), WireError> {

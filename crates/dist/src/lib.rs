@@ -19,11 +19,13 @@
 //! Modules: [`frame`] (framing + errors), [`wire`] (typed messages),
 //! [`coordinator`] ([`DistBackend`]), [`worker`] (the `swt dist-worker`
 //! loop), [`spawn`] (child-process management), [`live`] (the streamed
-//! in-flight run view behind `swt dist-run --serve`).
+//! in-flight run view behind `swt dist-run --serve`), [`policy`] (the
+//! autoscaling decision function behind `--autoscale`).
 
 pub mod coordinator;
 pub mod frame;
 pub mod live;
+pub mod policy;
 pub mod spawn;
 pub mod wire;
 pub mod worker;
@@ -31,6 +33,9 @@ pub mod worker;
 pub use coordinator::DistBackend;
 pub use frame::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use live::{LiveRunView, WorkerView, STOP_COUNTER_KINDS};
+pub use policy::{
+    PolicyConfig, PolicyError, PoolSnapshot, ScaleDecision, ScalePolicy, MAX_POOL_WORKERS,
+};
 pub use wire::{Msg, RunSpec, Telemetry, WorkerMetrics};
 pub use worker::worker_main;
 
@@ -81,6 +86,10 @@ pub struct DistRunStats {
     pub lost: usize,
     /// Candidates reassigned off lost workers.
     pub reassigned: usize,
+    /// Workers spawned by autoscale grow decisions.
+    pub grown: usize,
+    /// Workers drained out of the pool by autoscale shrink decisions.
+    pub retired: usize,
 }
 
 impl DistRunStats {
@@ -133,6 +142,11 @@ pub struct DistConfig {
     pub max_workers: usize,
     /// Optional scale-out injection for benches/tests.
     pub join_after: Option<JoinPlan>,
+    /// Autoscaling policy; `None` (the default) keeps the pool fixed. The
+    /// policy only ever changes which *processes* evaluate — the dispatch
+    /// window, and with it the candidate schedule, never moves (its
+    /// `max_workers` must not exceed [`DistConfig::max_workers`]).
+    pub autoscale: Option<PolicyConfig>,
     /// Live run view the coordinator folds streamed telemetry into. Pass a
     /// view that is also handed to an [`swt_obs::ObsServer`] to watch the
     /// run over HTTP; when `None` the backend keeps a private one (the
@@ -159,6 +173,7 @@ impl DistConfig {
             initial_workers: None,
             max_workers: 64,
             join_after: None,
+            autoscale: None,
             live: None,
         }
     }

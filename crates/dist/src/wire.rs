@@ -12,6 +12,7 @@
 //! | 0x08 | Error     | either              | utf-8 description                       |
 //! | 0x09 | Stats     | worker → coordinator| final cumulative [`WorkerMetrics`]      |
 //! | 0x0A | Telemetry | worker → coordinator| seq-numbered [`Telemetry`] snapshot     |
+//! | 0x0B | Retire    | coordinator → worker| decision tick + utf-8 reason            |
 //!
 //! All integers little-endian; floats as IEEE-754 bit patterns (scores must
 //! round-trip bit-exactly — the A/B identity gate compares them with `==`).
@@ -27,8 +28,18 @@
 //! networked checkpoint store. The same `at_end` probe runs again after the
 //! fidelity tail, so both v3- and v4-shaped payloads still decode (empty
 //! url = local `DirStore`), while a partial url tail is malformed.
+//!
+//! Wire v6 adds the autoscaling pieces: a `Retire` frame (0x0B, the
+//! drain-then-close half of a shrink decision) and an *autoscale tail* on
+//! `HelloAck` — `[u32 min_workers][u32 max_workers]` after the store tail,
+//! informing the worker that the pool is elastic and it may be retired
+//! mid-run. `(0, 0)` means autoscaling off; anything else must satisfy
+//! `1 ≤ min ≤ max ≤ MAX_POOL_WORKERS` — hostile worker counts are
+//! malformed, and (as with v4/v5) only the exact v5 boundary decodes as a
+//! valid prefix; a partial tail is malformed.
 
 use crate::frame::{put_string, Cursor, WireError};
+use crate::policy::MAX_POOL_WORKERS;
 use swt_core::{TransferScheme, TransferStats};
 use swt_data::{AppKind, DataScale};
 use swt_nas::{Candidate, Convergence, EvalFidelity, EvalOutcome, StopReason, MAX_RUNGS};
@@ -78,6 +89,14 @@ pub struct RunSpec {
     /// means the worker dials a `swt-ckpt-server` and speaks the store
     /// protocol, with `namespace` doubling as its tenant bucket.
     pub store_url: String,
+    /// Autoscale pool floor (wire v6; 0 together with `autoscale_max`
+    /// means the pool is fixed). Informational for the worker — the
+    /// coordinator owns every scaling decision — but it makes the RunSpec
+    /// a complete record of the run's configuration and tells the worker
+    /// it may be retired mid-run.
+    pub autoscale_min: u32,
+    /// Autoscale pool ceiling (wire v6; see `autoscale_min`).
+    pub autoscale_max: u32,
 }
 
 impl RunSpec {
@@ -484,6 +503,17 @@ pub enum Msg {
     Telemetry {
         telemetry: Telemetry,
     },
+    /// Drain-then-close (wire v6): the autoscaler picked this *idle* worker
+    /// to shrink the pool. The worker flushes its final telemetry and
+    /// `Stats` snapshot and exits cleanly — same teardown as `Shutdown`,
+    /// but initiated by a policy decision, so the coordinator counts the
+    /// departure as a retirement, never a loss.
+    Retire {
+        /// The policy decision tick that retired this worker.
+        decision: u64,
+        /// Human-readable decision context, for the worker's log.
+        reason: String,
+    },
 }
 
 fn app_code(app: AppKind) -> u8 {
@@ -536,6 +566,7 @@ impl Msg {
             Msg::Error { .. } => 0x08,
             Msg::Stats { .. } => 0x09,
             Msg::Telemetry { .. } => 0x0A,
+            Msg::Retire { .. } => 0x0B,
         }
     }
 
@@ -569,6 +600,9 @@ impl Msg {
                 out.extend_from_slice(&run.conv_min_delta.to_bits().to_le_bytes());
                 // v5 store tail.
                 put_string(&mut out, &run.store_url)?;
+                // v6 autoscale tail.
+                out.extend_from_slice(&run.autoscale_min.to_le_bytes());
+                out.extend_from_slice(&run.autoscale_max.to_le_bytes());
             }
             Msg::Task { cand } => {
                 out.extend_from_slice(&cand.id.to_le_bytes());
@@ -627,6 +661,10 @@ impl Msg {
             Msg::Telemetry { telemetry } => {
                 telemetry.encode_into(&mut out)?;
             }
+            Msg::Retire { decision, reason } => {
+                out.extend_from_slice(&decision.to_le_bytes());
+                put_string(&mut out, reason)?;
+            }
         }
         Ok(out)
     }
@@ -671,6 +709,19 @@ impl Msg {
                 // v5 store tail; empty url (local DirStore) for v3/v4
                 // payloads.
                 let store_url = if c.at_end() { String::new() } else { c.string()? };
+                // v6 autoscale tail; (0, 0) = autoscale off for v3/v4/v5
+                // payloads.
+                let (autoscale_min, autoscale_max) = if c.at_end() {
+                    (0, 0)
+                } else {
+                    let min = c.u32()?;
+                    let max = c.u32()?;
+                    let off = min == 0 && max == 0;
+                    if !off && (min == 0 || min > max || max as usize > MAX_POOL_WORKERS) {
+                        return Err(WireError::Malformed("hostile autoscale worker counts"));
+                    }
+                    (min, max)
+                };
                 Msg::HelloAck {
                     version,
                     run: RunSpec {
@@ -688,6 +739,8 @@ impl Msg {
                         conv_window,
                         conv_min_delta,
                         store_url,
+                        autoscale_min,
+                        autoscale_max,
                     },
                 }
             }
@@ -773,6 +826,7 @@ impl Msg {
             0x08 => Msg::Error { message: c.string()? },
             0x09 => Msg::Stats { stats: WorkerMetrics::decode_from(&mut c)? },
             0x0A => Msg::Telemetry { telemetry: Telemetry::decode_from(&mut c)? },
+            0x0B => Msg::Retire { decision: c.u64()?, reason: c.string()? },
             other => return Err(WireError::UnknownType(other)),
         };
         c.finish()?;
@@ -809,6 +863,10 @@ mod tests {
             version: PROTOCOL_VERSION,
             run: RunSpec { store_url: "tcp://127.0.0.1:7421".into(), ..sample_run() },
         })?;
+        round_trip(Msg::HelloAck {
+            version: PROTOCOL_VERSION,
+            run: RunSpec { autoscale_min: 1, autoscale_max: 8, ..sample_run() },
+        })?;
         round_trip(Msg::Task {
             cand: Candidate {
                 id: 7,
@@ -843,6 +901,7 @@ mod tests {
         round_trip(Msg::Stats { stats: WorkerMetrics::default() })?;
         round_trip(Msg::Telemetry { telemetry: sample_telemetry() })?;
         round_trip(Msg::Telemetry { telemetry: Telemetry::default() })?;
+        round_trip(Msg::Retire { decision: 17, reason: "pool drained to min".into() })?;
         Ok(())
     }
 
@@ -862,6 +921,8 @@ mod tests {
             conv_window: 0,
             conv_min_delta: 0.0,
             store_url: String::new(),
+            autoscale_min: 0,
+            autoscale_max: 0,
         }
     }
 
@@ -1011,17 +1072,27 @@ mod tests {
         }
         .encode()?;
         let mut p = full.clone();
-        p.truncate(p.len() - 22 - 20); // store tail (u16 + 20) + fidelity tail
+        // autoscale tail (2 × u32) + store tail (u16 + 20) + fidelity tail
+        p.truncate(p.len() - 8 - 22 - 20);
         let Msg::HelloAck { run, .. } = Msg::decode(0x02, &p)? else { unreachable!() };
         assert_eq!(run, sample_run());
         assert_eq!(run.eval_fidelity(), EvalFidelity::default());
 
-        // Truncating at the v4 boundary (dropping only the v5 store tail)
-        // must keep the fidelity fields and default the url to empty.
-        let mut p = full;
-        p.truncate(p.len() - 22);
+        // Truncating at the v4 boundary (dropping the v6 autoscale and v5
+        // store tails) must keep the fidelity fields and default the url to
+        // empty.
+        let mut p = full.clone();
+        p.truncate(p.len() - 8 - 22);
         let Msg::HelloAck { run, .. } = Msg::decode(0x02, &p)? else { unreachable!() };
         assert_eq!(run, sample_run());
+
+        // Truncating at the v5 boundary (dropping only the v6 autoscale
+        // tail) must keep the store url and default autoscale to off.
+        let mut p = full;
+        p.truncate(p.len() - 8);
+        let Msg::HelloAck { run, .. } = Msg::decode(0x02, &p)? else { unreachable!() };
+        assert_eq!(run.store_url, "tcp://127.0.0.1:7421");
+        assert_eq!((run.autoscale_min, run.autoscale_max), (0, 0));
 
         let cand = Candidate {
             rung: 1,
@@ -1107,7 +1178,8 @@ mod tests {
         ));
 
         // Quantile ≥ 1 / NaN min-delta in a HelloAck. The empty v5 store
-        // tail (2 bytes) sits after the fidelity group, shifting offsets.
+        // tail (2 bytes) and the v6 autoscale tail (8 bytes) sit after the
+        // fidelity group, shifting offsets.
         let bad_run = Msg::HelloAck {
             version: PROTOCOL_VERSION,
             run: RunSpec { prefilter_quantile: 0.5, ..sample_run() },
@@ -1115,15 +1187,39 @@ mod tests {
         .encode()?;
         let n = bad_run.len();
         let mut bad = bad_run.clone();
-        bad[n - 22..n - 14].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
+        bad[n - 30..n - 22].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
         assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
         let mut bad = bad_run.clone();
-        bad[n - 10..n - 2].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        bad[n - 18..n - 10].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
         // Store-url tail whose length prefix promises more bytes than the
-        // payload holds: a partial tail is malformed, never a default.
+        // payload holds: a partial tail is malformed, never a default. (The
+        // announced 500 bytes swallow the autoscale tail and run off the
+        // end.)
+        let mut bad = bad_run.clone();
+        bad[n - 10..n - 8].copy_from_slice(&500u16.to_le_bytes());
+        assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
+
+        // Hostile autoscale worker counts: min > max, min == 0 with a
+        // nonzero max, and max beyond the pool cap are all malformed.
+        for (min, max) in
+            [(5u32, 2u32), (0, 3), (1, MAX_POOL_WORKERS as u32 + 1), (u32::MAX, u32::MAX)]
+        {
+            let mut bad = bad_run.clone();
+            bad[n - 8..n - 4].copy_from_slice(&min.to_le_bytes());
+            bad[n - 4..].copy_from_slice(&max.to_le_bytes());
+            assert!(
+                matches!(
+                    Msg::decode(0x02, &bad),
+                    Err(WireError::Malformed("hostile autoscale worker counts"))
+                ),
+                "({min}, {max}) must be rejected"
+            );
+        }
+        // Partial autoscale tail (min present, max missing) is malformed,
+        // never a default: only the exact v5 boundary is a valid prefix.
         let mut bad = bad_run;
-        bad[n - 2..].copy_from_slice(&500u16.to_le_bytes());
+        bad.truncate(n - 4);
         assert!(matches!(Msg::decode(0x02, &bad), Err(WireError::Malformed(_))));
         Ok(())
     }

@@ -100,10 +100,17 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
     };
     swt_obs::info!(
         "swt_dist",
-        "worker {worker_id} handshake ok: app={} scale={:?} threads={}",
+        "worker {worker_id} handshake ok: app={} scale={:?} threads={} elastic={}",
         run.app.name(),
         run.scale,
-        run.threads
+        run.threads,
+        // v6 autoscale tail: a nonzero max means this pool may grow/shrink
+        // around us while we run.
+        if run.autoscale_max > 0 {
+            format!("{}..={}", run.autoscale_min, run.autoscale_max)
+        } else {
+            "off".into()
+        }
     );
 
     // Pin this process's intra-op thread budget: each worker models one GPU
@@ -144,6 +151,17 @@ pub fn run_worker(stream: TcpStream, worker_id: u64) -> Result<(), WireError> {
                     }
                 }
                 Ok(Msg::Shutdown) => return Ok(()),
+                Ok(Msg::Retire { decision, reason }) => {
+                    // Drain-then-close: the coordinator only retires idle
+                    // workers, so the main loop has nothing in flight —
+                    // dropping task_tx ends it and the normal teardown
+                    // (final telemetry + Stats) runs.
+                    swt_obs::info!(
+                        "swt_dist",
+                        "worker retired by autoscale decision {decision}: {reason}"
+                    );
+                    return Ok(());
+                }
                 Ok(Msg::Error { message }) => return Err(WireError::Protocol(message)),
                 Ok(other) => {
                     let err = format!("unexpected frame {:#04x} at worker", other.frame_type());

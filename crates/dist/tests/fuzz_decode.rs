@@ -19,8 +19,8 @@ use swt_obs::report::{CounterRow, HistogramRow};
 use swt_space::ArchSeq;
 use swt_tensor::Rng;
 
-/// Every known frame-type byte (0x01 Hello … 0x0A Telemetry).
-const FRAME_TYPES: std::ops::RangeInclusive<u8> = 0x01..=0x0A;
+/// Every known frame-type byte (0x01 Hello … 0x0B Retire).
+const FRAME_TYPES: std::ops::RangeInclusive<u8> = 0x01..=0x0B;
 
 /// The corpus HelloAck's store endpoint — non-empty so the wire-v5 store
 /// tail is actually exercised by the truncation sweeps.
@@ -59,6 +59,10 @@ fn corpus() -> Vec<Msg> {
                 conv_window: 3,
                 conv_min_delta: 1e-4,
                 store_url: CORPUS_URL.into(),
+                // Nonzero so the wire-v6 autoscale tail carries a real
+                // bound pair through the truncation sweeps.
+                autoscale_min: 1,
+                autoscale_max: 8,
             },
         },
         Msg::Task {
@@ -105,6 +109,7 @@ fn corpus() -> Vec<Msg> {
                 dropped_events: 7,
             },
         },
+        Msg::Retire { decision: 42, reason: "pool past demand".into() },
     ]
 }
 
@@ -128,18 +133,31 @@ fn store_tail_len(ty: u8) -> usize {
     }
 }
 
+/// Byte length of the wire-v6 autoscale tail (HelloAck only: min + max u32).
+fn autoscale_tail_len(ty: u8) -> usize {
+    if ty == 0x02 {
+        8
+    } else {
+        0
+    }
+}
+
 /// The strict prefixes of a corpus payload that must still decode — the
 /// optional-tail version boundaries. Tail-less frames have none; fidelity
 /// frames have the v3 boundary; HelloAck additionally has the v4 boundary
-/// (fidelity kept, store tail dropped).
+/// (fidelity kept, store tail dropped) and the v5 boundary (store tail
+/// kept, autoscale tail dropped).
 fn valid_cuts(ty: u8, len: usize) -> Vec<usize> {
     let mut cuts = Vec::new();
-    let (fid, store) = (fidelity_tail_len(ty), store_tail_len(ty));
+    let (fid, store, auto) = (fidelity_tail_len(ty), store_tail_len(ty), autoscale_tail_len(ty));
     if fid > 0 {
-        cuts.push(len - store - fid);
+        cuts.push(len - auto - store - fid);
     }
     if store > 0 {
-        cuts.push(len - store);
+        cuts.push(len - auto - store);
+    }
+    if auto > 0 {
+        cuts.push(len - auto);
     }
     cuts
 }
@@ -183,7 +201,8 @@ fn v3_boundary_prefixes_decode_with_fidelity_defaults() {
             continue;
         }
         let payload = msg.encode().expect("corpus must encode");
-        let v3 = payload.len() - fidelity_tail_len(ty) - store_tail_len(ty);
+        let v3 =
+            payload.len() - fidelity_tail_len(ty) - store_tail_len(ty) - autoscale_tail_len(ty);
         match Msg::decode(ty, &payload[..v3]).expect("v3-shaped prefix must decode") {
             Msg::HelloAck { run, .. } => {
                 assert_eq!(run.prefilter_quantile, 0.0);
@@ -198,9 +217,10 @@ fn v3_boundary_prefixes_decode_with_fidelity_defaults() {
             }
             other => panic!("unexpected decode variant for tag {:#04x}: {other:?}", ty),
         }
-        // HelloAck's v4 boundary keeps the fidelity knobs, drops the url.
+        // HelloAck's v4 boundary keeps the fidelity knobs, drops the url
+        // and the autoscale pair.
         if ty == 0x02 {
-            let v4 = payload.len() - store_tail_len(ty);
+            let v4 = payload.len() - store_tail_len(ty) - autoscale_tail_len(ty);
             let Msg::HelloAck { run, .. } =
                 Msg::decode(ty, &payload[..v4]).expect("v4-shaped prefix must decode")
             else {
@@ -208,6 +228,17 @@ fn v3_boundary_prefixes_decode_with_fidelity_defaults() {
             };
             assert_eq!(run.prefilter_quantile, 0.25);
             assert!(run.store_url.is_empty());
+            assert_eq!((run.autoscale_min, run.autoscale_max), (0, 0));
+
+            // The v5 boundary keeps the url, defaults autoscale to off.
+            let v5 = payload.len() - autoscale_tail_len(ty);
+            let Msg::HelloAck { run, .. } =
+                Msg::decode(ty, &payload[..v5]).expect("v5-shaped prefix must decode")
+            else {
+                panic!("HelloAck payload decoded to another variant");
+            };
+            assert_eq!(run.store_url, CORPUS_URL);
+            assert_eq!((run.autoscale_min, run.autoscale_max), (0, 0));
         }
     }
 }
@@ -257,11 +288,12 @@ fn hostile_fidelity_tails_are_typed_errors() {
     }
 
     // HelloAck tails smuggling NaN/out-of-range knobs. The store tail
-    // (2 + CORPUS_URL.len() bytes) sits after the fidelity group.
+    // (2 + CORPUS_URL.len() bytes) and the 8-byte autoscale tail sit after
+    // the fidelity group.
     let ack = corpus.iter().find(|m| matches!(m, Msg::HelloAck { .. })).unwrap();
     let good = ack.encode().unwrap();
     let n = good.len();
-    let t = 2 + CORPUS_URL.len();
+    let t = 2 + CORPUS_URL.len() + 8;
     for bits in [f64::NAN.to_bits(), 1.0f64.to_bits(), (-0.5f64).to_bits()] {
         let mut p = good.clone();
         p[n - t - 20..n - t - 12].copy_from_slice(&bits.to_le_bytes());
@@ -274,11 +306,57 @@ fn hostile_fidelity_tails_are_typed_errors() {
     }
     // A store-url length prefix promising more bytes than the payload
     // holds: a partial v5 tail is malformed, never silently defaulted.
-    for len in [CORPUS_URL.len() as u16 + 1, u16::MAX] {
+    // (The announced length swallows the autoscale tail and overruns.)
+    for len in [CORPUS_URL.len() as u16 + 9, u16::MAX] {
         let mut p = good.clone();
         p[n - t..n - t + 2].copy_from_slice(&len.to_le_bytes());
         assert!(matches!(Msg::decode(0x02, &p), Err(WireError::Malformed(_))));
     }
+}
+
+#[test]
+fn hostile_autoscale_tails_are_typed_errors() {
+    let ack = corpus().into_iter().find(|m| matches!(m, Msg::HelloAck { .. })).unwrap();
+    let good = ack.encode().unwrap();
+    let n = good.len();
+
+    // Hostile worker-count pairs in the v6 tail: an inverted range, a zero
+    // min with a nonzero max, and bounds past the pool cap must all be
+    // rejected — a worker must never accept a nonsense elastic envelope.
+    for (min, max) in
+        [(5u32, 2u32), (0, 1), (1, swt_dist::MAX_POOL_WORKERS as u32 + 1), (u32::MAX, u32::MAX)]
+    {
+        let mut p = good.clone();
+        p[n - 8..n - 4].copy_from_slice(&min.to_le_bytes());
+        p[n - 4..].copy_from_slice(&max.to_le_bytes());
+        assert!(
+            matches!(
+                Msg::decode(0x02, &p),
+                Err(WireError::Malformed("hostile autoscale worker counts"))
+            ),
+            "autoscale pair ({min}, {max}) must be rejected"
+        );
+    }
+
+    // The full in-range envelope decodes, including the degenerate
+    // single-worker pool and the cap itself.
+    for (min, max) in [(1u32, 1u32), (1, swt_dist::MAX_POOL_WORKERS as u32), (0, 0)] {
+        let mut p = good.clone();
+        p[n - 8..n - 4].copy_from_slice(&min.to_le_bytes());
+        p[n - 4..].copy_from_slice(&max.to_le_bytes());
+        let Msg::HelloAck { run, .. } = Msg::decode(0x02, &p).expect("in-range pair must decode")
+        else {
+            panic!("HelloAck payload decoded to another variant");
+        };
+        assert_eq!((run.autoscale_min, run.autoscale_max), (min, max));
+    }
+
+    // A truncated tail (min present, max missing) is malformed — only the
+    // exact v5 boundary is a valid prefix. Every other cut inside the tail
+    // must also fail (the truncation sweep covers them; pin the worst one).
+    let mut p = good;
+    p.truncate(n - 4);
+    assert!(matches!(Msg::decode(0x02, &p), Err(WireError::Malformed(_))));
 }
 
 #[test]

@@ -1,0 +1,292 @@
+//! Property tests for the autoscaling policy (this PR's headline harness):
+//! seeded randomized pool-snapshot sequences plus scripted scenarios
+//! (spike, drain, stale worker, oscillation bait), all wall-clock-free —
+//! ticks are decision counts, so every failure reproduces from its seed.
+//!
+//! Invariants pinned here:
+//! * **bounds** — a grow never provisions past `max_workers`, a shrink
+//!   never cuts below `min_workers` (and only ever retires idle workers);
+//! * **hysteresis/cooldown** — after any grow or shrink, the next
+//!   `cooldown_ticks` decisions are holds, whatever the inputs do;
+//! * **monotonicity** — queued work never produces a shrink;
+//! * **determinism** — the same snapshot sequence yields the same decisions
+//!   and a byte-for-byte identical decision log.
+
+use swt_dist::{PolicyConfig, PoolSnapshot, ScaleDecision, ScalePolicy, MAX_POOL_WORKERS};
+use swt_tensor::Rng;
+
+/// Random-but-plausible snapshot: pool counts inside the policy envelope,
+/// queue and EWMA over wide hostile ranges (including zeros).
+fn random_snapshot(rng: &mut Rng, cfg: &PolicyConfig) -> PoolSnapshot {
+    let live = 1 + rng.below(cfg.max_workers.max(2));
+    let idle = rng.below(live + 1);
+    let inflight = live - idle;
+    PoolSnapshot {
+        queue_depth: rng.below(12),
+        inflight,
+        live,
+        idle,
+        connecting: rng.below(3),
+        results: rng.below(1000) as u64,
+        ewma_secs: rng.below(5000) as f64 / 1000.0,
+    }
+}
+
+fn policy(cfg: PolicyConfig) -> ScalePolicy {
+    ScalePolicy::new(cfg).expect("test configs are valid")
+}
+
+#[test]
+fn bounds_hold_over_randomized_sequences() {
+    for seed in 0..20u64 {
+        let cfg = PolicyConfig::bounded(1 + (seed as usize % 3), 4 + (seed as usize % 5));
+        let mut p = policy(cfg.clone());
+        let mut rng = Rng::seed(0xB0B + seed);
+        for _ in 0..500 {
+            let s = random_snapshot(&mut rng, &cfg);
+            match p.decide_snapshot(&s) {
+                ScaleDecision::Grow(n) => {
+                    assert!(n > 0, "a grow of zero must be a hold");
+                    assert!(
+                        s.effective() + n <= cfg.max_workers,
+                        "seed {seed}: grow {n} past max {} from effective {}",
+                        cfg.max_workers,
+                        s.effective()
+                    );
+                }
+                ScaleDecision::Shrink(n) => {
+                    assert!(n > 0, "a shrink of zero must be a hold");
+                    assert!(
+                        s.live - n >= cfg.min_workers,
+                        "seed {seed}: shrink {n} below min {} from live {}",
+                        cfg.min_workers,
+                        s.live
+                    );
+                    assert!(n <= s.idle, "seed {seed}: shrink {n} exceeds idle {}", s.idle);
+                }
+                ScaleDecision::Hold => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn cooldown_forces_holds_after_every_action() {
+    for seed in 0..20u64 {
+        let cooldown = 1 + (seed % 4);
+        let cfg = PolicyConfig { cooldown_ticks: cooldown, ..PolicyConfig::bounded(1, 8) };
+        let mut p = policy(cfg.clone());
+        let mut rng = Rng::seed(0xC00 + seed);
+        let mut quiet_until = 0u64; // tick until which only holds are legal
+        for _ in 0..500 {
+            let s = random_snapshot(&mut rng, &cfg);
+            let d = p.decide_snapshot(&s);
+            let tick = p.tick();
+            if !matches!(d, ScaleDecision::Hold) {
+                assert!(
+                    tick > quiet_until,
+                    "seed {seed}: {d} at tick {tick} inside the cooldown window \
+                     (quiet until {quiet_until})"
+                );
+                quiet_until = tick + cooldown;
+            }
+        }
+    }
+}
+
+#[test]
+fn queued_work_never_yields_a_shrink() {
+    // Monotonicity: the policy may disagree about growing, but work in the
+    // queue can never argue for fewer workers.
+    for seed in 0..20u64 {
+        let cfg = PolicyConfig::bounded(1, 6);
+        let mut p = policy(cfg.clone());
+        let mut rng = Rng::seed(0x40B0 + seed);
+        for _ in 0..500 {
+            let mut s = random_snapshot(&mut rng, &cfg);
+            s.queue_depth = 1 + rng.below(20);
+            let d = p.decide_snapshot(&s);
+            assert!(
+                !matches!(d, ScaleDecision::Shrink(_)),
+                "seed {seed}: shrink with {} tasks queued",
+                s.queue_depth
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_sequences_replay_byte_for_byte() {
+    for seed in [3u64, 0xDEAD, 0xA5CA1E] {
+        let cfg = PolicyConfig { target_wall_secs: Some(30.0), ..PolicyConfig::bounded(1, 8) };
+        let run = |cfg: &PolicyConfig| {
+            let mut p = policy(cfg.clone());
+            let mut rng = Rng::seed(seed);
+            let decisions: Vec<ScaleDecision> =
+                (0..400).map(|_| p.decide_snapshot(&random_snapshot(&mut rng, cfg))).collect();
+            (decisions, p.log_text(), p.tally())
+        };
+        let (da, la, ta) = run(&cfg);
+        let (db, lb, tb) = run(&cfg);
+        assert_eq!(da, db, "seed {seed:#x}: decisions diverged");
+        assert_eq!(ta, tb, "seed {seed:#x}: tallies diverged");
+        assert_eq!(la.as_bytes(), lb.as_bytes(), "seed {seed:#x}: decision log not byte-identical");
+        assert!(!la.is_empty(), "decision log must record the run");
+    }
+}
+
+/// Scripted scenario: a queue spike against a small pool must grow — once —
+/// and then respect cooldown while the spawned capacity connects.
+#[test]
+fn spike_grows_once_then_waits_for_capacity() {
+    let cfg =
+        PolicyConfig { cooldown_ticks: 2, backlog_per_worker: 0.5, ..PolicyConfig::bounded(1, 4) };
+    let mut p = policy(cfg);
+    let calm = PoolSnapshot {
+        queue_depth: 0,
+        inflight: 1,
+        live: 1,
+        idle: 0,
+        connecting: 0,
+        results: 0,
+        ewma_secs: 1.0,
+    };
+    assert_eq!(p.decide_snapshot(&calm), ScaleDecision::Hold);
+
+    // Spike: 6 queued against 1 live worker.
+    let spike = PoolSnapshot { queue_depth: 6, ..calm };
+    let d = p.decide_snapshot(&spike);
+    let ScaleDecision::Grow(n) = d else { panic!("spike must grow, got {d}") };
+    assert!(n >= 1);
+
+    // The spawned workers are connecting: still-spiking snapshots inside
+    // the cooldown hold, and effective capacity suppresses a double-buy.
+    let connecting = PoolSnapshot { connecting: n, ..spike };
+    assert_eq!(p.decide_snapshot(&connecting), ScaleDecision::Hold, "cooldown tick 1");
+    assert_eq!(p.decide_snapshot(&connecting), ScaleDecision::Hold, "cooldown tick 2");
+}
+
+/// Scripted scenario: a drained pool shrinks to the floor after the idle
+/// patience, and stays there — repeated drain ticks never cut below min.
+#[test]
+fn drain_retires_to_the_floor_and_stops() {
+    let cfg = PolicyConfig { cooldown_ticks: 1, idle_patience: 2, ..PolicyConfig::bounded(2, 6) };
+    let mut p = policy(cfg);
+    let mut live = 5usize;
+    let mut retired_total = 0usize;
+    for tick in 0..40 {
+        let s = PoolSnapshot {
+            queue_depth: 0,
+            inflight: 0,
+            live,
+            idle: live,
+            connecting: 0,
+            results: 20,
+            ewma_secs: 0.8,
+        };
+        match p.decide_snapshot(&s) {
+            ScaleDecision::Shrink(n) => {
+                live -= n;
+                retired_total += n;
+                assert!(live >= 2, "tick {tick}: shrank below the floor");
+            }
+            ScaleDecision::Grow(_) => panic!("tick {tick}: a drained pool must never grow"),
+            ScaleDecision::Hold => {}
+        }
+    }
+    assert_eq!(live, 2, "drain must settle exactly at min_workers");
+    assert_eq!(retired_total, 3);
+}
+
+/// Scripted scenario: a stale worker — spawned capacity that never comes
+/// online — must not trigger an unbounded buying spree: `connecting` counts
+/// toward effective capacity, so the policy stops at the envelope.
+#[test]
+fn stale_connecting_worker_cannot_cause_a_buying_spree() {
+    let cfg = PolicyConfig { cooldown_ticks: 0, ..PolicyConfig::bounded(1, 4) };
+    let mut p = policy(cfg);
+    let mut connecting = 0usize;
+    for _ in 0..100 {
+        let s = PoolSnapshot {
+            queue_depth: 10,
+            inflight: 1,
+            live: 1,
+            idle: 0,
+            connecting,
+            results: 0,
+            ewma_secs: 2.0,
+        };
+        if let ScaleDecision::Grow(n) = p.decide_snapshot(&s) {
+            connecting += n; // spawned, but (stale) never handshakes
+        }
+    }
+    let (grows, _, _) = p.tally();
+    // 1 live + the stale joiners may never exceed the max of 4.
+    assert!(connecting < 4, "policy bought past max with stale joiners: {connecting}");
+    assert!(grows <= 3, "policy must stop re-deciding once effective hits max, got {grows} grows");
+}
+
+/// Scripted scenario: oscillation bait — the queue flaps between just-above
+/// and just-below the backlog threshold every tick. Cooldown must keep the
+/// policy from flapping grow/shrink at the same cadence.
+#[test]
+fn oscillation_bait_cannot_flap_the_pool() {
+    let cfg = PolicyConfig { cooldown_ticks: 3, idle_patience: 1, ..PolicyConfig::bounded(1, 6) };
+    let mut p = policy(cfg);
+    let mut actions_between_cooldowns = Vec::new();
+    let mut last_action_tick = 0u64;
+    for i in 0..200u64 {
+        let s = if i % 2 == 0 {
+            PoolSnapshot {
+                queue_depth: 5,
+                inflight: 2,
+                live: 2,
+                idle: 0,
+                connecting: 0,
+                results: i,
+                ewma_secs: 1.0,
+            }
+        } else {
+            PoolSnapshot {
+                queue_depth: 0,
+                inflight: 0,
+                live: 2,
+                idle: 2,
+                connecting: 0,
+                results: i,
+                ewma_secs: 1.0,
+            }
+        };
+        if !matches!(p.decide_snapshot(&s), ScaleDecision::Hold) {
+            let tick = p.tick();
+            actions_between_cooldowns.push(tick - last_action_tick);
+            last_action_tick = tick;
+        }
+    }
+    // Every pair of consecutive actions is separated by more than the
+    // cooldown — the bait cannot extract a decision per flap.
+    for (i, gap) in actions_between_cooldowns.iter().enumerate().skip(1) {
+        assert!(*gap > 3, "actions {i} and {} only {gap} ticks apart", i - 1);
+    }
+    // And the bait cannot drive more actions than the cooldown admits.
+    assert!(
+        actions_between_cooldowns.len() <= 200 / 4 + 1,
+        "{} actions in 200 baited ticks",
+        actions_between_cooldowns.len()
+    );
+}
+
+#[test]
+fn config_envelope_is_validated() {
+    assert!(ScalePolicy::new(PolicyConfig::bounded(0, 4)).is_err(), "zero min must be rejected");
+    assert!(ScalePolicy::new(PolicyConfig::bounded(5, 4)).is_err(), "min > max must be rejected");
+    assert!(
+        ScalePolicy::new(PolicyConfig::bounded(1, MAX_POOL_WORKERS + 1)).is_err(),
+        "max past the pool cap must be rejected"
+    );
+    assert!(ScalePolicy::new(PolicyConfig::bounded(1, MAX_POOL_WORKERS)).is_ok());
+    let bad_target = PolicyConfig { target_wall_secs: Some(-1.0), ..PolicyConfig::default() };
+    assert!(ScalePolicy::new(bad_target).is_err(), "negative wall target must be rejected");
+    let bad_budget = PolicyConfig { cost_budget_secs: Some(f64::NAN), ..PolicyConfig::default() };
+    assert!(ScalePolicy::new(bad_budget).is_err(), "NaN cost budget must be rejected");
+}

@@ -88,6 +88,12 @@ echo "==> bench_dist smoke (coordinator + 2 workers, one SIGKILLed; A/B identica
 cargo build --release --quiet -p swt   # worker binary for the coordinator to spawn
 cargo run --release --quiet -p swt-bench --bin bench_dist -- --smoke
 
+echo "==> autoscale policy props (bounds, hysteresis, monotonicity, log determinism)"
+cargo test --release --quiet -p swt-dist --test policy_props
+
+echo "==> bench_autoscale smoke (autoscaled A/B identical; replayed policy closes the makespan gap)"
+cargo run --release --quiet -p swt-bench --bin bench_autoscale -- --smoke
+
 echo "==> wire fuzz (every frame type under truncation/bit-flips/hostile prefixes)"
 cargo test --release --quiet -p swt-dist --test fuzz_decode
 
@@ -111,6 +117,17 @@ trap 'rm -rf "$elastic_dir" "$live_dir"' EXIT
 if ! cmp -s "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv"; then
   echo "elastic smoke: canonical trace changed when a worker joined mid-run" >&2
   diff "$elastic_dir/fixed.csv" "$elastic_dir/elastic.csv" >&2 || true
+  exit 1
+fi
+
+echo "==> autoscale smoke (policy-driven pool must not change the canonical trace)"
+./target/release/swt dist-run --app uno --scheme lcs --candidates 8 \
+  --workers 2 --initial-workers 1 --autoscale 1:2 \
+  --store "$elastic_dir/autoscale_store" \
+  --canonical-trace "$elastic_dir/autoscale.csv" >/dev/null
+if ! cmp -s "$elastic_dir/fixed.csv" "$elastic_dir/autoscale.csv"; then
+  echo "autoscale smoke: canonical trace changed when the policy resized the pool" >&2
+  diff "$elastic_dir/fixed.csv" "$elastic_dir/autoscale.csv" >&2 || true
   exit 1
 fi
 

@@ -22,7 +22,7 @@ use swt::prelude::*;
 
 #[path = "util/mod.rs"]
 mod util;
-use util::{assert_traces_identical, temp_dir};
+use util::{assert_conserved, assert_traces_identical, temp_dir};
 
 const CANDIDATES: usize = 12;
 const WINDOW: usize = 2;
@@ -119,37 +119,6 @@ fn run_cell(cell: &Cell) -> (NasTrace, DistRunStats, PathBuf) {
     let (trace, stats) = run_nas_dist_with_stats(&nas_config(), &dist)
         .unwrap_or_else(|e| panic!("cell `{}` failed: {e}", cell.name));
     (trace, stats, store)
-}
-
-/// Conservation: folding every per-worker snapshot through
-/// `RunReport::merge` must equal the plain per-counter (and per-histogram)
-/// sum over processes — report.json totals for a multi-process run are
-/// produced exactly this way.
-fn assert_conserved(stats: &DistRunStats, what: &str) {
-    let merged = stats.workers_report();
-    let mut names: Vec<&str> = Vec::new();
-    for (_, m) in &stats.per_worker {
-        for c in &m.counters {
-            if !names.contains(&c.name.as_str()) {
-                names.push(&c.name);
-            }
-        }
-    }
-    assert!(!names.is_empty(), "{what}: workers reported no counters at all");
-    for name in names {
-        let sum: u64 = stats.per_worker.iter().map(|(_, m)| m.counter(name)).sum();
-        assert_eq!(merged.counter(name), sum, "{what}: counter `{name}` not conserved");
-    }
-    for h in &merged.histograms {
-        let (mut count, mut sum) = (0u64, 0u64);
-        for (_, m) in &stats.per_worker {
-            if let Some(wh) = m.histograms.iter().find(|x| x.name == h.name) {
-                count += wh.count;
-                sum += wh.sum;
-            }
-        }
-        assert_eq!((h.count, h.sum), (count, sum), "{what}: histogram `{}` not conserved", h.name);
-    }
 }
 
 /// The batched-evaluation determinism cell, alongside the elastic matrix:

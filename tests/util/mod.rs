@@ -44,6 +44,37 @@ pub fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     }
 }
 
+/// Conservation: folding every per-worker snapshot through
+/// `RunReport::merge` must equal the plain per-counter (and per-histogram)
+/// sum over processes — report.json totals for a multi-process run are
+/// produced exactly this way.
+pub fn assert_conserved(stats: &DistRunStats, what: &str) {
+    let merged = stats.workers_report();
+    let mut names: Vec<&str> = Vec::new();
+    for (_, m) in &stats.per_worker {
+        for c in &m.counters {
+            if !names.contains(&c.name.as_str()) {
+                names.push(&c.name);
+            }
+        }
+    }
+    assert!(!names.is_empty(), "{what}: workers reported no counters at all");
+    for name in names {
+        let sum: u64 = stats.per_worker.iter().map(|(_, m)| m.counter(name)).sum();
+        assert_eq!(merged.counter(name), sum, "{what}: counter `{name}` not conserved");
+    }
+    for h in &merged.histograms {
+        let (mut count, mut sum) = (0u64, 0u64);
+        for (_, m) in &stats.per_worker {
+            if let Some(wh) = m.histograms.iter().find(|x| x.name == h.name) {
+                count += wh.count;
+                sum += wh.sum;
+            }
+        }
+        assert_eq!((h.count, h.sum), (count, sum), "{what}: histogram `{}` not conserved", h.name);
+    }
+}
+
 /// The A/B identity contract: everything the strategy and the paper's
 /// analyses consume must match bit-for-bit.
 pub fn assert_traces_identical(a: &NasTrace, b: &NasTrace, what: &str) {
